@@ -1,0 +1,561 @@
+// Package metaopt_test holds the benchmark harness: one testing.B target
+// per paper table/figure (regenerating the same rows/series at reduced
+// scale; cmd/experiments produces the full-scale output), plus ablation
+// benches for the design choices called out in DESIGN.md and
+// micro-benchmarks of the substrate. Key quality metrics are attached to
+// each benchmark via ReportMetric.
+package metaopt_test
+
+import (
+	"sync"
+	"testing"
+
+	"metaopt/internal/analysis"
+	"metaopt/internal/core"
+	"metaopt/internal/experiments"
+	"metaopt/internal/features"
+	"metaopt/internal/lang"
+	"metaopt/internal/loopgen"
+	"metaopt/internal/machine"
+	"metaopt/internal/ml"
+	"metaopt/internal/ml/nn"
+	"metaopt/internal/ml/svm"
+	"metaopt/internal/ml/tree"
+	"metaopt/internal/sched"
+	"metaopt/internal/sim"
+	"metaopt/internal/swp"
+	"metaopt/internal/transform"
+	"metaopt/unroll"
+)
+
+// benchEnv is shared, lazily-built state so individual benchmarks measure
+// only their own experiment, not corpus construction.
+var (
+	envOnce sync.Once
+	benchE  *experiments.Env
+	benchD  *ml.Dataset
+	benchFS *core.FeatureSelection
+)
+
+func env(b *testing.B) (*experiments.Env, *ml.Dataset, *core.FeatureSelection) {
+	b.Helper()
+	envOnce.Do(func() {
+		cfg := experiments.Config{
+			Seed: 2005, Scale: 0.15, Runs: 10,
+			SVMCap: 400, TrainCap: 400, SVMSample: 150,
+		}
+		benchE = experiments.NewEnv(cfg)
+		var err error
+		benchD, err = benchE.Dataset(false)
+		if err != nil {
+			panic(err)
+		}
+		benchFS, err = benchE.Features()
+		if err != nil {
+			panic(err)
+		}
+	})
+	return benchE, benchD, benchFS
+}
+
+// BenchmarkTable2 regenerates the prediction-correctness table (LOOCV for
+// NN and the LS-SVM plus the baseline heuristic) and reports the rank-1
+// accuracies.
+func BenchmarkTable2(b *testing.B) {
+	e, _, _ := env(b)
+	b.ResetTimer()
+	var last *experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Table.SVMAccuracy, "svm-optimal-frac")
+	b.ReportMetric(last.Table.NNAccuracy, "nn-optimal-frac")
+	b.ReportMetric(last.Table.HeurAccuracy, "orc-optimal-frac")
+}
+
+// BenchmarkTable3 regenerates the mutual-information feature ranking.
+func BenchmarkTable3(b *testing.B) {
+	e, _, _ := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates greedy forward feature selection for both
+// classifiers.
+func BenchmarkTable4(b *testing.B) {
+	_, d, _ := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := core.DefaultSelectOptions()
+		opt.SVMSample = 150
+		if _, err := core.SelectFeatures(d, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the LDA projection + near-neighbor
+// illustration.
+func BenchmarkFigure1(b *testing.B) {
+	e, _, _ := env(b)
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure1(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = r.NNAcc
+	}
+	b.ReportMetric(acc, "projected-nn-acc")
+}
+
+// BenchmarkFigure2 regenerates the 2-D SVM decision-region illustration.
+func BenchmarkFigure2(b *testing.B) {
+	e, _, _ := env(b)
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure2(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = r.Accuracy
+	}
+	b.ReportMetric(acc, "svm-2d-acc")
+}
+
+// BenchmarkFigure3 regenerates the optimal-factor histogram, including the
+// labeling pass over a fresh corpus.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := loopgen.Generate(loopgen.Options{Seed: int64(i + 3), LoopsScale: 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Runs = 5
+		lb, err := core.CollectLabels(c, sim.NewTimer(cfg), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hist := lb.Histogram()
+		if i == b.N-1 {
+			b.ReportMetric(hist[1], "rolled-frac")
+			b.ReportMetric(hist[8], "u8-frac")
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the SWP-off speedup experiment and reports
+// the overall improvements over the baseline.
+func BenchmarkFigure4(b *testing.B) {
+	e, _, _ := env(b)
+	b.ResetTimer()
+	var sum *core.SpeedupSummary
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure4(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum = r.Summary
+	}
+	b.ReportMetric(100*sum.SVMAll, "svm-overall-pct")
+	b.ReportMetric(100*sum.SVMFP, "svm-fp-pct")
+	b.ReportMetric(100*sum.OracleAll, "oracle-overall-pct")
+}
+
+// BenchmarkFigure5 regenerates the SWP-on speedup experiment.
+func BenchmarkFigure5(b *testing.B) {
+	e, _, _ := env(b)
+	b.ResetTimer()
+	var sum *core.SpeedupSummary
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure5(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum = r.Summary
+	}
+	b.ReportMetric(100*sum.SVMAll, "svm-overall-pct")
+	b.ReportMetric(100*sum.OracleAll, "oracle-overall-pct")
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationSVMSolver compares the LS-SVM (closed form) against the
+// SMO-trained C-SVM on the same training set.
+func BenchmarkAblationSVMSolver(b *testing.B) {
+	_, d, fs := env(b)
+	sel := d.Select(fs.Union)
+	b.Run("lssvm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (&svm.LSSVM{}).Train(sel); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("smo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (&svm.SMO{Seed: 1}).Train(sel); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationOutputCodes compares one-vs-rest against random
+// error-correcting output codes on LOOCV accuracy.
+func BenchmarkAblationOutputCodes(b *testing.B) {
+	_, d, fs := env(b)
+	sel := d.Select(fs.Union)
+	for _, cfg := range []struct {
+		name  string
+		codes svm.Codes
+	}{
+		{"one-vs-rest", svm.OneVsRest(ml.NumClasses)},
+		{"ecoc-15", svm.Random(ml.NumClasses, 15, 9)},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				preds, err := (&svm.LSSVM{Codes: cfg.codes}).LOOCV(sel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = ml.Accuracy(sel, preds)
+			}
+			b.ReportMetric(acc, "loocv-acc")
+		})
+	}
+}
+
+// BenchmarkAblationFeatureSet compares the full 38-feature vector against
+// the selected union subset.
+func BenchmarkAblationFeatureSet(b *testing.B) {
+	_, d, fs := env(b)
+	for _, cfg := range []struct {
+		name string
+		set  *ml.Dataset
+	}{
+		{"all-38", d},
+		{"selected-union", d.Select(fs.Union)},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				preds, err := (&nn.Trainer{}).LOOCV(cfg.set)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = ml.Accuracy(cfg.set, preds)
+			}
+			b.ReportMetric(acc, "loocv-acc")
+		})
+	}
+}
+
+// BenchmarkAblationNNRadius sweeps the near-neighbor radius around the
+// paper's 0.3.
+func BenchmarkAblationNNRadius(b *testing.B) {
+	_, d, fs := env(b)
+	sel := d.Select(fs.Union)
+	for _, r := range []struct {
+		name   string
+		radius float64
+	}{
+		{"r0.15", 0.15}, {"r0.30", 0.30}, {"r0.60", 0.60},
+	} {
+		b.Run(r.name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				preds, err := (&nn.Trainer{Radius: r.radius}).LOOCV(sel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = ml.Accuracy(sel, preds)
+			}
+			b.ReportMetric(acc, "loocv-acc")
+		})
+	}
+}
+
+// BenchmarkAblationClassifiers is the related-work comparison: the paper's
+// two learners against the boosted decision trees of Monsifrot et al. and
+// a single CART tree, all on the same LOOCV protocol.
+func BenchmarkAblationClassifiers(b *testing.B) {
+	_, d, fs := env(b)
+	sel := d.Select(fs.Union)
+	for _, cfg := range []struct {
+		name string
+		tr   ml.Trainer
+	}{
+		{"nn", &nn.Trainer{}},
+		{"lssvm", &svm.LSSVM{}},
+		{"cart", &tree.Trainer{}},
+		{"boosted-tree", &tree.Boost{Rounds: 15, MaxDepth: 4}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				preds, err := ml.LOOCV(cfg.tr, sel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = ml.Accuracy(sel, preds)
+			}
+			b.ReportMetric(acc, "loocv-acc")
+		})
+	}
+}
+
+// BenchmarkAblationRegression compares classification against the
+// regression extension (the paper's future-work direction).
+func BenchmarkAblationRegression(b *testing.B) {
+	_, d, fs := env(b)
+	sel := d.Select(fs.Union)
+	for _, cfg := range []struct {
+		name string
+		tr   ml.Trainer
+	}{
+		{"classify", &svm.LSSVM{}},
+		{"regress", &svm.Regression{}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				preds, err := ml.LOOCV(cfg.tr, sel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = ml.Accuracy(sel, preds)
+			}
+			b.ReportMetric(acc, "loocv-acc")
+		})
+	}
+}
+
+// BenchmarkAblationNoise measures how label noise degrades LOOCV accuracy:
+// labels are collected at increasing measurement-noise levels.
+func BenchmarkAblationNoise(b *testing.B) {
+	c, err := loopgen.Generate(loopgen.Options{Seed: 17, LoopsScale: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, lvl := range []struct {
+		name  string
+		noise float64
+		bias  float64
+	}{
+		{"clean", 0, 0}, {"paper", 0.03, 0.02}, {"noisy", 0.08, 0.05},
+	} {
+		b.Run(lvl.name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig()
+				cfg.Runs = 10
+				cfg.Noise = lvl.noise
+				cfg.BiasNoise = lvl.bias
+				t := sim.NewTimer(cfg)
+				lb, err := core.CollectLabels(c, t, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d := lb.Dataset(t)
+				preds, err := (&nn.Trainer{}).LOOCV(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = ml.Accuracy(d, preds)
+			}
+			b.ReportMetric(acc, "loocv-acc")
+		})
+	}
+}
+
+// --- Substrate micro-benchmarks ------------------------------------------
+
+const daxpySrc = `
+kernel daxpy lang=c {
+	param double a;
+	double x[], y[];
+	noalias;
+	for i = 0 .. 4096 { y[i] = y[i] + a * x[i]; }
+}`
+
+func daxpyLoop(b *testing.B) *unroll.Loop {
+	b.Helper()
+	k, err := lang.ParseKernel(daxpySrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := lang.Lower(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+// BenchmarkFrontend measures parse + lowering.
+func BenchmarkFrontend(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k, err := lang.ParseKernel(daxpySrc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := lang.Lower(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnrollTransform measures unrolling by 8 with cleanups.
+func BenchmarkUnrollTransform(b *testing.B) {
+	l := daxpyLoop(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := transform.Unroll(l, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFeatureExtract measures the 38-feature extraction.
+func BenchmarkFeatureExtract(b *testing.B) {
+	l := daxpyLoop(b)
+	m := machine.Itanium2()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		features.Extract(l, m)
+	}
+}
+
+// BenchmarkListSchedule measures list scheduling of an unrolled body.
+func BenchmarkListSchedule(b *testing.B) {
+	l := daxpyLoop(b)
+	u8, _, err := transform.Unroll(l, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := machine.Itanium2()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := analysis.Build(u8, m)
+		sched.List(g)
+	}
+}
+
+// BenchmarkModuloSchedule measures software pipelining of an unrolled body.
+func BenchmarkModuloSchedule(b *testing.B) {
+	l := daxpyLoop(b)
+	u4, _, err := transform.Unroll(l, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := machine.Itanium2()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := analysis.Build(u4, m)
+		if _, err := swp.Schedule(g, g.MII()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompilePipeline measures the full compile-and-price pipeline
+// (all eight factors) for one loop.
+func BenchmarkCompilePipeline(b *testing.B) {
+	l := daxpyLoop(b)
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		cfg.Noise = 0
+		t := sim.NewTimer(cfg)
+		for u := 1; u <= transform.MaxFactor; u++ {
+			if _, err := t.Cycles(l, u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkNNPredict measures a single near-neighbor query against the
+// benchmark dataset.
+func BenchmarkNNPredict(b *testing.B) {
+	_, d, fs := env(b)
+	sel := d.Select(fs.Union)
+	c, err := (&nn.Trainer{}).Train(sel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := sel.Examples[0].Features
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Predict(q)
+	}
+}
+
+// BenchmarkLSSVMPredict measures a single LS-SVM query.
+func BenchmarkLSSVMPredict(b *testing.B) {
+	_, d, fs := env(b)
+	sel := d.Select(fs.Union)
+	c, err := (&svm.LSSVM{}).Train(sel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := sel.Examples[0].Features
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Predict(q)
+	}
+}
+
+// BenchmarkAblationContext measures the effect of the hidden program
+// context (ContextVar): with no hidden state the problem is almost fully
+// feature-determined; the default setting caps accuracy near the paper's.
+func BenchmarkAblationContext(b *testing.B) {
+	c, err := loopgen.Generate(loopgen.Options{Seed: 19, LoopsScale: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, lvl := range []struct {
+		name  string
+		v     float64
+		noise bool
+	}{
+		{"deterministic", 0, false}, {"context-only", 0.55, false},
+		{"paper-like", 0.55, true}, {"strong", 1.0, true},
+	} {
+		b.Run(lvl.name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig()
+				cfg.Runs = 10
+				cfg.ContextVar = lvl.v
+				if !lvl.noise {
+					cfg.Noise = 0
+					cfg.BiasNoise = 0
+				}
+				t := sim.NewTimer(cfg)
+				lb, err := core.CollectLabels(c, t, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d := lb.Dataset(t)
+				preds, err := (&svm.LSSVM{}).LOOCV(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = ml.Accuracy(d, preds)
+			}
+			b.ReportMetric(acc, "loocv-acc")
+		})
+	}
+}

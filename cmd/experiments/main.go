@@ -1,0 +1,133 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic substrate. Each experiment prints the same rows/series the
+// paper reports; EXPERIMENTS.md records paper-vs-measured values.
+//
+// Usage:
+//
+//	experiments [-run all|table2,table3,table4,figure1..figure5,summary] \
+//	            [-scale 1.0] [-seed 2005] [-runs 30] [-svmcap 0] [-traincap 1500]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"metaopt/internal/experiments"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "comma-separated experiments: summary,table1,table2,table3,table4,figure1,figure2,figure3,figure4,figure5")
+		scale    = flag.Float64("scale", 1.0, "corpus scale (1.0 = full ~3500-loop corpus)")
+		seed     = flag.Int64("seed", 2005, "corpus and measurement seed")
+		runs     = flag.Int("runs", 30, "measurement repetitions per timing")
+		svmCap   = flag.Int("svmcap", 0, "cap on Table 2 SVM LOOCV set (0 = full)")
+		trainCap = flag.Int("traincap", 1500, "cap on SVM training set per speedup fold")
+		quiet    = flag.Bool("q", false, "suppress progress messages")
+		asJSON   = flag.Bool("json", false, "emit results as JSON instead of rendered text")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	cfg.Runs = *runs
+	cfg.SVMCap = *svmCap
+	cfg.TrainCap = *trainCap
+	env := experiments.NewEnv(cfg)
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	all := want["all"]
+
+	type step struct {
+		name string
+		fn   func() (fmt.Stringer, error)
+	}
+	render := func(f func() (interface{ Render() string }, error)) func() (fmt.Stringer, error) {
+		return func() (fmt.Stringer, error) {
+			r, err := f()
+			if err != nil {
+				return nil, err
+			}
+			if *asJSON {
+				return jsonify(r)
+			}
+			return stringer{r.Render()}, nil
+		}
+	}
+	steps := []step{
+		{"summary", func() (fmt.Stringer, error) { return summary(env) }},
+		{"table1", render(func() (interface{ Render() string }, error) { return experiments.Table1(env) })},
+		{"figure3", render(func() (interface{ Render() string }, error) { return experiments.Figure3(env) })},
+		{"table3", render(func() (interface{ Render() string }, error) { return experiments.Table3(env) })},
+		{"table4", render(func() (interface{ Render() string }, error) { return experiments.Table4(env) })},
+		{"table2", render(func() (interface{ Render() string }, error) { return experiments.Table2(env) })},
+		{"figure1", render(func() (interface{ Render() string }, error) { return experiments.Figure1(env) })},
+		{"figure2", render(func() (interface{ Render() string }, error) { return experiments.Figure2(env) })},
+		{"figure4", render(func() (interface{ Render() string }, error) { return experiments.Figure4(env) })},
+		{"figure5", render(func() (interface{ Render() string }, error) { return experiments.Figure5(env) })},
+	}
+
+	for _, s := range steps {
+		if !all && !want[s.name] {
+			continue
+		}
+		start := time.Now()
+		out, err := s.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", s.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out.String())
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%s took %v]\n", s.name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}
+
+type stringer struct{ s string }
+
+func (s stringer) String() string { return s.s }
+
+// jsonify marshals an experiment result for machine consumption.
+func jsonify(r any) (fmt.Stringer, error) {
+	raw, err := json.MarshalIndent(r, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return stringer{string(raw)}, nil
+}
+
+func summary(env *experiments.Env) (fmt.Stringer, error) {
+	c, err := env.Corpus()
+	if err != nil {
+		return nil, err
+	}
+	lb, err := env.Labels(false)
+	if err != nil {
+		return nil, err
+	}
+	d, err := env.Dataset(false)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := env.Features()
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Corpus: %d benchmarks, %d loops; %d usable and label-filtered training examples\n",
+		len(c.Benchmarks), c.TotalLoops(), d.Len())
+	fmt.Fprintf(&sb, "Kept/total after the 50k-cycle floor and 1.05x filter: %d/%d\n",
+		lb.KeptCount(), len(lb.Order))
+	fmt.Fprintf(&sb, "Selected feature union (%d): %s\n",
+		len(fs.Union), strings.Join(experiments.UnionNames(fs), ", "))
+	return stringer{sb.String()}, nil
+}

@@ -1,0 +1,116 @@
+// Command labelgen reproduces the paper's fully automated label
+// collection: it generates the 72-benchmark corpus, times every loop at
+// every unroll factor (median of repeated noisy runs), applies the
+// instrumentation floor and the 1.05x filter, and writes the labeled
+// dataset as JSON — the equivalent of the raw loop data the authors
+// released. Optionally it also dumps every kernel's LoopLang source.
+//
+// Usage:
+//
+//	labelgen [-scale 1.0] [-seed 2005] [-runs 30] [-swp] \
+//	         [-out dataset.json] [-dump-kernels dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"metaopt/unroll"
+)
+
+func main() {
+	var (
+		scale  = flag.Float64("scale", 1.0, "corpus scale (1.0 = full ~3500 loops)")
+		seed   = flag.Int64("seed", 2005, "generation and measurement seed")
+		runs   = flag.Int("runs", 30, "measurement repetitions per timing")
+		swp    = flag.Bool("swp", false, "label with software pipelining enabled")
+		out    = flag.String("out", "dataset.json", "output dataset path")
+		format = flag.String("format", "json", "output format: json or csv")
+		dump   = flag.String("dump-kernels", "", "directory to write kernel sources into (optional)")
+		stats  = flag.Bool("stats", false, "print corpus composition statistics and exit")
+	)
+	flag.Parse()
+
+	if *stats {
+		if err := runStats(*scale, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "labelgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*scale, *seed, *runs, *swp, *out, *format, *dump); err != nil {
+		fmt.Fprintf(os.Stderr, "labelgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale float64, seed int64, runs int, swp bool, out, format, dump string) error {
+	corpus, err := unroll.GenerateCorpus(seed, scale)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, b := range corpus.Benchmarks {
+		total += len(b.Loops)
+	}
+	fmt.Fprintf(os.Stderr, "generated %d benchmarks, %d loops\n", len(corpus.Benchmarks), total)
+
+	if dump != "" {
+		if err := dumpKernels(corpus, dump); err != nil {
+			return err
+		}
+	}
+
+	ds, err := unroll.CollectDataset(corpus, unroll.CollectOptions{Seed: seed, Runs: runs, SWP: swp})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "labeled %d training examples (after the 50k-cycle floor and 1.05x filter)\n", ds.Len())
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch format {
+	case "json":
+		err = ds.Save(f)
+	case "csv":
+		err = ds.SaveCSV(f)
+	default:
+		err = fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	return nil
+}
+
+func runStats(scale float64, seed int64) error {
+	corpus, err := unroll.GenerateCorpus(seed, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Print(corpus.ComputeStats().Render())
+	return nil
+}
+
+func dumpKernels(corpus *unroll.Corpus, dir string) error {
+	for _, b := range corpus.Benchmarks {
+		bdir := filepath.Join(dir, string(b.Suite), b.Name)
+		if err := os.MkdirAll(bdir, 0o755); err != nil {
+			return err
+		}
+		for i, src := range b.Sources {
+			path := filepath.Join(bdir, fmt.Sprintf("%s.loop", b.Loops[i].Name))
+			if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dumped kernel sources under %s\n", dir)
+	return nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"metaopt/unroll"
+)
+
+// obtainPredictor loads a saved predictor, or trains one from a dataset
+// file, or — as a last resort — labels a small fresh corpus and trains.
+func obtainPredictor(modelPath, dataPath string, alg unroll.Algorithm, m *unroll.Machine, seed int64) (*unroll.Predictor, error) {
+	if modelPath != "" {
+		f, err := os.Open(modelPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return unroll.LoadPredictor(f)
+	}
+	var ds *unroll.Dataset
+	if dataPath != "" {
+		f, err := os.Open(dataPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		ds, err = unroll.LoadDataset(f)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "metaopt: no -data or -model given; generating and labeling a small corpus (use cmd/labelgen for the full one)")
+		c, err := unroll.GenerateCorpus(seed, 0.15)
+		if err != nil {
+			return nil, err
+		}
+		ds, err = unroll.CollectDataset(c, unroll.CollectOptions{Machine: m, Seed: seed, Runs: 10})
+		if err != nil {
+			return nil, err
+		}
+	}
+	feats, err := unroll.SelectFeatures(ds, seed)
+	if err != nil {
+		return nil, err
+	}
+	return unroll.Train(ds, unroll.TrainOptions{
+		Algorithm: alg, Machine: m, Features: feats, Seed: seed,
+	})
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	model := fs.String("model", "", "trained predictor JSON (must be near-neighbor)")
+	data := fs.String("data", "", "training dataset JSON; empty = generate a small corpus")
+	mach := fs.String("mach", "itanium2", "machine model")
+	k := fs.Int("k", 5, "how many nearest neighbors to show")
+	seed := fs.Int64("seed", 1, "seed for corpus generation and training")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("explain: want one input file")
+	}
+	m, err := machByName(*mach)
+	if err != nil {
+		return err
+	}
+	p, err := obtainPredictor(*model, *data, unroll.NearNeighbor, m, *seed)
+	if err != nil {
+		return err
+	}
+	loops, err := loadLoops(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	for _, l := range loops {
+		ex, err := p.Explain(l, *k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loop %s:\n%s\n", l.Name, ex.Render())
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+// Command metaopt is the user-facing CLI: it compiles LoopLang kernels,
+// prints their feature vectors, sweeps unroll factors on the machine model,
+// and predicts factors with a trained classifier.
+//
+// Usage:
+//
+//	metaopt features <file.loop>
+//	metaopt sweep [-swp] [-mach itanium2|embedded2] <file.loop>
+//	metaopt predict [-data dataset.json] [-alg nn|svm|svm-ecoc|smo|regress] <file.loop>
+//	metaopt heuristic [-swp] <file.loop>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"metaopt/unroll"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch cmd {
+	case "features":
+		err = cmdFeatures(args)
+	case "sweep":
+		err = cmdSweep(args)
+	case "predict":
+		err = cmdPredict(args)
+	case "heuristic":
+		err = cmdHeuristic(args)
+	case "schedule":
+		err = cmdSchedule(args)
+	case "dot":
+		err = cmdDot(args)
+	case "explain":
+		err = cmdExplain(args)
+	case "eval":
+		err = cmdEval(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "metaopt: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metaopt: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  metaopt features <file.loop>                 print the 38-feature vector of each kernel
+  metaopt sweep [-swp] [-mach M] <file.loop>   time every unroll factor on the machine model
+  metaopt predict [-data D] [-alg A] <file>    predict unroll factors with a trained classifier
+  metaopt heuristic [-swp] <file.loop>         the hand-written baseline's choices
+  metaopt schedule [-u N] [-swp] <file.loop>   show the scheduled loop body (bundle table / kernel)
+  metaopt dot [-u N] <file.loop>               dependence graph in Graphviz format
+  metaopt explain [-model M | -data D] <file>  nearest-neighbor evidence behind each prediction
+  metaopt eval [-data D] [-alg A]              leave-one-out evaluation with a confusion matrix`)
+}
+
+func loadLoops(path string) ([]*unroll.Loop, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return unroll.ParseFile(string(src))
+}
+
+func machByName(name string) (*unroll.Machine, error) {
+	switch name {
+	case "", "itanium2":
+		return unroll.Itanium2(), nil
+	case "embedded2":
+		return unroll.Embedded(), nil
+	case "wide8":
+		return unroll.Wide(), nil
+	}
+	return nil, fmt.Errorf("unknown machine %q", name)
+}
+
+func cmdFeatures(args []string) error {
+	fs := flag.NewFlagSet("features", flag.ExitOnError)
+	mach := fs.String("mach", "itanium2", "machine model: itanium2, embedded2, wide8")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("features: want one input file")
+	}
+	m, err := machByName(*mach)
+	if err != nil {
+		return err
+	}
+	loops, err := loadLoops(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	names := unroll.FeatureNames()
+	for _, l := range loops {
+		fmt.Printf("loop %s (%s, %d ops)\n", l.Name, l.Lang, l.NumOps())
+		v := unroll.Features(l, m)
+		for i, name := range names {
+			fmt.Printf("  %-18s %10.2f\n", name, v[i])
+		}
+	}
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	swp := fs.Bool("swp", false, "enable software pipelining")
+	mach := fs.String("mach", "itanium2", "machine model: itanium2, embedded2, wide8")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("sweep: want one input file")
+	}
+	m, err := machByName(*mach)
+	if err != nil {
+		return err
+	}
+	loops, err := loadLoops(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	tm := unroll.NewTimer(m, *swp)
+	for _, l := range loops {
+		best, timings, err := tm.Best(l)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loop %s (trip %d, %d ops, swp=%v on %s)\n", l.Name, l.TripCount, l.NumOps(), *swp, m.Name)
+		fmt.Printf("  %2s %12s %10s %6s %6s %6s\n", "u", "cycles", "per-iter", "ops", "II", "spill")
+		for u := 1; u <= unroll.MaxFactor; u++ {
+			t := timings[u]
+			mark := " "
+			if u == best {
+				mark = "*"
+			}
+			ii := "-"
+			if t.Pipelined {
+				ii = fmt.Sprint(t.II)
+			}
+			fmt.Printf("%s %2d %12d %10.2f %6d %6s %6d\n", mark, u, t.Cycles, t.PerIter, t.Ops, ii, t.Spills)
+		}
+		fmt.Printf("  best factor: %d; baseline heuristic: %d\n\n", best, unroll.Heuristic(l, m, *swp))
+	}
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	data := fs.String("data", "", "training dataset JSON (from labelgen); empty = generate a small corpus")
+	model := fs.String("model", "", "load a trained predictor instead of training")
+	save := fs.String("save", "", "save the trained predictor to this path")
+	alg := fs.String("alg", "svm", "algorithm: nn, svm, svm-ecoc, smo, regress, tree, boosted-tree")
+	mach := fs.String("mach", "itanium2", "machine model: itanium2, embedded2, wide8")
+	seed := fs.Int64("seed", 1, "seed for corpus generation and training")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("predict: want one input file")
+	}
+	m, err := machByName(*mach)
+	if err != nil {
+		return err
+	}
+
+	p, err := obtainPredictor(*model, *data, unroll.Algorithm(*alg), m, *seed)
+	if err != nil {
+		return err
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		if err := p.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "saved predictor to %s\n", *save)
+	}
+	loops, err := loadLoops(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	for _, l := range loops {
+		u := p.Predict(l)
+		line := fmt.Sprintf("loop %-16s -> unroll %d", l.Name, u)
+		if n, agree, ok := p.Confidence(l); ok {
+			line += fmt.Sprintf("   (%d neighbors, %.0f%% agreement)", n, 100*agree)
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+func cmdHeuristic(args []string) error {
+	fs := flag.NewFlagSet("heuristic", flag.ExitOnError)
+	swp := fs.Bool("swp", false, "enable software pipelining")
+	mach := fs.String("mach", "itanium2", "machine model: itanium2, embedded2, wide8")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("heuristic: want one input file")
+	}
+	m, err := machByName(*mach)
+	if err != nil {
+		return err
+	}
+	loops, err := loadLoops(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	for _, l := range loops {
+		fmt.Printf("loop %-16s -> unroll %d\n", l.Name, unroll.Heuristic(l, m, *swp))
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMachByName(t *testing.T) {
+	for _, name := range []string{"", "itanium2", "embedded2", "wide8"} {
+		m, err := machByName(name)
+		if err != nil || m == nil {
+			t.Errorf("machByName(%q): %v", name, err)
+		}
+	}
+	if _, err := machByName("vax"); err == nil {
+		t.Error("expected error for unknown machine")
+	}
+}
+
+func TestLoadLoops(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "k.loop")
+	src := `kernel k lang=c { double a[]; for i = 0 .. 16 { a[i] = a[i] + 1.0; } }`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loops, err := loadLoops(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) != 1 || loops[0].Name != "k" {
+		t.Errorf("loops = %v", loops)
+	}
+	if _, err := loadLoops(filepath.Join(dir, "missing.loop")); err == nil {
+		t.Error("expected error for missing file")
+	}
+	bad := filepath.Join(dir, "bad.loop")
+	if err := os.WriteFile(bad, []byte("kernel {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadLoops(bad); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestObtainPredictorModelPathErrors(t *testing.T) {
+	if _, err := obtainPredictor("/nonexistent/model.json", "", "nn", nil, 1); err == nil {
+		t.Error("expected error for missing model file")
+	}
+	dir := t.TempDir()
+	garbage := filepath.Join(dir, "model.json")
+	if err := os.WriteFile(garbage, []byte("{oops"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obtainPredictor(garbage, "", "nn", nil, 1); err == nil {
+		t.Error("expected error for garbage model file")
+	}
+	if _, err := obtainPredictor("", "/nonexistent/data.json", "nn", nil, 1); err == nil {
+		t.Error("expected error for missing dataset file")
+	}
+}
+
+func TestCommandArgValidation(t *testing.T) {
+	// Every file-taking subcommand rejects a missing operand.
+	for name, fn := range map[string]func([]string) error{
+		"features":  cmdFeatures,
+		"sweep":     cmdSweep,
+		"heuristic": cmdHeuristic,
+		"schedule":  cmdSchedule,
+		"dot":       cmdDot,
+	} {
+		if err := fn(nil); err == nil {
+			t.Errorf("%s: expected usage error with no arguments", name)
+		}
+	}
+}

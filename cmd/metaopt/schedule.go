@@ -1,0 +1,93 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"metaopt/internal/analysis"
+	"metaopt/internal/sched"
+	"metaopt/internal/swp"
+	"metaopt/internal/transform"
+)
+
+func cmdSchedule(args []string) error {
+	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
+	u := fs.Int("u", 1, "unroll factor")
+	swpOn := fs.Bool("swp", false, "software-pipeline the loop (modulo schedule)")
+	mach := fs.String("mach", "itanium2", "machine model")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("schedule: want one input file")
+	}
+	m, err := machByName(*mach)
+	if err != nil {
+		return err
+	}
+	loops, err := loadLoops(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	for _, l := range loops {
+		unrolled, info, err := transform.Unroll(l, *u)
+		if err != nil {
+			return err
+		}
+		if info.ForwardedLoads+info.CoalescedLoads+info.CoalescedStores+info.DeadStores > 0 {
+			fmt.Printf("cleanups: %d loads forwarded, %d loads + %d stores coalesced, %d dead stores\n",
+				info.ForwardedLoads, info.CoalescedLoads, info.CoalescedStores, info.DeadStores)
+		}
+		g := analysis.Build(unrolled, m)
+		if *swpOn {
+			r, err := swp.Schedule(g, g.MII())
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Dump(g))
+		} else {
+			s := sched.List(g)
+			fmt.Print(s.Dump())
+			util := s.Utilization()
+			keys := make([]string, 0, len(util))
+			for k := range util {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("  %s-unit utilization: %4.0f%%\n", k, 100*util[k])
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdDot(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	u := fs.Int("u", 1, "unroll factor")
+	mach := fs.String("mach", "itanium2", "machine model")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("dot: want one input file")
+	}
+	m, err := machByName(*mach)
+	if err != nil {
+		return err
+	}
+	loops, err := loadLoops(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	for _, l := range loops {
+		unrolled, _, err := transform.Unroll(l, *u)
+		if err != nil {
+			return err
+		}
+		fmt.Print(analysis.Build(unrolled, m).DOT())
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+// Advisor: tune a small numerical library. For every kernel the example
+// compares three compilation policies — the hand-written baseline
+// heuristic, the learned classifier, and the measured best factor — and
+// totals the cycles each policy costs, the per-library view of the paper's
+// Figure 4 experiment.
+//
+//	go run ./examples/advisor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"metaopt/unroll"
+)
+
+// The "library": a blas-like bundle of kernels in one source file.
+const library = `
+kernel axpy lang=c {
+	param double a;
+	double x[], y[];
+	noalias;
+	for i = 0 .. 4096 { y[i] = y[i] + a * x[i]; }
+}
+kernel dot lang=c {
+	double x[], y[];
+	double s;
+	noalias;
+	for i = 0 .. 4096 { s = s + x[i]*y[i]; }
+}
+kernel scale lang=c {
+	param double a;
+	double x[];
+	noalias;
+	for i = 0 .. 2048 { x[i] = x[i] * a; }
+}
+kernel smooth lang=c {
+	double a[], b[];
+	noalias;
+	for i = 1 .. 2047 { b[i] = 0.25*a[i-1] + 0.5*a[i] + 0.25*a[i+1]; }
+}
+kernel normclip lang=c {
+	double x[];
+	double m;
+	noalias;
+	for i = 0 .. 1024 {
+		if (x[i] > m) { m = x[i]; }
+	}
+}
+kernel ratio lang=c {
+	double num[], den[], out[];
+	noalias;
+	for i = 0 .. 512 { out[i] = num[i] / (den[i] + 1.0); }
+}
+kernel gather lang=c {
+	double src[], dst[];
+	int idx[];
+	for i = 0 .. 1024 { dst[i] = src[idx[i]]; }
+}
+`
+
+func main() {
+	loops, err := unroll.ParseFile(library)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mach := unroll.Itanium2()
+
+	fmt.Println("training the advisor (small corpus)...")
+	corpus, err := unroll.GenerateCorpus(3, 0.12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := unroll.CollectDataset(corpus, unroll.CollectOptions{Seed: 3, Runs: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	feats, err := unroll.SelectFeatures(ds, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := unroll.Train(ds, unroll.TrainOptions{Algorithm: unroll.LSSVM, Features: feats})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	timer := unroll.NewTimer(mach, false)
+	fmt.Printf("\n%-10s %10s %10s %10s   %s\n", "kernel", "heuristic", "learned", "best", "cycles h/l/best")
+	var totH, totL, totB int64
+	for _, l := range loops {
+		h := unroll.Heuristic(l, mach, false)
+		lf := pred.Predict(l)
+		best, timings, err := timer.Best(l)
+		if err != nil {
+			log.Fatal(err)
+		}
+		th, tl, tb := timings[h].Cycles, timings[lf].Cycles, timings[best].Cycles
+		totH += th
+		totL += tl
+		totB += tb
+		fmt.Printf("%-10s %10d %10d %10d   %d / %d / %d\n", l.Name, h, lf, best, th, tl, tb)
+	}
+	fmt.Printf("\nlibrary totals: heuristic %d cycles, learned %d, best %d\n", totH, totL, totB)
+	fmt.Printf("learned policy recovers %.1f%% of the headroom the heuristic leaves\n",
+		100*float64(totH-totL)/float64(maxInt64(totH-totB, 1)))
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+// Outliers: the paper suggests using the near-neighbor vote as a
+// confidence signal — "one can imagine a tool that automatically detects
+// outliers by setting low confidence examples aside. An engineer could
+// then visually inspect outlier loops to determine why they are hard to
+// classify." This example is that tool: it ranks a bag of query loops by
+// neighborhood confidence and prints the loops an engineer should look at.
+//
+//	go run ./examples/outliers
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"metaopt/unroll"
+)
+
+const queries = `
+kernel plain_stream lang=c {
+	double x[], y[];
+	noalias;
+	for i = 0 .. 2048 { y[i] = x[i] * 2.0; }
+}
+kernel weird_mix lang=c {
+	double a[], b[];
+	int k[];
+	double s;
+	for i = 0 .. 96 {
+		if (k[i] != 0) { s = s + a[k[i]] / (b[i] + 1.5); }
+		b[2*i] = s;
+		if (s > 9000.0) break;
+	}
+}
+kernel common_reduce lang=fortran {
+	double a[], b[];
+	double s;
+	for i = 0 .. 1024 { s = s + a[i]*b[i]; }
+}
+kernel odd_strides lang=c {
+	double m[], v[], o[];
+	for i = 0 .. 128 {
+		o[i] = m[64*i] * v[i] + m[64*i+32] / (v[2*i] + 1.0);
+		call log_progress();
+	}
+}
+`
+
+func main() {
+	fmt.Println("building the near-neighbor database...")
+	corpus, err := unroll.GenerateCorpus(11, 0.12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := unroll.CollectDataset(corpus, unroll.CollectOptions{Seed: 11, Runs: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	feats, err := unroll.SelectFeatures(ds, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := unroll.Train(ds, unroll.TrainOptions{Algorithm: unroll.NearNeighbor, Features: feats})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database: %d labeled loops, %d selected features\n\n", ds.Len(), len(feats))
+
+	loops, err := unroll.ParseFile(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type row struct {
+		name      string
+		factor    int
+		neighbors int
+		agreement float64
+	}
+	var rows []row
+	for _, l := range loops {
+		n, agree, ok := pred.Confidence(l)
+		if !ok {
+			log.Fatal("predictor lost its confidence signal")
+		}
+		rows = append(rows, row{l.Name, pred.Predict(l), n, agree})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].neighbors != rows[j].neighbors {
+			return rows[i].neighbors < rows[j].neighbors
+		}
+		return rows[i].agreement < rows[j].agreement
+	})
+
+	fmt.Printf("%-16s %8s %10s %10s   %s\n", "loop", "predict", "neighbors", "agreement", "verdict")
+	for _, r := range rows {
+		verdict := "confident"
+		switch {
+		case r.neighbors == 0:
+			verdict = "OUTLIER: nothing like it in the corpus — inspect by hand"
+		case r.agreement < 0.5:
+			verdict = "LOW CONFIDENCE: neighborhood disagrees — inspect"
+		}
+		fmt.Printf("%-16s %8d %10d %9.0f%%   %s\n", r.name, r.factor, r.neighbors, 100*r.agreement, verdict)
+	}
+}

@@ -1,0 +1,76 @@
+// Quickstart: parse a loop kernel, inspect its features, sweep unroll
+// factors on the machine model, then train a classifier on a small corpus
+// and let it pick the factor.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"metaopt/unroll"
+)
+
+const daxpy = `
+kernel daxpy lang=c {
+	param double a;
+	double x[], y[];
+	noalias;
+	for i = 0 .. 4096 {
+		y[i] = y[i] + a * x[i];
+	}
+}`
+
+func main() {
+	// 1. Compile the kernel to the loop IR.
+	loop, err := unroll.ParseKernel(daxpy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed %s: %d ops, trip count %d\n", loop.Name, loop.NumOps(), loop.TripCount)
+
+	// 2. A few of the 38 static features the classifiers see.
+	mach := unroll.Itanium2()
+	v := unroll.Features(loop, mach)
+	for _, name := range []string{"num_ops", "num_fp_ops", "num_mem_ops", "critical_path", "rec_mii"} {
+		fmt.Printf("  feature %-14s = %.1f\n", name, v[unroll.FeatureIndex(name)])
+	}
+
+	// 3. Ground truth on the machine model: time every unroll factor.
+	timer := unroll.NewTimer(mach, false)
+	best, timings, err := timer.Best(loop)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nunroll sweep (software pipelining off):")
+	for u := 1; u <= unroll.MaxFactor; u++ {
+		mark := "  "
+		if u == best {
+			mark = "->"
+		}
+		fmt.Printf("%s u=%d: %5.2f cycles/iteration\n", mark, u, timings[u].PerIter)
+	}
+	fmt.Printf("baseline heuristic would pick u=%d\n", unroll.Heuristic(loop, mach, false))
+
+	// 4. Train a classifier on a small labeled corpus and let it decide.
+	fmt.Println("\ncollecting a small training corpus (a few seconds)...")
+	corpus, err := unroll.GenerateCorpus(1, 0.12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dataset, err := unroll.CollectDataset(corpus, unroll.CollectOptions{Seed: 1, Runs: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	feats, err := unroll.SelectFeatures(dataset, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := unroll.Train(dataset, unroll.TrainOptions{Algorithm: unroll.LSSVM, Features: feats})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained LS-SVM on %d loops using %d selected features\n", dataset.Len(), len(feats))
+	fmt.Printf("classifier predicts u=%d (measured best: u=%d)\n", pred.Predict(loop), best)
+}

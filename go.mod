@@ -1,0 +1,3 @@
+module metaopt
+
+go 1.22

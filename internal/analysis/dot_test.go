@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTWellFormed(t *testing.T) {
+	g := mustGraph(t, daxpy)
+	out := g.DOT()
+	if !strings.HasPrefix(out, "digraph") || !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("not a digraph:\n%s", out)
+	}
+	// One node per op, at least one edge per edge kind present.
+	for i := range g.Ops {
+		if !strings.Contains(out, nodeName(i)) {
+			t.Errorf("missing node n%d", i)
+		}
+	}
+	if !strings.Contains(out, "style=solid") {
+		t.Error("missing data edges")
+	}
+	if !strings.Contains(out, "style=dashed") {
+		t.Error("missing memory edges")
+	}
+	if !strings.Contains(out, "style=dotted") {
+		t.Error("missing control edges")
+	}
+}
+
+func nodeName(i int) string {
+	return "n" + string(rune('0'+i%10)) // nodes n0..n9 suffice for daxpy
+}
+
+func TestDOTCarriedEdgesLabeled(t *testing.T) {
+	g := mustGraph(t, `
+kernel red lang=fortran {
+	double a[];
+	double s;
+	for i = 0 .. 64 { s = s + a[i]; }
+}`)
+	out := g.DOT()
+	if !strings.Contains(out, "@1") {
+		t.Errorf("carried edge not labeled with distance:\n%s", out)
+	}
+	if !strings.Contains(out, "constraint=false") {
+		t.Error("carried edges should not constrain layout")
+	}
+}
+
+func TestDOTPredicatedHighlighted(t *testing.T) {
+	g := mustGraph(t, `
+kernel pred lang=c {
+	double a[], b[];
+	for i = 0 .. 64 { if (a[i] > 0.0) { b[i] = a[i]; } }
+}`)
+	if !strings.Contains(g.DOT(), "lightyellow") {
+		t.Error("predicated ops not highlighted")
+	}
+}

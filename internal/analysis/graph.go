@@ -1,0 +1,245 @@
+// Package analysis builds the dependence graph of a loop body and derives
+// the quantities everything downstream needs: critical paths, recurrence and
+// resource bounds on the initiation interval, dependence heights, memory
+// dependence distances and the structural statistics that feed the
+// 38-element feature vector.
+package analysis
+
+import (
+	"metaopt/internal/ir"
+	"metaopt/internal/machine"
+)
+
+// EdgeKind classifies dependence edges.
+type EdgeKind int
+
+// Dependence edge kinds.
+const (
+	EdgeData EdgeKind = iota // register data flow (including predicates)
+	EdgeMem                  // memory ordering (RAW/WAR/WAW through arrays)
+	EdgeCtrl                 // control ordering (exits, calls, back edge)
+)
+
+// String names the edge kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeData:
+		return "data"
+	case EdgeMem:
+		return "mem"
+	case EdgeCtrl:
+		return "ctrl"
+	}
+	return "edge?"
+}
+
+// Edge is a dependence From→To: To may issue no earlier than Lat cycles
+// after From, Dist iterations later.
+type Edge struct {
+	From, To int
+	Lat      int
+	Dist     int
+	Kind     EdgeKind
+}
+
+// Graph is the dependence graph of one loop body on one machine.
+type Graph struct {
+	Loop  *ir.Loop
+	Mach  *machine.Desc
+	Ops   []*ir.Op
+	Index map[*ir.Op]int
+	Out   [][]Edge
+	In    [][]Edge
+	Edges []Edge
+}
+
+// Build constructs the dependence graph of l for machine m.
+func Build(l *ir.Loop, m *machine.Desc) *Graph {
+	g := &Graph{
+		Loop:  l,
+		Mach:  m,
+		Ops:   l.Body,
+		Index: make(map[*ir.Op]int, len(l.Body)),
+		Out:   make([][]Edge, len(l.Body)),
+		In:    make([][]Edge, len(l.Body)),
+	}
+	for i, op := range l.Body {
+		g.Index[op] = i
+	}
+	g.addDataEdges()
+	g.addMemEdges()
+	g.addCtrlEdges()
+	return g
+}
+
+func (g *Graph) addEdge(e Edge) {
+	g.Edges = append(g.Edges, e)
+	g.Out[e.From] = append(g.Out[e.From], e)
+	g.In[e.To] = append(g.In[e.To], e)
+}
+
+func (g *Graph) addDataEdges() {
+	for to, op := range g.Ops {
+		for _, a := range op.Args {
+			from, ok := g.Index[a.Op]
+			if !ok {
+				continue // parameter or constant: always available
+			}
+			g.addEdge(Edge{From: from, To: to, Lat: g.Mach.Latency(a.Op), Dist: a.Dist, Kind: EdgeData})
+		}
+	}
+}
+
+// addMemEdges adds ordering edges between memory operations. Two affine
+// references to the same array with equal strides conflict at an exact
+// iteration distance; other same-array pairs and — unless the loop is
+// known alias-free — cross-array store pairs are handled conservatively.
+func (g *Graph) addMemEdges() {
+	var mems []int
+	for i, op := range g.Ops {
+		if op.Code.IsMem() {
+			mems = append(mems, i)
+		}
+	}
+	for ai := 0; ai < len(mems); ai++ {
+		for bi := ai + 1; bi < len(mems); bi++ {
+			g.memPair(mems[ai], mems[bi])
+		}
+	}
+}
+
+// memPair adds dependence edges between the earlier op e and later op l
+// (program order). At least one must be a store for a dependence to exist.
+func (g *Graph) memPair(e, l int) {
+	eo, lo := g.Ops[e], g.Ops[l]
+	if eo.Code == ir.OpLoad && lo.Code == ir.OpLoad {
+		return
+	}
+	em, lm := eo.Mem, lo.Mem
+	if em.Array != lm.Array {
+		// Distinct arrays: independent when alias-free; otherwise keep
+		// program order within the iteration (C without restrict).
+		if !g.Loop.NoAlias {
+			g.addEdge(Edge{From: e, To: l, Lat: g.aliasLat(eo, lo), Dist: 0, Kind: EdgeMem})
+		}
+		return
+	}
+	if em.Indirect || lm.Indirect {
+		// Unknown addresses into the same array: serialize within and
+		// across iterations.
+		g.addEdge(Edge{From: e, To: l, Lat: g.aliasLat(eo, lo), Dist: 0, Kind: EdgeMem})
+		g.addEdge(Edge{From: l, To: e, Lat: g.aliasLat(lo, eo), Dist: 1, Kind: EdgeMem})
+		return
+	}
+	if em.Stride == lm.Stride {
+		overlap0 := false
+		if em.Stride == 0 {
+			if rangesOverlap(em, lm) {
+				g.addEdge(Edge{From: e, To: l, Lat: g.aliasLat(eo, lo), Dist: 0, Kind: EdgeMem})
+				g.addEdge(Edge{From: l, To: e, Lat: g.aliasLat(lo, eo), Dist: 1, Kind: EdgeMem})
+			}
+			return
+		}
+		// Conflict distances, considering every element either wide access
+		// covers: stride·d = (eOff+ke) − (lOff+kl).
+		minFwd, minBwd := 0, 0 // 0 = none found
+		for ke := 0; ke < em.SpanElems(); ke++ {
+			for kl := 0; kl < lm.SpanElems(); kl++ {
+				diff := em.Offset + ke - (lm.Offset + kl)
+				if diff%em.Stride != 0 {
+					continue
+				}
+				d := diff / em.Stride
+				switch {
+				case d == 0:
+					overlap0 = true
+				case d > 0:
+					if minFwd == 0 || d < minFwd {
+						minFwd = d
+					}
+				default:
+					if minBwd == 0 || -d < minBwd {
+						minBwd = -d
+					}
+				}
+			}
+		}
+		if overlap0 {
+			g.addEdge(Edge{From: e, To: l, Lat: g.aliasLat(eo, lo), Dist: 0, Kind: EdgeMem})
+		}
+		if minFwd > 0 {
+			g.addEdge(Edge{From: e, To: l, Lat: g.aliasLat(eo, lo), Dist: minFwd, Kind: EdgeMem})
+		}
+		if minBwd > 0 {
+			g.addEdge(Edge{From: l, To: e, Lat: g.aliasLat(lo, eo), Dist: minBwd, Kind: EdgeMem})
+		}
+		return
+	}
+	// Same array, different strides: conservative serialization.
+	g.addEdge(Edge{From: e, To: l, Lat: g.aliasLat(eo, lo), Dist: 0, Kind: EdgeMem})
+	g.addEdge(Edge{From: l, To: e, Lat: g.aliasLat(lo, eo), Dist: 1, Kind: EdgeMem})
+}
+
+// rangesOverlap reports whether two stride-0 references touch a common
+// element.
+func rangesOverlap(a, b *ir.MemRef) bool {
+	return a.Offset < b.Offset+b.SpanElems() && b.Offset < a.Offset+a.SpanElems()
+}
+
+// aliasLat returns the ordering latency from one memory op to another:
+// store→load forwards in one cycle, store→store keeps a cycle apart, and a
+// load→store anti-dependence may share a cycle.
+func (g *Graph) aliasLat(from, to *ir.Op) int {
+	if from.Code == ir.OpLoad {
+		return 0 // WAR
+	}
+	return 1 // RAW through memory (forwarded) or WAW
+}
+
+// addCtrlEdges serializes side exits and calls against the ops around them
+// and anchors the back-edge branch after everything else.
+func (g *Graph) addCtrlEdges() {
+	n := len(g.Ops)
+	brIdx := -1
+	for i, op := range g.Ops {
+		if op.Code == ir.OpBr {
+			brIdx = i
+		}
+	}
+	for i, op := range g.Ops {
+		switch op.Code {
+		case ir.OpCondBr:
+			// Nothing after a side exit may move above it: its effects must
+			// not happen if the loop exits.
+			for j := i + 1; j < n; j++ {
+				if g.Ops[j].Code == ir.OpBr {
+					continue // the back edge is anchored separately
+				}
+				g.addEdge(Edge{From: i, To: j, Lat: 0, Dist: 0, Kind: EdgeCtrl})
+			}
+		case ir.OpCall:
+			// Calls are scheduling barriers for memory and other calls.
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				other := g.Ops[j]
+				if !other.Code.IsMem() && other.Code != ir.OpCall && other.Code != ir.OpCondBr {
+					continue
+				}
+				if j < i {
+					g.addEdge(Edge{From: j, To: i, Lat: 1, Dist: 0, Kind: EdgeCtrl})
+				} else {
+					g.addEdge(Edge{From: i, To: j, Lat: g.Mach.CallCycles, Dist: 0, Kind: EdgeCtrl})
+				}
+			}
+		}
+	}
+	if brIdx >= 0 {
+		for i := range g.Ops {
+			if i != brIdx {
+				g.addEdge(Edge{From: i, To: brIdx, Lat: 0, Dist: 0, Kind: EdgeCtrl})
+			}
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"metaopt/internal/ir"
+)
+
+// asapTimes returns, for every op, the earliest issue cycle under infinite
+// resources considering only same-iteration (Dist == 0) edges.
+func (g *Graph) asapTimes() []int {
+	times := make([]int, len(g.Ops))
+	// Ops are in program order and dist-0 edges always point forward
+	// (validated by the IR), so one forward pass settles everything.
+	for to := range g.Ops {
+		for _, e := range g.In[to] {
+			if e.Dist != 0 {
+				continue
+			}
+			if t := times[e.From] + e.Lat; t > times[to] {
+				times[to] = t
+			}
+		}
+	}
+	return times
+}
+
+// CriticalPath returns the length in cycles of the longest same-iteration
+// dependence chain, including the latency of its final operation. This is
+// the paper's "estimated latency of critical path" feature.
+func (g *Graph) CriticalPath() int {
+	times := g.asapTimes()
+	best := 0
+	for i, op := range g.Ops {
+		if t := times[i] + g.Mach.Latency(op); t > best {
+			best = t
+		}
+	}
+	return best
+}
+
+// EstimatedCycleLength is a fast schedule estimate: the maximum of the
+// critical path and every resource bound. It approximates the paper's
+// "estimated cycle length of loop body" feature without running the
+// scheduler.
+func (g *Graph) EstimatedCycleLength() int {
+	cp := g.CriticalPath()
+	num, den := g.ResMII()
+	res := (num + den - 1) / den
+	if res > cp {
+		return res
+	}
+	return cp
+}
+
+// computation membership: ops that belong to the actual computation rather
+// than loop control (the induction update, trip test and back edge).
+func (g *Graph) isComputation(op *ir.Op) bool {
+	switch op.Code {
+	case ir.OpBr:
+		return false
+	}
+	return true
+}
+
+// Components partitions the computation ops into weakly-connected
+// components of the data-flow graph (all data edges, any distance). Each
+// component is one of the paper's parallel "computations".
+func (g *Graph) Components() [][]int {
+	n := len(g.Ops)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, e := range g.Edges {
+		if e.Kind != EdgeData {
+			continue
+		}
+		if !g.isComputation(g.Ops[e.From]) || !g.isComputation(g.Ops[e.To]) {
+			continue
+		}
+		union(e.From, e.To)
+	}
+	groups := map[int][]int{}
+	for i, op := range g.Ops {
+		if !g.isComputation(op) {
+			continue
+		}
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	comps := make([][]int, 0, len(groups))
+	for _, c := range groups {
+		comps = append(comps, c)
+	}
+	return comps
+}
+
+// DepHeights returns the maximum and mean dependence height over the
+// computations (per-component same-iteration critical path in cycles).
+func (g *Graph) DepHeights() (max int, mean float64) {
+	comps := g.Components()
+	if len(comps) == 0 {
+		return 0, 0
+	}
+	times := g.asapTimes()
+	var sum float64
+	for _, comp := range comps {
+		h := 0
+		for _, i := range comp {
+			if t := times[i] + g.Mach.Latency(g.Ops[i]); t > h {
+				h = t
+			}
+		}
+		if h > max {
+			max = h
+		}
+		sum += float64(h)
+	}
+	return max, sum / float64(len(comps))
+}
+
+// chainHeight computes the longest dist-0 chain restricted to ops accepted
+// by keep, counting one unit per op on the chain.
+func (g *Graph) chainHeight(keep func(*ir.Op) bool) int {
+	n := len(g.Ops)
+	h := make([]int, n)
+	best := 0
+	for to := 0; to < n; to++ {
+		if !keep(g.Ops[to]) {
+			continue
+		}
+		h[to] = 1
+		for _, e := range g.In[to] {
+			if e.Dist != 0 || !keep(g.Ops[e.From]) {
+				continue
+			}
+			if t := h[e.From] + 1; t > h[to] {
+				h[to] = t
+			}
+		}
+		if h[to] > best {
+			best = h[to]
+		}
+	}
+	return best
+}
+
+// MemDepHeight returns the length of the longest same-iteration chain of
+// memory operations linked by dependences (the paper's "max height of
+// memory dependencies of computations").
+func (g *Graph) MemDepHeight() int {
+	return g.chainHeight(func(op *ir.Op) bool { return op.Code.IsMem() })
+}
+
+// CtrlDepHeight returns the longest same-iteration chain through
+// control-related ops — compares, selects and branches (the paper's "max
+// height of control dependencies").
+func (g *Graph) CtrlDepHeight() int {
+	return g.chainHeight(func(op *ir.Op) bool {
+		switch op.Code {
+		case ir.OpCmp, ir.OpFCmp, ir.OpSel, ir.OpCondBr, ir.OpBr:
+			return true
+		}
+		return false
+	})
+}
+
+// FanIn returns the maximum and mean data-flow in-degree of the loop's
+// operations ("instruction fan-in in DAG", a Table 3 feature).
+func (g *Graph) FanIn() (max int, mean float64) {
+	if len(g.Ops) == 0 {
+		return 0, 0
+	}
+	var sum int
+	for i := range g.Ops {
+		d := 0
+		for _, e := range g.In[i] {
+			if e.Kind == EdgeData && e.Dist == 0 {
+				d++
+			}
+		}
+		if d > max {
+			max = d
+		}
+		sum += d
+	}
+	return max, float64(sum) / float64(len(g.Ops))
+}
+
+// MemDeps summarizes loop-carried memory-to-memory dependences: how many
+// there are and the minimum carried distance. When the loop has none,
+// minDist reports 0.
+func (g *Graph) MemDeps() (count, minDist int) {
+	for _, e := range g.Edges {
+		if e.Kind != EdgeMem {
+			continue
+		}
+		count++
+		if e.Dist > 0 && (minDist == 0 || e.Dist < minDist) {
+			minDist = e.Dist
+		}
+	}
+	return count, minDist
+}
+
+// LiveValueEstimate approximates register demand: for every value it spans
+// the cycles between its definition and its last same-iteration use in the
+// ASAP schedule, plus one iteration-long range per loop-carried value, and
+// returns the peak number of simultaneously live values.
+func (g *Graph) LiveValueEstimate() int {
+	peak, _ := g.LiveStats()
+	return peak
+}
+
+// LiveStats returns both the peak count of simultaneously-live values and
+// the total live cycles summed across values (the "live range size" family
+// of features).
+func (g *Graph) LiveStats() (peak, sum int) {
+	times := g.asapTimes()
+	length := g.CriticalPath()
+	if length == 0 {
+		return 0, 0
+	}
+	delta := make([]int, length+2)
+	for i, op := range g.Ops {
+		if !op.Code.HasResult() {
+			continue
+		}
+		def := times[i] + g.Mach.Latency(op)
+		last := def
+		carried := false
+		for _, e := range g.Out[i] {
+			if e.Kind != EdgeData {
+				continue
+			}
+			if e.Dist > 0 {
+				carried = true
+				continue
+			}
+			if t := times[e.To]; t > last {
+				last = t
+			}
+		}
+		if carried {
+			last = length
+		}
+		if def > length {
+			def = length
+		}
+		if last > length {
+			last = length
+		}
+		delta[def]++
+		delta[last+1]--
+		sum += last - def + 1
+	}
+	live := 0
+	for _, d := range delta {
+		live += d
+		if live > peak {
+			peak = live
+		}
+	}
+	return peak, sum
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"metaopt/internal/ir"
+	"metaopt/internal/machine"
+)
+
+// ResMII returns the resource-constrained minimum initiation interval as a
+// rational num/den: the tightest bound over functional-unit classes and the
+// global issue width. Keeping it rational is what exposes fractional-II
+// opportunities — the reason unrolling helps a software-pipelined loop.
+func (g *Graph) ResMII() (num, den int) {
+	var perUnit [machine.NumUnitKinds]int
+	blocked := 0
+	for _, op := range g.Ops {
+		perUnit[g.Mach.UnitFor(op.Code)] += g.Mach.BlockCycles(op.Code)
+		blocked++
+	}
+	num, den = 0, 1
+	consider := func(n, d int) {
+		if d > 0 && n*den > num*d {
+			num, den = n, d
+		}
+	}
+	for k, cnt := range perUnit {
+		consider(cnt, g.Mach.Units[k])
+	}
+	consider(blocked, g.Mach.IssueWidth)
+	if num == 0 {
+		num, den = 1, 1
+	}
+	return num, den
+}
+
+// RecurrenceRatio returns the maximum cycle ratio of the dependence graph —
+// max over dependence cycles of (total latency) / (total distance) — as a
+// rational num/den. Loops with no recurrence return (0, 1). The ratio is the
+// recurrence-constrained component of the MII; for a loop unrolled by u the
+// recurrence bound scales to u·num/den.
+//
+// The computation finds the smallest integer II admitting no positive cycle
+// under edge weights lat − II·dist (Bellman-Ford detection), then refines
+// the last interval [II−1, II] by testing den·lat − num·dist weights for
+// exact rational bounds with small denominators.
+func (g *Graph) RecurrenceRatio() (num, den int) {
+	return g.RecurrenceRatioExcluding(nil)
+}
+
+// RecurrenceRatioExcluding computes the maximum cycle ratio ignoring cycles
+// through operations rejected by keep (keep == nil keeps everything). The
+// software pipeliner uses this to discount the induction-variable update,
+// whose recurrence folds away under unrolling.
+func (g *Graph) RecurrenceRatioExcluding(exclude func(*ir.Op) bool) (num, den int) {
+	n := len(g.Ops)
+	if n == 0 {
+		return 0, 1
+	}
+	edges := g.Edges
+	if exclude != nil {
+		kept := make([]Edge, 0, len(edges))
+		for _, e := range edges {
+			if exclude(g.Ops[e.From]) || exclude(g.Ops[e.To]) {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		edges = kept
+	}
+	hasCarried := false
+	maxII := 1
+	for _, e := range edges {
+		if e.Dist > 0 {
+			hasCarried = true
+		}
+		if e.Lat > 0 {
+			maxII += e.Lat
+		}
+	}
+	if !hasCarried {
+		return 0, 1
+	}
+
+	// positiveCycle reports whether weights a·lat − b·dist admit a positive
+	// cycle, i.e. whether some cycle has lat/dist > b/a... equivalently the
+	// candidate ratio b/a is infeasible as an II.
+	positiveCycle := func(a, b int) bool {
+		dist := make([]int64, n)
+		for iter := 0; iter < n; iter++ {
+			changed := false
+			for _, e := range edges {
+				w := int64(a*e.Lat - b*e.Dist)
+				if dist[e.From]+w > dist[e.To] {
+					dist[e.To] = dist[e.From] + w
+					changed = true
+				}
+			}
+			if !changed {
+				return false
+			}
+		}
+		// One more relaxation round: any further improvement proves a
+		// positive cycle.
+		for _, e := range edges {
+			w := int64(a*e.Lat - b*e.Dist)
+			if dist[e.From]+w > dist[e.To] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Binary search the smallest integer II with no positive cycle.
+	lo, hi := 0, maxII // II=lo infeasible or unknown; II=hi feasible
+	if !positiveCycle(1, 0) {
+		// No positive-latency cycle at all: recurrences exist but impose
+		// no initiation bound (e.g. pure anti-dependences).
+		return 0, 1
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if positiveCycle(1, mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	// The true max cycle ratio r satisfies lo < r <= hi. Search small
+	// denominators for the exact rational in that interval.
+	const maxDen = 8
+	bestNum, bestDen := hi, 1
+	for d := 2; d <= maxDen; d++ {
+		// Smallest numerator nn with nn/d > lo and no positive cycle.
+		for nn := lo*d + 1; nn <= hi*d; nn++ {
+			if !positiveCycle(d, nn) {
+				if nn*bestDen < bestNum*d {
+					bestNum, bestDen = nn, d
+				}
+				break
+			}
+		}
+	}
+	return bestNum, bestDen
+}
+
+// MII returns the integer minimum initiation interval for modulo
+// scheduling: the ceiling of the larger of the resource bound and the
+// recurrence bound.
+func (g *Graph) MII() int {
+	rn, rd := g.ResMII()
+	mii := ceilDiv(rn, rd)
+	cn, cd := g.RecurrenceRatio()
+	if cd > 0 {
+		if r := ceilDiv(cn, cd); r > mii {
+			mii = r
+		}
+	}
+	if mii < 1 {
+		mii = 1
+	}
+	return mii
+}
+
+// HasRecurrence reports whether any loop-carried dependence exists.
+func (g *Graph) HasRecurrence() bool {
+	for _, e := range g.Edges {
+		if e.Dist > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CarriedEdges returns the loop-carried edges of the graph.
+func (g *Graph) CarriedEdges() []Edge {
+	var out []Edge
+	for _, e := range g.Edges {
+		if e.Dist > 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func ceilDiv(a, b int) int {
+	if b == 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// OpClassCounts tallies body ops per functional-unit class; the scheduler,
+// the heuristics and the feature extractor all use it.
+func OpClassCounts(l *ir.Loop, m *machine.Desc) [machine.NumUnitKinds]int {
+	var counts [machine.NumUnitKinds]int
+	for _, op := range l.Body {
+		counts[m.UnitFor(op.Code)]++
+	}
+	return counts
+}

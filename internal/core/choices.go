@@ -1,0 +1,82 @@
+package core
+
+import (
+	"metaopt/internal/features"
+	"metaopt/internal/heuristic"
+	"metaopt/internal/ir"
+	"metaopt/internal/machine"
+	"metaopt/internal/ml"
+)
+
+// Choice picks an unroll factor for a loop at compile time.
+type Choice func(l *ir.Loop) int
+
+// HeuristicChoice wraps the hand-written baseline for the given mode.
+func HeuristicChoice(swpOn bool, m *machine.Desc) Choice {
+	if swpOn {
+		return func(l *ir.Loop) int { return heuristic.SWP(l, m) }
+	}
+	return func(l *ir.Loop) int { return heuristic.NoSWP(l, m) }
+}
+
+// Extractor memoizes feature extraction per loop: the dependence-graph
+// analyses behind the 38 features are far more expensive than a classifier
+// lookup, and the same loop is classified by several methods.
+type Extractor struct {
+	Mach  *machine.Desc
+	cache map[*ir.Loop][]float64
+}
+
+// NewExtractor returns a caching extractor for the machine.
+func NewExtractor(m *machine.Desc) *Extractor {
+	return &Extractor{Mach: m, cache: map[*ir.Loop][]float64{}}
+}
+
+// Vector returns the loop's full 38-feature vector, cached.
+func (e *Extractor) Vector(l *ir.Loop) []float64 {
+	if v, ok := e.cache[l]; ok {
+		return v
+	}
+	v := features.Extract(l, e.Mach)
+	e.cache[l] = v
+	return v
+}
+
+// ClassifierChoice wraps a trained classifier: it extracts the loop's
+// feature vector, projects it onto the selected features, and predicts.
+func ClassifierChoice(c ml.Classifier, ex *Extractor, featIdx []int) Choice {
+	return func(l *ir.Loop) int {
+		full := ex.Vector(l)
+		v := full
+		if featIdx != nil {
+			v = make([]float64, len(featIdx))
+			for k, j := range featIdx {
+				v[k] = full[j]
+			}
+		}
+		u := c.Predict(v)
+		if u < 1 {
+			u = 1
+		}
+		if u > ml.NumClasses {
+			u = ml.NumClasses
+		}
+		return u
+	}
+}
+
+// OracleChoice answers the measured-best factor for labeled loops and
+// falls back for anything unlabeled.
+func OracleChoice(lb *Labels, fallback Choice) Choice {
+	return func(l *ir.Loop) int {
+		if ll, ok := lb.ByLoop[l]; ok {
+			return ll.Best
+		}
+		return fallback(l)
+	}
+}
+
+// FixedChoice always answers u.
+func FixedChoice(u int) Choice {
+	return func(*ir.Loop) int { return u }
+}

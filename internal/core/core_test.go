@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+
+	"metaopt/internal/loopgen"
+	"metaopt/internal/sim"
+)
+
+// testFixture builds a small corpus and its labels once per test run.
+type fixture struct {
+	corpus *loopgen.Corpus
+	timer  *sim.Timer
+	labels *Labels
+}
+
+func newFixture(t *testing.T, swpOn bool, scale float64) *fixture {
+	t.Helper()
+	c, err := loopgen.Generate(loopgen.Options{Seed: 11, LoopsScale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.SWP = swpOn
+	cfg.Runs = 5 // keep tests fast; the paper uses 30
+	tm := sim.NewTimer(cfg)
+	lb, err := CollectLabels(c, tm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{corpus: c, timer: tm, labels: lb}
+}
+
+func TestCollectLabels(t *testing.T) {
+	f := newFixture(t, false, 0.08)
+	if len(f.labels.Order) != f.corpus.TotalLoops() {
+		t.Fatalf("labels = %d, loops = %d", len(f.labels.Order), f.corpus.TotalLoops())
+	}
+	kept := f.labels.KeptCount()
+	if kept == 0 {
+		t.Fatal("no loops survived filtering")
+	}
+	if kept == len(f.labels.Order) {
+		t.Error("filters rejected nothing — the 1.05x/50k filters should bite")
+	}
+	for _, ll := range f.labels.Order {
+		if ll.Best < 1 || ll.Best > 8 {
+			t.Fatalf("best factor %d", ll.Best)
+		}
+		for u := 1; u <= 8; u++ {
+			if ll.Cycles[u] <= 0 {
+				t.Fatalf("cycles[%d] = %d", u, ll.Cycles[u])
+			}
+		}
+	}
+}
+
+func TestCollectLabelsDeterministicUnderConcurrency(t *testing.T) {
+	c, err := loopgen.Generate(loopgen.Options{Seed: 31, LoopsScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Runs = 5
+	a, err := CollectLabels(c, sim.NewTimer(cfg), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CollectLabels(c, sim.NewTimer(cfg), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Order) != len(b.Order) {
+		t.Fatalf("order lengths differ: %d vs %d", len(a.Order), len(b.Order))
+	}
+	for i := range a.Order {
+		la, lbl := a.Order[i], b.Order[i]
+		if la.Loop != lbl.Loop || la.Best != lbl.Best || la.Cycles != lbl.Cycles {
+			t.Fatalf("label %d differs across parallel runs: %+v vs %+v", i, la, lbl)
+		}
+	}
+}
+
+func TestHistogramShape(t *testing.T) {
+	f := newFixture(t, false, 0.15)
+	hist := f.labels.Histogram()
+	var sum float64
+	for _, v := range hist {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("histogram sums to %v", sum)
+	}
+	// Key paper shape: unrolling helps most loops (label 1 well under 50%),
+	// and power-of-two factors dominate the non-trivial labels.
+	if hist[1] > 0.5 {
+		t.Errorf("rolled fraction = %.2f, unrolling should usually help", hist[1])
+	}
+	pow2 := hist[2] + hist[4] + hist[8]
+	nonPow2 := hist[3] + hist[5] + hist[6] + hist[7]
+	if pow2 <= nonPow2 {
+		t.Errorf("power-of-two factors should dominate: pow2=%.2f others=%.2f", pow2, nonPow2)
+	}
+}
+
+func TestDatasetFromLabels(t *testing.T) {
+	f := newFixture(t, false, 0.08)
+	d := f.labels.Dataset(f.timer)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != f.labels.KeptCount() {
+		t.Errorf("dataset %d vs kept %d", d.Len(), f.labels.KeptCount())
+	}
+	if len(d.FeatureNames) != 38 {
+		t.Errorf("feature names = %d", len(d.FeatureNames))
+	}
+}
+
+func TestSelectFeatures(t *testing.T) {
+	f := newFixture(t, false, 0.08)
+	d := f.labels.Dataset(f.timer)
+	opt := DefaultSelectOptions()
+	opt.SVMSample = 120
+	fs, err := SelectFeatures(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.MIS) != 38 {
+		t.Errorf("MIS entries = %d", len(fs.MIS))
+	}
+	if len(fs.GreedyNN) != 5 || len(fs.GreedySVM) != 5 {
+		t.Errorf("greedy lengths = %d/%d", len(fs.GreedyNN), len(fs.GreedySVM))
+	}
+	if len(fs.Union) < 5 || len(fs.Union) > 15 {
+		t.Errorf("union size = %d", len(fs.Union))
+	}
+	// MIS must be sorted descending.
+	for i := 1; i < len(fs.MIS); i++ {
+		if fs.MIS[i].Score > fs.MIS[i-1].Score+1e-12 {
+			t.Fatal("MIS not sorted")
+		}
+	}
+}
+
+func TestEvaluateTable2SmallCorpus(t *testing.T) {
+	f := newFixture(t, false, 0.1)
+	d := f.labels.Dataset(f.timer)
+	opt := DefaultSelectOptions()
+	opt.SVMSample = 100
+	fs, err := SelectFeatures(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := EvaluateTable2(f.labels, d, fs.Union, f.timer, EvalOptions{SVMCap: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range [][8]float64{tab.NNFrac, tab.SVMFrac, tab.HeurFrac} {
+		var sum float64
+		for _, v := range frac {
+			sum += v
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("rank fractions sum to %v", sum)
+		}
+	}
+	// The learned classifiers must beat the baseline heuristic at rank 1.
+	if tab.NNAccuracy <= tab.HeurAccuracy {
+		t.Errorf("NN %.2f should beat heuristic %.2f", tab.NNAccuracy, tab.HeurAccuracy)
+	}
+	if tab.SVMAccuracy <= tab.HeurAccuracy {
+		t.Errorf("SVM %.2f should beat heuristic %.2f", tab.SVMAccuracy, tab.HeurAccuracy)
+	}
+	// Cost grows with rank.
+	if tab.Cost[0] != 1 {
+		t.Errorf("rank-1 cost = %v", tab.Cost[0])
+	}
+	if tab.Cost[7] <= tab.Cost[0] {
+		t.Errorf("worst-rank cost = %v", tab.Cost[7])
+	}
+}
+
+func TestSpeedupsSmallCorpus(t *testing.T) {
+	f := newFixture(t, false, 0.08)
+	d := f.labels.Dataset(f.timer)
+	opt := DefaultSelectOptions()
+	opt.SVMSample = 100
+	fs, err := SelectFeatures(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sOpt := DefaultSpeedupOptions()
+	sOpt.TrainCap = 250
+	sum, err := Speedups(f.corpus, f.labels, d, fs.Union, f.timer, sOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Rows) != 24 {
+		t.Fatalf("rows = %d", len(sum.Rows))
+	}
+	// The oracle never does meaningfully worse than the baseline on
+	// average, and the learned methods should land between zero and the
+	// oracle overall.
+	if sum.OracleAll <= 0 {
+		t.Errorf("oracle overall = %.3f, want > 0", sum.OracleAll)
+	}
+	if sum.SVMAll > sum.OracleAll+0.02 {
+		t.Errorf("SVM %.3f above oracle %.3f", sum.SVMAll, sum.OracleAll)
+	}
+	if sum.NNWins < 8 || sum.SVMWins < 8 {
+		t.Errorf("wins too low: NN %d SVM %d", sum.NNWins, sum.SVMWins)
+	}
+	// FP benchmarks should benefit more than the overall average.
+	if sum.OracleFP < sum.OracleAll {
+		t.Errorf("oracle FP %.3f < overall %.3f", sum.OracleFP, sum.OracleAll)
+	}
+}
+
+func TestChoices(t *testing.T) {
+	f := newFixture(t, false, 0.05)
+	l := f.corpus.Benchmarks[0].Loops[0]
+	if u := FixedChoice(5)(l); u != 5 {
+		t.Errorf("FixedChoice = %d", u)
+	}
+	h := HeuristicChoice(false, f.timer.Cfg.Mach)
+	if u := h(l); u < 1 || u > 8 {
+		t.Errorf("heuristic = %d", u)
+	}
+	or := OracleChoice(f.labels, FixedChoice(1))
+	if u := or(l); u != f.labels.ByLoop[l].Best {
+		t.Errorf("oracle = %d, want %d", u, f.labels.ByLoop[l].Best)
+	}
+}

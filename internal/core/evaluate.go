@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"metaopt/internal/ml"
+	"metaopt/internal/ml/nn"
+	"metaopt/internal/ml/svm"
+	"metaopt/internal/sim"
+	"metaopt/internal/transform"
+)
+
+// Table2 is the paper's prediction-correctness table: for each method, the
+// fraction of predictions whose factor ranked Nth-best in the measured
+// ordering, plus the average runtime penalty of a rank-N choice.
+type Table2 struct {
+	NNFrac   [ml.NumClasses]float64
+	SVMFrac  [ml.NumClasses]float64
+	HeurFrac [ml.NumClasses]float64
+	Cost     [ml.NumClasses]float64
+
+	NNAccuracy   float64 // rank-1 fraction for NN
+	SVMAccuracy  float64
+	HeurAccuracy float64
+	Examples     int
+}
+
+// EvalOptions bounds Table 2 evaluation.
+type EvalOptions struct {
+	// SVMCap caps the LOOCV set for the LS-SVM (0 = the full dataset;
+	// cubic cost).
+	SVMCap int
+	Seed   int64
+}
+
+// EvaluateTable2 runs leave-one-out cross-validation for the near-neighbor
+// classifier and the LS-SVM on the selected feature set, evaluates the
+// baseline heuristic on the same loops, and assembles Table 2.
+func EvaluateTable2(lb *Labels, d *ml.Dataset, featIdx []int, t *sim.Timer, opt EvalOptions) (*Table2, error) {
+	sel := d.Select(featIdx)
+	out := &Table2{Examples: sel.Len()}
+
+	nnPreds, err := ml.LOOCV(&nn.Trainer{}, sel)
+	if err != nil {
+		return nil, fmt.Errorf("core: NN LOOCV: %w", err)
+	}
+	out.NNFrac, _ = ml.RankTable(sel, nnPreds)
+
+	svmSet := sel
+	if opt.SVMCap > 0 && sel.Len() > opt.SVMCap {
+		svmSet = sample(sel, opt.SVMCap, opt.Seed+7)
+	}
+	svmPreds, err := ml.LOOCV(&svm.LSSVM{}, svmSet)
+	if err != nil {
+		return nil, fmt.Errorf("core: SVM LOOCV: %w", err)
+	}
+	out.SVMFrac, _ = ml.RankTable(svmSet, svmPreds)
+
+	// The heuristic sees the loops themselves (it is not feature-based).
+	heur := HeuristicChoice(t.Cfg.SWP, t.Cfg.Mach)
+	var hFrac [ml.NumClasses]int
+	total := 0
+	for _, ll := range lb.Order {
+		if !ll.Kept {
+			continue
+		}
+		pred := heur(ll.Loop)
+		r := rankOf(ll, pred) - 1
+		if r >= ml.NumClasses {
+			r = ml.NumClasses - 1
+		}
+		hFrac[r]++
+		total++
+	}
+	for r := range hFrac {
+		if total > 0 {
+			out.HeurFrac[r] = float64(hFrac[r]) / float64(total)
+		}
+	}
+
+	out.Cost = ml.CostByRank(sel)
+	out.NNAccuracy = out.NNFrac[0]
+	out.SVMAccuracy = out.SVMFrac[0]
+	out.HeurAccuracy = out.HeurFrac[0]
+	return out, nil
+}
+
+func rankOf(ll *LoopLabel, pred int) int {
+	if pred < 1 || pred > transform.MaxFactor {
+		return transform.MaxFactor
+	}
+	rank := 1
+	for u := 1; u <= transform.MaxFactor; u++ {
+		if ll.Cycles[u] < ll.Cycles[pred] {
+			rank++
+		}
+	}
+	return rank
+}

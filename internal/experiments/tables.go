@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"metaopt/internal/core"
+	"metaopt/internal/features"
+	"metaopt/internal/lang"
+)
+
+// Table2Result reproduces "Accuracy of predictions for the nearest
+// neighbors algorithm, an SVM, and ORC's heuristic".
+type Table2Result struct {
+	Table *core.Table2
+}
+
+// Table2 runs LOOCV classification on the SWP-off dataset.
+func Table2(e *Env) (*Table2Result, error) {
+	lb, err := e.Labels(false)
+	if err != nil {
+		return nil, err
+	}
+	d, err := e.Dataset(false)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := e.Features()
+	if err != nil {
+		return nil, err
+	}
+	tab, err := core.EvaluateTable2(lb, d, fs.Union, e.Timer(false),
+		core.EvalOptions{SVMCap: e.Cfg.SVMCap, Seed: e.Cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Table2Result{Table: tab}, nil
+}
+
+// Render formats the table like the paper's Table 2.
+func (r *Table2Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: prediction correctness (SWP disabled)\n")
+	fmt.Fprintf(&sb, "%-28s %6s %6s %6s %8s\n", "Prediction Correctness", "NN", "SVM", "ORC", "Cost")
+	names := []string{
+		"Optimal unroll factor", "Second-best unroll factor", "Third-best unroll factor",
+		"Fourth-best unroll factor", "Fifth-best unroll factor", "Sixth-best unroll factor",
+		"Seventh-best unroll factor", "Worst unroll factor",
+	}
+	t := r.Table
+	for i, n := range names {
+		fmt.Fprintf(&sb, "%-28s %6.2f %6.2f %6.2f %7.2fx\n",
+			n, t.NNFrac[i], t.SVMFrac[i], t.HeurFrac[i], t.Cost[i])
+	}
+	opt2NN := t.NNFrac[0] + t.NNFrac[1]
+	opt2SVM := t.SVMFrac[0] + t.SVMFrac[1]
+	fmt.Fprintf(&sb, "(%d loops; optimal-or-second: NN %.2f, SVM %.2f)\n", t.Examples, opt2NN, opt2SVM)
+	return sb.String()
+}
+
+// Table3Result reproduces "The best five features according to MIS".
+type Table3Result struct {
+	Rows []struct {
+		Name  string
+		Score float64
+	}
+}
+
+// Table3 ranks features by mutual information score.
+func Table3(e *Env) (*Table3Result, error) {
+	fs, err := e.Features()
+	if err != nil {
+		return nil, err
+	}
+	r := &Table3Result{}
+	for i := 0; i < 5 && i < len(fs.MIS); i++ {
+		r.Rows = append(r.Rows, struct {
+			Name  string
+			Score float64
+		}{features.Names[fs.MIS[i].Feature], fs.MIS[i].Score})
+	}
+	return r, nil
+}
+
+// Render formats the MIS ranking.
+func (r *Table3Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: best five features by mutual information score\n")
+	fmt.Fprintf(&sb, "%-4s %-20s %6s\n", "Rank", "Feature", "MIS")
+	for i, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-4d %-20s %6.3f\n", i+1, row.Name, row.Score)
+	}
+	return sb.String()
+}
+
+// Table4Result reproduces the greedy-selection table: top-5 features per
+// classifier with the (cross-validated) error after each addition.
+type Table4Result struct {
+	NN []struct {
+		Name  string
+		Error float64
+	}
+	SVM []struct {
+		Name  string
+		Error float64
+	}
+}
+
+// Table4 reports greedy forward selection under both classifiers.
+func Table4(e *Env) (*Table4Result, error) {
+	fs, err := e.Features()
+	if err != nil {
+		return nil, err
+	}
+	r := &Table4Result{}
+	for _, g := range fs.GreedyNN {
+		r.NN = append(r.NN, struct {
+			Name  string
+			Error float64
+		}{features.Names[g.Feature], g.Error})
+	}
+	for _, g := range fs.GreedySVM {
+		r.SVM = append(r.SVM, struct {
+			Name  string
+			Error float64
+		}{features.Names[g.Feature], g.Error})
+	}
+	return r, nil
+}
+
+// Render formats the two greedy columns side by side.
+func (r *Table4Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 4: top five features by greedy selection\n")
+	fmt.Fprintf(&sb, "%-4s %-20s %6s   %-20s %6s\n", "Rank", "NN", "Error", "SVM", "Error")
+	n := len(r.NN)
+	if len(r.SVM) > n {
+		n = len(r.SVM)
+	}
+	for i := 0; i < n; i++ {
+		nnName, svmName := "", ""
+		nnErr, svmErr := 0.0, 0.0
+		if i < len(r.NN) {
+			nnName, nnErr = r.NN[i].Name, r.NN[i].Error
+		}
+		if i < len(r.SVM) {
+			svmName, svmErr = r.SVM[i].Name, r.SVM[i].Error
+		}
+		fmt.Fprintf(&sb, "%-4d %-20s %6.2f   %-20s %6.2f\n", i+1, nnName, nnErr, svmName, svmErr)
+	}
+	return sb.String()
+}
+
+// UnionNames lists the classification feature set by name.
+func UnionNames(fs *core.FeatureSelection) []string {
+	names := make([]string, len(fs.Union))
+	for i, f := range fs.Union {
+		names[i] = features.Names[f]
+	}
+	return names
+}
+
+// Table1Result reproduces the feature catalog: every characteristic the
+// classifiers see, with its value on a reference loop.
+type Table1Result struct {
+	Names        []string
+	Descriptions []string
+	Example      []float64 // values on the reference daxpy loop
+}
+
+// Table1 lists all 38 features with their values on a daxpy kernel.
+func Table1(e *Env) (*Table1Result, error) {
+	k, err := lang.ParseKernel(`
+kernel daxpy lang=c {
+	param double a;
+	double x[], y[];
+	noalias;
+	for i = 0 .. 4096 { y[i] = y[i] + a * x[i]; }
+}`)
+	if err != nil {
+		return nil, err
+	}
+	l, err := lang.Lower(k)
+	if err != nil {
+		return nil, err
+	}
+	r := &Table1Result{
+		Names:        features.Names[:],
+		Descriptions: features.Descriptions[:],
+		Example:      features.Extract(l, e.Timer(false).Cfg.Mach),
+	}
+	return r, nil
+}
+
+// Render formats the catalog like the paper's Table 1.
+func (r *Table1Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: features used for loop classification (all 38; value on daxpy)\n")
+	for i, name := range r.Names {
+		fmt.Fprintf(&sb, "%-18s %8.2f  %s\n", name, r.Example[i], r.Descriptions[i])
+	}
+	return sb.String()
+}

@@ -1,0 +1,149 @@
+package heuristic
+
+import (
+	"testing"
+
+	"metaopt/internal/ir"
+	"metaopt/internal/lang"
+	"metaopt/internal/machine"
+)
+
+func lower(t *testing.T, src string) *ir.Loop {
+	t.Helper()
+	k, err := lang.ParseKernel(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	l, err := lang.Lower(k)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return l
+}
+
+func TestNoSWPSmallLoopUnrollsHard(t *testing.T) {
+	l := lower(t, `
+kernel small lang=c {
+	double x[], y[];
+	noalias;
+	for i = 0 .. 4096 { y[i] = y[i] + x[i]; }
+}`)
+	m := machine.Itanium2()
+	if u := NoSWP(l, m); u < 4 {
+		t.Errorf("small loop unroll = %d, want >= 4", u)
+	}
+}
+
+func TestNoSWPBigLoopStaysRolled(t *testing.T) {
+	l := lower(t, `
+kernel big lang=fortran {
+	double a[], b[], c[], d[], e[], f[], g[], h[], o[];
+	for i = 0 .. 4096 {
+		o[i] = a[i]*b[i] + c[i]*d[i] + e[i]*f[i] + g[i]*h[i]
+		     + a[i+1]*b[i+1] + c[i+1]*d[i+1] + e[i+1]*f[i+1] + g[i+1]*h[i+1]
+		     + a[i+2]*b[i+2] + c[i+2]*d[i+2] + e[i+2]*f[i+2] + g[i+2]*h[i+2];
+	}
+}`)
+	if u := NoSWP(l, machine.Itanium2()); u > 2 {
+		t.Errorf("large-body unroll = %d, want <= 2", u)
+	}
+}
+
+func TestNoSWPAvoidsEarlyExitAndCalls(t *testing.T) {
+	exit := lower(t, `
+kernel ex lang=c { double a[]; for i = 0 .. n { if (a[i] == 0.0) break; } }`)
+	if u := NoSWP(exit, machine.Itanium2()); u > 2 {
+		t.Errorf("early-exit unroll = %d, want <= 2", u)
+	}
+	bigExit := lower(t, `
+kernel bx lang=c { double a[], b[], c[], d[]; for i = 0 .. n {
+	d[i] = a[i]*b[i] + c[i]*a[i] + b[i]*c[i] + a[i+1]*b[i+1];
+	if (d[i] == 0.0) break; } }`)
+	if u := NoSWP(bigExit, machine.Itanium2()); u != 1 {
+		t.Errorf("large early-exit unroll = %d, want 1", u)
+	}
+	call := lower(t, `
+kernel ca lang=c { double a[]; for i = 0 .. n { a[i] = a[i] + 1.0; call f(); } }`)
+	if u := NoSWP(call, machine.Itanium2()); u != 1 {
+		t.Errorf("call-loop unroll = %d", u)
+	}
+}
+
+func TestNoSWPFullUnrollShortTrip(t *testing.T) {
+	l := lower(t, `
+kernel six lang=c { double a[]; for i = 0 .. 6 { a[i] = a[i] + 1.0; } }`)
+	if u := NoSWP(l, machine.Itanium2()); u != 6 {
+		t.Errorf("trip-6 unroll = %d, want 6", u)
+	}
+}
+
+func TestNoSWPPrefersTripDivisor(t *testing.T) {
+	l := lower(t, `
+kernel twelve lang=c { double a[]; for i = 0 .. 12 { a[i] = a[i]+1.0; } }`)
+	l.TripCount = 12
+	u := NoSWP(l, machine.Itanium2())
+	if 12%u != 0 {
+		t.Errorf("unroll %d does not divide trip 12", u)
+	}
+}
+
+func TestSWPPicksFractionalFactor(t *testing.T) {
+	// 3 FP ops on 2 F units: unrolling by 2 gives II 3 per 2 iterations.
+	l := lower(t, `
+kernel f3 lang=fortran {
+	double a[], b[], c[], d[];
+	for i = 0 .. 4096 { d[i] = a[i]*b[i] + a[i]*c[i] + b[i]*c[i]; }
+}`)
+	u := SWP(l, machine.Itanium2())
+	if u < 2 {
+		t.Errorf("fractional-II loop unroll = %d, want >= 2", u)
+	}
+}
+
+func TestSWPSerialRecurrenceStaysRolled(t *testing.T) {
+	l := lower(t, `
+kernel ser lang=fortran {
+	double a[];
+	double s;
+	for i = 0 .. 4096 { s = s*0.5 + a[i]; }
+}`)
+	// RecMII scales exactly with u: no fractional gain, so stay at 1.
+	if u := SWP(l, machine.Itanium2()); u != 1 {
+		t.Errorf("serial loop unroll = %d, want 1", u)
+	}
+}
+
+func TestSWPFallsBackForExits(t *testing.T) {
+	l := lower(t, `
+kernel ex lang=c { double a[]; for i = 0 .. n { if (a[i] == 0.0) break; } }`)
+	// The pipeliner refuses early-exit loops, so the SWP rule must answer
+	// exactly what the plain rule answers.
+	if got, want := SWP(l, machine.Itanium2()), NoSWP(l, machine.Itanium2()); got != want {
+		t.Errorf("early-exit SWP unroll = %d, want fallback %d", got, want)
+	}
+}
+
+func TestFixed(t *testing.T) {
+	f := Fixed(8)
+	if f(nil, nil) != 8 {
+		t.Error("Fixed(8) wrong")
+	}
+}
+
+func TestAllInRange(t *testing.T) {
+	srcs := []string{
+		`kernel a lang=c { double x[]; for i = 0 .. 100 { x[i] = x[i]+1.0; } }`,
+		`kernel b lang=fortran { double x[], y[]; double s; for i = 0 .. n { s = s + x[i]*y[i]; } }`,
+		`kernel c lang=c { int p[]; for i = 0 .. 31 { p[i] = i; } }`,
+	}
+	m := machine.Itanium2()
+	for _, src := range srcs {
+		l := lower(t, src)
+		for _, f := range []func(*ir.Loop, *machine.Desc) int{NoSWP, SWP} {
+			u := f(l, m)
+			if u < 1 || u > 8 {
+				t.Errorf("%s: factor %d out of range", l.Name, u)
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package integration_test stress-tests cross-package invariants over
+// randomly generated corpus loops: every loop must survive unrolling at
+// every factor, produce verifiable schedules in both modes, and price
+// consistently in the simulator.
+package integration_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"metaopt/internal/analysis"
+	"metaopt/internal/ir"
+	"metaopt/internal/loopgen"
+	"metaopt/internal/machine"
+	"metaopt/internal/regpress"
+	"metaopt/internal/sched"
+	"metaopt/internal/sim"
+	"metaopt/internal/swp"
+	"metaopt/internal/transform"
+)
+
+// loops returns a deterministic bag of generated loops.
+func loops(t testing.TB, seed int64) []*ir.Loop {
+	t.Helper()
+	c, err := loopgen.Generate(loopgen.Options{Seed: seed, LoopsScale: 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*ir.Loop
+	for _, b := range c.Benchmarks {
+		out = append(out, b.Loops...)
+	}
+	return out
+}
+
+func TestUnrollPreservesValidity(t *testing.T) {
+	for _, l := range loops(t, 21) {
+		for u := 1; u <= transform.MaxFactor; u++ {
+			out, info, err := transform.Unroll(l, u)
+			if err != nil {
+				t.Fatalf("%s/%s u=%d: %v", l.Benchmark, l.Name, u, err)
+			}
+			if err := out.Validate(); err != nil {
+				t.Fatalf("%s/%s u=%d: %v", l.Benchmark, l.Name, u, err)
+			}
+			if info.U != u {
+				t.Fatalf("info.U = %d", info.U)
+			}
+			// The unrolled body never has more than u copies of the
+			// original ops plus the per-copy IV materializations.
+			if max := u*l.NumOps() + u + 2; out.NumOps() > max {
+				t.Fatalf("%s u=%d: %d ops exceeds bound %d", l.Name, u, out.NumOps(), max)
+			}
+		}
+	}
+}
+
+func TestListSchedulesVerify(t *testing.T) {
+	m := machine.Itanium2()
+	for _, l := range loops(t, 22) {
+		for _, u := range []int{1, 3, 8} {
+			out, _, err := transform.Unroll(l, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := analysis.Build(out, m)
+			s := sched.List(g)
+			if err := s.Verify(); err != nil {
+				t.Fatalf("%s/%s u=%d: %v", l.Benchmark, l.Name, u, err)
+			}
+			if s.Period < s.Length {
+				t.Fatalf("%s u=%d: period %d < length %d", l.Name, u, s.Period, s.Length)
+			}
+			p := regpress.Analyze(s)
+			if p.MaxLiveInt < 0 || p.MaxLiveFP < 0 || p.SpillCycles < 0 {
+				t.Fatalf("%s u=%d: negative pressure %+v", l.Name, u, p)
+			}
+		}
+	}
+}
+
+func TestModuloSchedulesVerify(t *testing.T) {
+	m := machine.Itanium2()
+	for _, l := range loops(t, 23) {
+		if l.EarlyExit || hasCall(l) {
+			continue // the pipeliner refuses these, as ORC does
+		}
+		for _, u := range []int{1, 2, 4} {
+			out, _, err := transform.Unroll(l, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := analysis.Build(out, m)
+			r, err := swp.Schedule(g, g.MII())
+			if err != nil {
+				t.Fatalf("%s/%s u=%d: %v", l.Benchmark, l.Name, u, err)
+			}
+			if err := r.Verify(g); err != nil {
+				t.Fatalf("%s/%s u=%d: %v", l.Benchmark, l.Name, u, err)
+			}
+			// The achieved II respects the resource bound.
+			rn, rd := g.ResMII()
+			if r.II*rd < rn {
+				t.Fatalf("%s u=%d: II %d beats ResMII %d/%d", l.Name, u, r.II, rn, rd)
+			}
+		}
+	}
+}
+
+func TestSimulatorConsistency(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Noise = 0
+	cfg.BiasNoise = 0
+	tm := sim.NewTimer(cfg)
+	for _, l := range loops(t, 24) {
+		var prev int64
+		for u := 1; u <= transform.MaxFactor; u++ {
+			c, err := tm.Cycles(l, u)
+			if err != nil {
+				t.Fatalf("%s/%s u=%d: %v", l.Benchmark, l.Name, u, err)
+			}
+			if c <= 0 {
+				t.Fatalf("%s u=%d: %d cycles", l.Name, u, c)
+			}
+			// No factor should be implausibly cheap relative to u=1: the
+			// work per iteration bounds the possible speedup.
+			if u > 1 && prev > 0 && c*20 < prev {
+				t.Fatalf("%s u=%d: %d vs u1 %d — speedup beyond plausibility", l.Name, u, c, prev)
+			}
+			if u == 1 {
+				prev = c
+			}
+		}
+	}
+}
+
+func TestMeasurementDeterminismAcrossTimers(t *testing.T) {
+	ls := loops(t, 25)
+	cfgA := sim.DefaultConfig()
+	cfgB := sim.DefaultConfig()
+	a := sim.NewTimer(cfgA)
+	b := sim.NewTimer(cfgB)
+	rngA := rand.New(rand.NewSource(9))
+	rngB := rand.New(rand.NewSource(9))
+	for _, l := range ls[:20] {
+		for u := 1; u <= 4; u++ {
+			ca, err := a.Measure(l, u, rngA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cb, err := b.Measure(l, u, rngB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ca != cb {
+				t.Fatalf("%s u=%d: %d vs %d — measurement not reproducible", l.Name, u, ca, cb)
+			}
+		}
+	}
+}
+
+// TestScheduleLengthMonotonicity: adding more copies never shortens the
+// absolute schedule (though per-iteration cost falls).
+func TestScheduleLengthMonotonicity(t *testing.T) {
+	m := machine.Itanium2()
+	f := func(seed int64) bool {
+		ls := loops(t, 26)
+		l := ls[int(uint64(seed)%uint64(len(ls)))]
+		u1, _, err := transform.Unroll(l, 2)
+		if err != nil {
+			return false
+		}
+		u2, _, err := transform.Unroll(l, 8)
+		if err != nil {
+			return false
+		}
+		s1 := sched.List(analysis.Build(u1, m))
+		s2 := sched.List(analysis.Build(u2, m))
+		return s2.Length >= s1.Length
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func hasCall(l *ir.Loop) bool {
+	return l.Count(func(o *ir.Op) bool { return o.Code == ir.OpCall }) > 0
+}

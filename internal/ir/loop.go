@@ -1,0 +1,196 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Loop is a single innermost loop: the unit the system instruments, unrolls
+// and classifies. Body holds the operations in original program order;
+// Params holds loop-invariant live-in values (never scheduled).
+type Loop struct {
+	// Identity.
+	Name      string // unique within a benchmark, e.g. "daxpy.L1"
+	Benchmark string // owning benchmark, e.g. "171.swim"
+
+	// Source-level properties.
+	Lang      Lang
+	NestLevel int  // nesting depth of this loop (1 = not nested)
+	TripCount int  // compile-time trip count; -1 if unknown to the compiler
+	EarlyExit bool // body contains a data-dependent exit branch
+	NoAlias   bool // arrays are known distinct (Fortran semantics / restrict)
+
+	// Runtime behaviour used by the simulator, invisible to the compiler
+	// analyses and the feature extractor except through TripCount.
+	RuntimeTrip int   // iterations actually executed per entry
+	Entries     int64 // times the loop is entered per program run
+
+	Body   []*Op
+	Params []*Op
+
+	nextID int
+}
+
+// NewLoop returns an empty loop with the given name.
+func NewLoop(name string) *Loop {
+	return &Loop{Name: name, NestLevel: 1, TripCount: -1, RuntimeTrip: 1, Entries: 1}
+}
+
+// NewOp appends a fresh operation with the given opcode to the loop body and
+// returns it.
+func (l *Loop) NewOp(code Opcode, args ...ArgRef) *Op {
+	op := &Op{ID: l.nextID, Code: code, Args: args}
+	l.nextID++
+	l.Body = append(l.Body, op)
+	return op
+}
+
+// NewParam appends a loop-invariant live-in value and returns it.
+func (l *Loop) NewParam(name string) *Op {
+	op := &Op{ID: l.nextID, Code: OpParam, Name: name}
+	l.nextID++
+	l.Params = append(l.Params, op)
+	return op
+}
+
+// NewConst appends a constant pseudo-op and returns it. Constants live with
+// the parameters: they are materialized outside the loop.
+func (l *Loop) NewConst(name string) *Op {
+	op := &Op{ID: l.nextID, Code: OpConst, Name: name}
+	l.nextID++
+	l.Params = append(l.Params, op)
+	return op
+}
+
+// Use is shorthand for an intra-iteration argument reference.
+func Use(op *Op) ArgRef { return ArgRef{Op: op} }
+
+// Carried is shorthand for a loop-carried argument reference at the given
+// iteration distance.
+func Carried(op *Op, dist int) ArgRef { return ArgRef{Op: op, Dist: dist} }
+
+// NumOps returns the number of real (non-pseudo) operations in the body.
+func (l *Loop) NumOps() int { return len(l.Body) }
+
+// Count returns how many body operations satisfy pred.
+func (l *Loop) Count(pred func(*Op) bool) int {
+	n := 0
+	for _, op := range l.Body {
+		if pred(op) {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks structural invariants: every argument refers to an
+// operation that belongs to this loop, pseudo-ops never appear in the body,
+// distances are non-negative, memory ops carry memory references, and
+// intra-iteration dependences respect program order (no forward references
+// at distance 0, which would be a use before a def).
+func (l *Loop) Validate() error {
+	index := make(map[*Op]int, len(l.Body))
+	for i, op := range l.Body {
+		if op.Code.IsPseudo() {
+			return fmt.Errorf("ir: loop %s: pseudo op %s in body", l.Name, op)
+		}
+		if !op.Code.Valid() {
+			return fmt.Errorf("ir: loop %s: invalid opcode on op v%d", l.Name, op.ID)
+		}
+		if op.Code.IsMem() && op.Mem == nil {
+			return fmt.Errorf("ir: loop %s: memory op %s without MemRef", l.Name, op)
+		}
+		if !op.Code.IsMem() && op.Mem != nil {
+			return fmt.Errorf("ir: loop %s: non-memory op %s with MemRef", l.Name, op)
+		}
+		index[op] = i
+	}
+	params := make(map[*Op]bool, len(l.Params))
+	for _, p := range l.Params {
+		if !p.Code.IsPseudo() {
+			return fmt.Errorf("ir: loop %s: non-pseudo op %s in params", l.Name, p)
+		}
+		params[p] = true
+	}
+	for i, op := range l.Body {
+		for _, a := range op.Args {
+			if a.Dist < 0 {
+				return fmt.Errorf("ir: loop %s: negative dependence distance on %s", l.Name, op)
+			}
+			if params[a.Op] {
+				if a.Dist != 0 {
+					return fmt.Errorf("ir: loop %s: carried dependence on invariant %s", l.Name, a.Op.Name)
+				}
+				continue
+			}
+			j, ok := index[a.Op]
+			if !ok {
+				return fmt.Errorf("ir: loop %s: op %s uses value from another loop", l.Name, op)
+			}
+			if !a.Op.Code.HasResult() {
+				return fmt.Errorf("ir: loop %s: op %s uses resultless op v%d", l.Name, op, a.Op.ID)
+			}
+			if a.Dist == 0 && j >= i {
+				return fmt.Errorf("ir: loop %s: op %s uses v%d before its definition", l.Name, op, a.Op.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the loop. Cloned ops get fresh identities but
+// preserve IDs, so dependences stay aligned.
+func (l *Loop) Clone() *Loop {
+	c := &Loop{
+		Name:        l.Name,
+		Benchmark:   l.Benchmark,
+		Lang:        l.Lang,
+		NestLevel:   l.NestLevel,
+		TripCount:   l.TripCount,
+		EarlyExit:   l.EarlyExit,
+		NoAlias:     l.NoAlias,
+		RuntimeTrip: l.RuntimeTrip,
+		Entries:     l.Entries,
+		nextID:      l.nextID,
+	}
+	remap := make(map[*Op]*Op, len(l.Body)+len(l.Params))
+	cloneOp := func(op *Op) *Op {
+		n := &Op{ID: op.ID, Code: op.Code, FP: op.FP, Predicated: op.Predicated, PredID: op.PredID, Name: op.Name}
+		if op.Mem != nil {
+			m := *op.Mem
+			n.Mem = &m
+		}
+		remap[op] = n
+		return n
+	}
+	for _, p := range l.Params {
+		c.Params = append(c.Params, cloneOp(p))
+	}
+	for _, op := range l.Body {
+		c.Body = append(c.Body, cloneOp(op))
+	}
+	for i, op := range l.Body {
+		for _, a := range op.Args {
+			c.Body[i].Args = append(c.Body[i].Args, ArgRef{Op: remap[a.Op], Dist: a.Dist})
+		}
+	}
+	return c
+}
+
+// String renders the loop for debugging.
+func (l *Loop) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "loop %s (%s, nest %d, trip %d", l.Name, l.Lang, l.NestLevel, l.TripCount)
+	if l.EarlyExit {
+		sb.WriteString(", early-exit")
+	}
+	sb.WriteString(") {\n")
+	for _, p := range l.Params {
+		fmt.Fprintf(&sb, "  v%d = %s %s\n", p.ID, p.Code, p.Name)
+	}
+	for _, op := range l.Body {
+		fmt.Fprintf(&sb, "  %s\n", op)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,152 @@
+// Package ir defines the loop-level intermediate representation that the
+// whole system is built around: operations with explicit intra- and
+// cross-iteration dependences, affine memory references, and innermost loops
+// annotated with the source-level properties (language, nest level, trip
+// count) that the feature extractor and the machine model consume.
+//
+// The IR deliberately models a single innermost loop body, because that is
+// the unit the paper instruments, unrolls and classifies. Surrounding
+// program structure is represented by per-loop metadata (entries, nest
+// level, benchmark name) rather than by a full CFG.
+package ir
+
+// Opcode enumerates the operation kinds the machine model understands.
+type Opcode int
+
+// Operation kinds. The split mirrors what an Itanium-class machine cares
+// about: integer ALU, floating point, memory, control, and long-latency
+// divides/calls.
+const (
+	OpInvalid Opcode = iota
+
+	// Integer ALU.
+	OpAdd
+	OpSub
+	OpMul // integer multiply (runs on the FP-multiply unit on Itanium)
+	OpDiv // integer divide (long latency, unpipelined)
+	OpShl
+	OpShr
+	OpAnd
+	OpOr
+	OpXor
+	OpCmp // integer compare, produces a predicate/flag value
+
+	// Floating point.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv // long latency, unpipelined
+	OpFMA  // fused multiply-add
+	OpFCmp
+	OpConv // int<->float conversion
+
+	// Memory.
+	OpLoad
+	OpStore
+
+	// Control.
+	OpBr     // the loop back-edge branch
+	OpCondBr // a conditional branch inside the body (early exit / control flow)
+	OpSel    // predicated select (if-converted control flow)
+	OpCall   // call to an opaque function
+
+	// Pseudo-operations.
+	OpParam // loop-invariant live-in value; never scheduled
+	OpConst // compile-time constant; never occupies an issue slot
+
+	numOpcodes
+)
+
+var opcodeNames = [...]string{
+	OpInvalid: "invalid",
+	OpAdd:     "add",
+	OpSub:     "sub",
+	OpMul:     "mul",
+	OpDiv:     "div",
+	OpShl:     "shl",
+	OpShr:     "shr",
+	OpAnd:     "and",
+	OpOr:      "or",
+	OpXor:     "xor",
+	OpCmp:     "cmp",
+	OpFAdd:    "fadd",
+	OpFSub:    "fsub",
+	OpFMul:    "fmul",
+	OpFDiv:    "fdiv",
+	OpFMA:     "fma",
+	OpFCmp:    "fcmp",
+	OpConv:    "conv",
+	OpLoad:    "load",
+	OpStore:   "store",
+	OpBr:      "br",
+	OpCondBr:  "condbr",
+	OpSel:     "sel",
+	OpCall:    "call",
+	OpParam:   "param",
+	OpConst:   "const",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Opcode) String() string {
+	if o <= OpInvalid || int(o) >= len(opcodeNames) {
+		return "opcode?"
+	}
+	return opcodeNames[o]
+}
+
+// Valid reports whether o is a defined opcode other than OpInvalid.
+func (o Opcode) Valid() bool { return o > OpInvalid && o < numOpcodes }
+
+// IsFloat reports whether the operation executes on the floating-point side
+// of the machine.
+func (o Opcode) IsFloat() bool {
+	switch o {
+	case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFMA, OpFCmp, OpConv:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the operation accesses memory.
+func (o Opcode) IsMem() bool { return o == OpLoad || o == OpStore }
+
+// IsBranch reports whether the operation is a control transfer.
+func (o Opcode) IsBranch() bool { return o == OpBr || o == OpCondBr || o == OpCall }
+
+// IsPseudo reports whether the operation is a non-executing placeholder
+// (parameters and constants are materialized outside the loop).
+func (o Opcode) IsPseudo() bool { return o == OpParam || o == OpConst }
+
+// HasResult reports whether the operation defines a value that can be used
+// by other operations.
+func (o Opcode) HasResult() bool {
+	switch o {
+	case OpStore, OpBr, OpCondBr:
+		return false
+	}
+	return true
+}
+
+// Lang identifies the source language a loop came from. The paper's corpus
+// spans C, Fortran and Fortran 90; language is one of the 38 features.
+type Lang int
+
+// Source languages.
+const (
+	LangC Lang = iota
+	LangFortran
+	LangFortran90
+)
+
+// String returns the language name.
+func (l Lang) String() string {
+	switch l {
+	case LangC:
+		return "C"
+	case LangFortran:
+		return "Fortran"
+	case LangFortran90:
+		return "Fortran90"
+	}
+	return "lang?"
+}

@@ -1,0 +1,207 @@
+package lang
+
+// File is a parsed LoopLang source file: a sequence of kernels.
+type File struct {
+	Kernels []*Kernel
+}
+
+// Type is a LoopLang scalar/element type.
+type Type int
+
+// Types.
+const (
+	TypeDouble Type = iota
+	TypeFloat
+	TypeInt
+	TypeLong
+)
+
+// IsFloat reports whether the type is floating point.
+func (t Type) IsFloat() bool { return t == TypeDouble || t == TypeFloat }
+
+// Bytes returns the size of the type in bytes.
+func (t Type) Bytes() int {
+	if t == TypeFloat || t == TypeInt {
+		return 4
+	}
+	return 8
+}
+
+// String returns the source spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeDouble:
+		return "double"
+	case TypeFloat:
+		return "float"
+	case TypeInt:
+		return "int"
+	case TypeLong:
+		return "long"
+	}
+	return "type?"
+}
+
+// Kernel is one `kernel name attrs { ... }` definition.
+type Kernel struct {
+	Name    string
+	Attrs   map[string]string // raw attribute strings, e.g. lang=c trip=100
+	Pos     Pos
+	Decls   []*Decl
+	NoAlias bool
+	Loop    *ForLoop
+}
+
+// Decl declares scalars or arrays. Param marks loop-invariant inputs.
+type Decl struct {
+	Pos   Pos
+	Type  Type
+	Param bool
+	Names []DeclName
+}
+
+// DeclName is one declared name; IsArray marks `name[]`.
+type DeclName struct {
+	Name    string
+	IsArray bool
+}
+
+// ForLoop is a counted loop: `for iv = lo .. hi { body }`. Lo must be a
+// number; Hi may be a number (compile-time-known trip count) or an
+// identifier (unknown trip count). Loops nest by containing exactly one
+// ForLoop as their whole body; only the innermost loop carries
+// computation (the unit the system instruments and unrolls).
+type ForLoop struct {
+	Pos  Pos
+	IV   string
+	Lo   int
+	Hi   Expr // *NumLit or *Ident
+	Body []Stmt
+}
+
+func (*ForLoop) stmtNode() {}
+
+// Stmt is a loop-body statement.
+type Stmt interface{ stmtNode() }
+
+// AssignStmt is `lvalue = expr;`. Target is either an *Ident (scalar) or an
+// *IndexExpr (array store).
+type AssignStmt struct {
+	Pos    Pos
+	Target Expr
+	Value  Expr
+}
+
+// IfStmt is `if (cond) { then } else { else }`. The else branch may be nil.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// BreakIfStmt is `if (cond) break;` — a data-dependent early exit.
+type BreakIfStmt struct {
+	Pos  Pos
+	Cond Expr
+}
+
+// CallStmt is `call name();` — a call to an opaque function.
+type CallStmt struct {
+	Pos  Pos
+	Name string
+}
+
+func (*AssignStmt) stmtNode()  {}
+func (*IfStmt) stmtNode()      {}
+func (*BreakIfStmt) stmtNode() {}
+func (*CallStmt) stmtNode()    {}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	ExprPos() Pos
+}
+
+// NumLit is a numeric literal. Integer-valued literals may appear in index
+// expressions; any literal may appear in value expressions.
+type NumLit struct {
+	Pos     Pos
+	Text    string
+	Value   float64
+	IsInt   bool
+	IntVal  int
+	Negated bool
+}
+
+// Ident names a scalar variable or the induction variable.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr is an array element access `array[index]`.
+type IndexExpr struct {
+	Pos   Pos
+	Array string
+	Index Expr
+}
+
+// UnaryExpr is unary negation.
+type UnaryExpr struct {
+	Pos Pos
+	X   Expr
+}
+
+// BinOp is a binary operator.
+type BinOp int
+
+// Binary operators.
+const (
+	BinAdd BinOp = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinEq
+	BinNeq
+	BinLt
+	BinLe
+	BinGt
+	BinGe
+)
+
+// IsCompare reports whether the operator is a comparison.
+func (b BinOp) IsCompare() bool { return b >= BinEq }
+
+// String returns the operator's source spelling.
+func (b BinOp) String() string {
+	return [...]string{"+", "-", "*", "/", "==", "!=", "<", "<=", ">", ">="}[b]
+}
+
+// BinaryExpr is `x op y`.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   BinOp
+	X, Y Expr
+}
+
+func (*NumLit) exprNode()     {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+
+// ExprPos returns the position of the literal.
+func (e *NumLit) ExprPos() Pos { return e.Pos }
+
+// ExprPos returns the position of the identifier.
+func (e *Ident) ExprPos() Pos { return e.Pos }
+
+// ExprPos returns the position of the access.
+func (e *IndexExpr) ExprPos() Pos { return e.Pos }
+
+// ExprPos returns the position of the operator.
+func (e *UnaryExpr) ExprPos() Pos { return e.Pos }
+
+// ExprPos returns the position of the operator.
+func (e *BinaryExpr) ExprPos() Pos { return e.Pos }

@@ -1,0 +1,106 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanicsOnRandomBytes: the frontend must reject garbage with
+// errors, never panics.
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", data, r)
+			}
+		}()
+		_, _ = Parse(string(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanicsOnMutatedKernels: corrupting valid kernels at random
+// positions exercises error paths deep inside the parser and lowerer.
+func TestParseNeverPanicsOnMutatedKernels(t *testing.T) {
+	base := `
+kernel k lang=c nest=2 entries=3 {
+	param double a;
+	double x[], y[];
+	int idx[];
+	noalias;
+	for i = 0 .. 128 {
+		if (x[i] > a) { y[i] = x[i] * 2.0; } else { y[i] = y[idx[i]]; }
+		if (y[i] == 0.0) break;
+		call f();
+	}
+}`
+	mutants := []string{"", "}", "{", ";", "..", "for", "kernel", "==", "@", "3", "i"}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 400; trial++ {
+		src := base
+		// Apply 1-3 random splice mutations.
+		for m := 0; m < 1+rng.Intn(3); m++ {
+			pos := rng.Intn(len(src))
+			mut := mutants[rng.Intn(len(mutants))]
+			switch rng.Intn(3) {
+			case 0: // insert
+				src = src[:pos] + mut + src[pos:]
+			case 1: // delete a span
+				end := pos + rng.Intn(8)
+				if end > len(src) {
+					end = len(src)
+				}
+				src = src[:pos] + src[end:]
+			default: // replace
+				end := pos + rng.Intn(4)
+				if end > len(src) {
+					end = len(src)
+				}
+				src = src[:pos] + mut + src[end:]
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("frontend panicked on mutant:\n%s\npanic: %v", src, r)
+				}
+			}()
+			if k, err := ParseKernel(src); err == nil {
+				// If it still parses, lowering must also stay panic-free,
+				// and a successful lowering must produce valid IR.
+				if l, err := Lower(k); err == nil {
+					if verr := l.Validate(); verr != nil {
+						t.Fatalf("mutant lowered to invalid IR: %v\n%s", verr, src)
+					}
+				}
+			}
+		}()
+	}
+}
+
+// TestLexerPositionsMonotonic: token positions never go backwards.
+func TestLexerPositionsMonotonic(t *testing.T) {
+	srcs := []string{
+		"kernel k { double a[]; for i = 0 .. 4 { a[i] = 0.0; } }",
+		strings.Repeat("a ", 200),
+		"/* block */ x // line\ny",
+	}
+	for _, src := range srcs {
+		toks, err := Tokenize(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevLine, prevCol := 0, 0
+		for _, tok := range toks {
+			if tok.Pos.Line < prevLine || (tok.Pos.Line == prevLine && tok.Pos.Col < prevCol) {
+				t.Fatalf("position went backwards at %v", tok)
+			}
+			prevLine, prevCol = tok.Pos.Line, tok.Pos.Col
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package lang
+
+import "testing"
+
+func kinds(toks []Token) []Kind {
+	ks := make([]Kind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize("kernel k { for i = 0 .. 10 { a[i] = b + 1.5; } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{
+		TokKernel, TokIdent, TokLBrace, TokFor, TokIdent, TokAssign, TokNumber,
+		TokDotDot, TokNumber, TokLBrace, TokIdent, TokLBracket, TokIdent,
+		TokRBracket, TokAssign, TokIdent, TokPlus, TokNumber, TokSemi,
+		TokRBrace, TokRBrace, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks, err := Tokenize("== != < <= > >= = .. - * /")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{TokEq, TokNeq, TokLt, TokLe, TokGt, TokGe, TokAssign, TokDotDot, TokMinus, TokStar, TokSlash, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := Tokenize("a // line comment\n/* block\ncomment */ b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Errorf("tokens = %v", toks)
+	}
+	if toks[1].Pos.Line != 3 {
+		t.Errorf("b at line %d, want 3", toks[1].Pos.Line)
+	}
+}
+
+func TestTokenizeUnterminatedComment(t *testing.T) {
+	if _, err := Tokenize("a /* never closed"); err == nil {
+		t.Error("expected error for unterminated comment")
+	}
+}
+
+func TestTokenizeBadChar(t *testing.T) {
+	if _, err := Tokenize("a @ b"); err == nil {
+		t.Error("expected error for bad character")
+	}
+	if _, err := Tokenize("a ! b"); err == nil {
+		t.Error("expected error for lone !")
+	}
+	if _, err := Tokenize("a . b"); err == nil {
+		t.Error("expected error for lone .")
+	}
+}
+
+func TestTokenizeNumberBeforeDotDot(t *testing.T) {
+	toks, err := Tokenize("0..8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{TokNumber, TokDotDot, TokNumber, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tokens = %v, want %v", got, want)
+		}
+	}
+	if toks[0].Text != "0" || toks[2].Text != "8" {
+		t.Errorf("number texts = %q %q", toks[0].Text, toks[2].Text)
+	}
+}
+
+func TestTokenizeFloatNumber(t *testing.T) {
+	toks, err := Tokenize("1.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokNumber || toks[0].Text != "1.25" {
+		t.Errorf("token = %+v", toks[0])
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks, err := Tokenize("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("a pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("b pos = %v", toks[1].Pos)
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Tokenize("KERNEL For")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokKernel || toks[1].Kind != TokFor {
+		t.Errorf("kinds = %v %v", toks[0].Kind, toks[1].Kind)
+	}
+}

@@ -1,0 +1,203 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const daxpySrc = `
+kernel daxpy lang=c trip=0 nest=1 {
+	param double a;
+	double x[], y[];
+	noalias;
+	for i = 0 .. 4096 {
+		y[i] = y[i] + a * x[i];
+	}
+}
+`
+
+func TestParseDaxpy(t *testing.T) {
+	// trip=0 is not a real attribute; use a valid variant here.
+	src := strings.Replace(daxpySrc, " trip=0 nest=1", " nest=2", 1)
+	k, err := ParseKernel(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "daxpy" {
+		t.Errorf("name = %q", k.Name)
+	}
+	if k.Attrs["lang"] != "c" || k.Attrs["nest"] != "2" {
+		t.Errorf("attrs = %v", k.Attrs)
+	}
+	if !k.NoAlias {
+		t.Error("noalias not recorded")
+	}
+	if len(k.Decls) != 2 {
+		t.Fatalf("decls = %d", len(k.Decls))
+	}
+	if !k.Decls[0].Param || k.Decls[0].Type != TypeDouble {
+		t.Errorf("decl 0 = %+v", k.Decls[0])
+	}
+	if !k.Decls[1].Names[0].IsArray || !k.Decls[1].Names[1].IsArray {
+		t.Error("x,y should be arrays")
+	}
+	if k.Loop.IV != "i" || k.Loop.Lo != 0 {
+		t.Errorf("loop header = %+v", k.Loop)
+	}
+	hi, ok := k.Loop.Hi.(*NumLit)
+	if !ok || hi.IntVal != 4096 {
+		t.Errorf("hi = %#v", k.Loop.Hi)
+	}
+	if len(k.Loop.Body) != 1 {
+		t.Fatalf("body stmts = %d", len(k.Loop.Body))
+	}
+	asg, ok := k.Loop.Body[0].(*AssignStmt)
+	if !ok {
+		t.Fatalf("stmt = %T", k.Loop.Body[0])
+	}
+	if _, ok := asg.Target.(*IndexExpr); !ok {
+		t.Errorf("target = %T", asg.Target)
+	}
+}
+
+func TestParseSymbolicBound(t *testing.T) {
+	k, err := ParseKernel(`kernel k { double a[]; for i = 0 .. n { a[i] = 1; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := k.Loop.Hi.(*Ident); !ok {
+		t.Errorf("hi = %#v", k.Loop.Hi)
+	}
+}
+
+func TestParseIfElseAndBreak(t *testing.T) {
+	src := `
+kernel k {
+	double a[], b[];
+	int s;
+	for i = 0 .. 100 {
+		if (a[i] > 0) {
+			b[i] = a[i];
+		} else {
+			b[i] = 0 - a[i];
+		}
+		if (b[i] >= 100) break;
+		s = s + 1;
+		call helper();
+	}
+}`
+	k, err := ParseKernel(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Loop.Body) != 4 {
+		t.Fatalf("body stmts = %d", len(k.Loop.Body))
+	}
+	ifs, ok := k.Loop.Body[0].(*IfStmt)
+	if !ok || len(ifs.Then) != 1 || len(ifs.Else) != 1 {
+		t.Errorf("if stmt = %#v", k.Loop.Body[0])
+	}
+	if _, ok := k.Loop.Body[1].(*BreakIfStmt); !ok {
+		t.Errorf("stmt 1 = %T", k.Loop.Body[1])
+	}
+	if _, ok := k.Loop.Body[2].(*AssignStmt); !ok {
+		t.Errorf("stmt 2 = %T", k.Loop.Body[2])
+	}
+	cs, ok := k.Loop.Body[3].(*CallStmt)
+	if !ok || cs.Name != "helper" {
+		t.Errorf("stmt 3 = %#v", k.Loop.Body[3])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	k, err := ParseKernel(`kernel k { double s; double a[]; for i = 0 .. 10 { s = 1 + a[i] * 2 - 3 / a[i+1]; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := k.Loop.Body[0].(*AssignStmt)
+	// ((1 + (a[i]*2)) - (3/a[i+1]))
+	top, ok := asg.Value.(*BinaryExpr)
+	if !ok || top.Op != BinSub {
+		t.Fatalf("top = %#v", asg.Value)
+	}
+	left, ok := top.X.(*BinaryExpr)
+	if !ok || left.Op != BinAdd {
+		t.Fatalf("left = %#v", top.X)
+	}
+	if mul, ok := left.Y.(*BinaryExpr); !ok || mul.Op != BinMul {
+		t.Errorf("left.Y = %#v", left.Y)
+	}
+	if div, ok := top.Y.(*BinaryExpr); !ok || div.Op != BinDiv {
+		t.Errorf("top.Y = %#v", top.Y)
+	}
+}
+
+func TestParseParenAndUnary(t *testing.T) {
+	k, err := ParseKernel(`kernel k { double s, t; for i = 0 .. 10 { s = -(t + 1) * 2; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := k.Loop.Body[0].(*AssignStmt)
+	mul, ok := asg.Value.(*BinaryExpr)
+	if !ok || mul.Op != BinMul {
+		t.Fatalf("value = %#v", asg.Value)
+	}
+	if _, ok := mul.X.(*UnaryExpr); !ok {
+		t.Errorf("mul.X = %#v", mul.X)
+	}
+}
+
+func TestParseIndirectIndex(t *testing.T) {
+	k, err := ParseKernel(`kernel k { double a[]; int idx[]; for i = 0 .. 10 { a[idx[i]] = 1; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := k.Loop.Body[0].(*AssignStmt)
+	ix := asg.Target.(*IndexExpr)
+	if _, ok := ix.Index.(*IndexExpr); !ok {
+		t.Errorf("index = %#v", ix.Index)
+	}
+}
+
+func TestParseMultipleKernels(t *testing.T) {
+	f, err := Parse(`
+kernel a { double x[]; for i = 0 .. 4 { x[i] = 0; } }
+kernel b { double x[]; for i = 0 .. 4 { x[i] = 1; } }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Kernels) != 2 || f.Kernels[0].Name != "a" || f.Kernels[1].Name != "b" {
+		t.Errorf("kernels = %v", f.Kernels)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"no loop", "kernel k { double a[]; }"},
+		{"two loops", "kernel k { double a[]; for i = 0 .. 4 { a[i]=0; } for j = 0 .. 4 { a[j]=0; } }"},
+		{"dup attr", "kernel k lang=c lang=c { double a[]; for i = 0 .. 4 { a[i]=0; } }"},
+		{"bad stmt", "kernel k { double a[]; for i = 0 .. 4 { break; } }"},
+		{"assign to expr", "kernel k { double a[]; for i = 0 .. 4 { 3 = a[i]; } }"},
+		{"missing semi", "kernel k { double a[]; for i = 0 .. 4 { a[i] = 0 } }"},
+		{"array param", "kernel k { param double a[]; for i = 0 .. 4 { a[i]=0; } }"},
+		{"bad bound", "kernel k { double a[]; for i = 0 .. { a[i]=0; } }"},
+		{"extra kernel tokens", "kernel k = { }"},
+		{"two kernels same file one broken", "kernel a { double x[]; for i = 0 .. 4 { x[i]=0; } } kernel"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestParseSingleKernelHelper(t *testing.T) {
+	if _, err := ParseKernel("kernel a { double x[]; for i = 0 .. 4 { x[i]=0; } } kernel b { double x[]; for i = 0 .. 4 { x[i]=0; } }"); err == nil {
+		t.Error("ParseKernel should reject two kernels")
+	}
+}

@@ -1,0 +1,121 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Print renders a parsed file back to canonical LoopLang source. The output
+// reparses to an equivalent AST (same lowering), making the printer usable
+// for corpus dumps and test-case reduction.
+func Print(f *File) string {
+	var sb strings.Builder
+	for i, k := range f.Kernels {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		printKernel(&sb, k)
+	}
+	return sb.String()
+}
+
+// PrintKernel renders one kernel.
+func PrintKernel(k *Kernel) string {
+	var sb strings.Builder
+	printKernel(&sb, k)
+	return sb.String()
+}
+
+func printKernel(sb *strings.Builder, k *Kernel) {
+	fmt.Fprintf(sb, "kernel %s", k.Name)
+	// Attributes in a stable order.
+	keys := make([]string, 0, len(k.Attrs))
+	for key := range k.Attrs {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		fmt.Fprintf(sb, " %s=%s", key, k.Attrs[key])
+	}
+	sb.WriteString(" {\n")
+	for _, d := range k.Decls {
+		sb.WriteByte('\t')
+		if d.Param {
+			sb.WriteString("param ")
+		}
+		sb.WriteString(d.Type.String())
+		sb.WriteByte(' ')
+		for i, n := range d.Names {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(n.Name)
+			if n.IsArray {
+				sb.WriteString("[]")
+			}
+		}
+		sb.WriteString(";\n")
+	}
+	if k.NoAlias {
+		sb.WriteString("\tnoalias;\n")
+	}
+	printFor(sb, k.Loop, 1)
+	sb.WriteString("}\n")
+}
+
+func printFor(sb *strings.Builder, fl *ForLoop, depth int) {
+	ind := strings.Repeat("\t", depth)
+	fmt.Fprintf(sb, "%sfor %s = %d .. %s {\n", ind, fl.IV, fl.Lo, exprString(fl.Hi))
+	for _, s := range fl.Body {
+		printStmt(sb, s, depth+1)
+	}
+	fmt.Fprintf(sb, "%s}\n", ind)
+}
+
+func printStmt(sb *strings.Builder, s Stmt, depth int) {
+	ind := strings.Repeat("\t", depth)
+	switch st := s.(type) {
+	case *AssignStmt:
+		fmt.Fprintf(sb, "%s%s = %s;\n", ind, exprString(st.Target), exprString(st.Value))
+	case *IfStmt:
+		fmt.Fprintf(sb, "%sif (%s) {\n", ind, exprString(st.Cond))
+		for _, t := range st.Then {
+			printStmt(sb, t, depth+1)
+		}
+		if len(st.Else) > 0 {
+			fmt.Fprintf(sb, "%s} else {\n", ind)
+			for _, e := range st.Else {
+				printStmt(sb, e, depth+1)
+			}
+		}
+		fmt.Fprintf(sb, "%s}\n", ind)
+	case *BreakIfStmt:
+		fmt.Fprintf(sb, "%sif (%s) break;\n", ind, exprString(st.Cond))
+	case *CallStmt:
+		fmt.Fprintf(sb, "%scall %s();\n", ind, st.Name)
+	case *ForLoop:
+		printFor(sb, st, depth)
+	}
+}
+
+// exprString renders an expression fully parenthesized (except at the
+// leaves), so the output never depends on precedence reconstruction.
+func exprString(e Expr) string {
+	switch ex := e.(type) {
+	case *NumLit:
+		return ex.Text
+	case *Ident:
+		return ex.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", ex.Array, exprString(ex.Index))
+	case *UnaryExpr:
+		return fmt.Sprintf("(-%s)", exprString(ex.X))
+	case *BinaryExpr:
+		if ex.Op.IsCompare() {
+			return fmt.Sprintf("%s %s %s", exprString(ex.X), ex.Op, exprString(ex.Y))
+		}
+		return fmt.Sprintf("(%s %s %s)", exprString(ex.X), ex.Op, exprString(ex.Y))
+	}
+	return "?"
+}

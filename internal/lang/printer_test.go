@@ -1,0 +1,99 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+var printerSources = []string{
+	`kernel daxpy lang=c {
+	param double a;
+	double x[], y[];
+	noalias;
+	for i = 0 .. 4096 {
+		y[i] = y[i] + a * x[i];
+	}
+}`,
+	`kernel control lang=fortran nest=2 entries=7 runtime_trip=55 {
+	double a[], b[];
+	double m;
+	for i = 0 .. n {
+		if (a[i] > m) { m = a[i]; } else { b[i] = -a[i]; }
+		if (m >= 100.5) break;
+		call helper();
+	}
+}`,
+	`kernel nested lang=c {
+	double a[];
+	int idx[];
+	for j = 0 .. 16 {
+		for i = 2 .. 510 {
+			a[i] = a[i-2] * 0.5 + a[2*i+1] / (a[idx[i]] + 1.0);
+		}
+	}
+}`,
+}
+
+// TestPrintRoundTrip: printed source reparses, reprints identically
+// (idempotence), and lowers to the same IR as the original.
+func TestPrintRoundTrip(t *testing.T) {
+	for _, src := range printerSources {
+		k1, err := ParseKernel(src)
+		if err != nil {
+			t.Fatalf("parse original: %v", err)
+		}
+		printed := PrintKernel(k1)
+		k2, err := ParseKernel(printed)
+		if err != nil {
+			t.Fatalf("reparse printed:\n%s\nerror: %v", printed, err)
+		}
+		printed2 := PrintKernel(k2)
+		if printed != printed2 {
+			t.Errorf("printer not idempotent:\n--- first\n%s\n--- second\n%s", printed, printed2)
+		}
+		l1, err := Lower(k1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Lower(k2)
+		if err != nil {
+			t.Fatalf("lower printed:\n%s\nerror: %v", printed, err)
+		}
+		if l1.String() != l2.String() {
+			t.Errorf("printed kernel lowers differently:\n--- original IR\n%s\n--- printed IR\n%s", l1, l2)
+		}
+	}
+}
+
+func TestPrintFileMultipleKernels(t *testing.T) {
+	f, err := Parse(printerSources[0] + "\n" + printerSources[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(f)
+	f2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse file:\n%s\nerror: %v", out, err)
+	}
+	if len(f2.Kernels) != 2 {
+		t.Errorf("kernels after round trip = %d", len(f2.Kernels))
+	}
+	if !strings.Contains(out, "kernel daxpy") || !strings.Contains(out, "kernel control") {
+		t.Error("printed file lost kernels")
+	}
+}
+
+func TestPrintAttributeOrderStable(t *testing.T) {
+	k, err := ParseKernel(`kernel k runtime_trip=9 lang=c nest=3 entries=2 { double a[]; for i = 0 .. n { a[i] = 0.0; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := PrintKernel(k)
+	b := PrintKernel(k)
+	if a != b {
+		t.Error("printing not deterministic")
+	}
+	if !strings.Contains(a, "entries=2 lang=c nest=3 runtime_trip=9") {
+		t.Errorf("attributes not sorted:\n%s", a)
+	}
+}

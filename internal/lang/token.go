@@ -1,0 +1,158 @@
+// Package lang implements LoopLang, the small C/Fortran-flavoured kernel
+// language the benchmark corpus is written in. A kernel describes one
+// innermost loop — parameters, array declarations and the loop body — plus
+// the metadata the paper's feature vector needs (source language, nest
+// level, trip counts, entry counts).
+//
+// The package provides a lexer, a recursive-descent parser producing an AST,
+// and a lowering pass that if-converts control flow and emits the loop IR
+// consumed by the rest of the system.
+//
+// Example kernel:
+//
+//	kernel daxpy lang=c trip=4096 {
+//	    param double a;
+//	    double x[], y[];
+//	    noalias;
+//	    for i = 0 .. 4096 {
+//	        y[i] = y[i] + a * x[i];
+//	    }
+//	}
+package lang
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	TokEOF Kind = iota
+	TokIdent
+	TokNumber
+
+	// Punctuation and operators.
+	TokLBrace   // {
+	TokRBrace   // }
+	TokLParen   // (
+	TokRParen   // )
+	TokLBracket // [
+	TokRBracket // ]
+	TokSemi     // ;
+	TokComma    // ,
+	TokAssign   // =
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokSlash    // /
+	TokDotDot   // ..
+	TokEq       // ==
+	TokNeq      // !=
+	TokLt       // <
+	TokLe       // <=
+	TokGt       // >
+	TokGe       // >=
+
+	// Keywords.
+	TokKernel
+	TokParam
+	TokFor
+	TokIf
+	TokElse
+	TokBreak
+	TokCall
+	TokNoalias
+	TokDouble
+	TokFloat
+	TokInt
+	TokLong
+)
+
+var kindNames = map[Kind]string{
+	TokEOF:      "EOF",
+	TokIdent:    "identifier",
+	TokNumber:   "number",
+	TokLBrace:   "{",
+	TokRBrace:   "}",
+	TokLParen:   "(",
+	TokRParen:   ")",
+	TokLBracket: "[",
+	TokRBracket: "]",
+	TokSemi:     ";",
+	TokComma:    ",",
+	TokAssign:   "=",
+	TokPlus:     "+",
+	TokMinus:    "-",
+	TokStar:     "*",
+	TokSlash:    "/",
+	TokDotDot:   "..",
+	TokEq:       "==",
+	TokNeq:      "!=",
+	TokLt:       "<",
+	TokLe:       "<=",
+	TokGt:       ">",
+	TokGe:       ">=",
+	TokKernel:   "kernel",
+	TokParam:    "param",
+	TokFor:      "for",
+	TokIf:       "if",
+	TokElse:     "else",
+	TokBreak:    "break",
+	TokCall:     "call",
+	TokNoalias:  "noalias",
+	TokDouble:   "double",
+	TokFloat:    "float",
+	TokInt:      "int",
+	TokLong:     "long",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"kernel":  TokKernel,
+	"param":   TokParam,
+	"for":     TokFor,
+	"if":      TokIf,
+	"else":    TokElse,
+	"break":   TokBreak,
+	"call":    TokCall,
+	"noalias": TokNoalias,
+	"double":  TokDouble,
+	"float":   TokFloat,
+	"int":     TokInt,
+	"long":    TokLong,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// Error is a front-end error carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,166 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite reports that a Cholesky factorization failed because
+// the input matrix is not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L·Lᵀ.
+type Cholesky struct {
+	l *Matrix
+}
+
+// NewCholesky factors the symmetric positive definite matrix a. Only the
+// lower triangle of a is read. It returns ErrNotPositiveDefinite when a
+// non-positive pivot is encountered.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		lrowj := l.Row(j)
+		for k := 0; k < j; k++ {
+			d -= lrowj[k] * lrowj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			lrowi := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= lrowi[k] * lrowj[k]
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// L returns the lower-triangular factor (shared storage; do not modify).
+func (c *Cholesky) L() *Matrix { return c.l }
+
+// Solve solves A·x = b given the factorization of A, returning x.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	y := c.SolveLower(b)
+	return c.SolveUpper(y)
+}
+
+// SolveLower solves L·y = b by forward substitution.
+func (c *Cholesky) SolveLower(b []float64) []float64 {
+	n := c.l.Rows()
+	if len(b) != n {
+		panic(fmt.Sprintf("linalg: SolveLower length mismatch %d vs %d", len(b), n))
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := c.l.Row(i)
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	return y
+}
+
+// SolveUpper solves Lᵀ·x = y by back substitution.
+func (c *Cholesky) SolveUpper(y []float64) []float64 {
+	n := c.l.Rows()
+	if len(y) != n {
+		panic(fmt.Sprintf("linalg: SolveUpper length mismatch %d vs %d", len(y), n))
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x
+}
+
+// Inverse returns A⁻¹ computed column by column from the factorization.
+func (c *Cholesky) Inverse() *Matrix {
+	n := c.l.Rows()
+	inv := NewMatrix(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		x := c.Solve(e)
+		e[j] = 0
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, x[i])
+		}
+	}
+	return inv
+}
+
+// InverseDiagonal returns just the diagonal of A⁻¹. This is what the exact
+// LS-SVM leave-one-out formula needs; it avoids storing the full inverse when
+// the caller only wants the diagonal. It still costs one solve per column.
+func (c *Cholesky) InverseDiagonal() []float64 {
+	n := c.l.Rows()
+	diag := make([]float64, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		x := c.Solve(e)
+		e[j] = 0
+		diag[j] = x[j]
+	}
+	return diag
+}
+
+// InverseDiagonalFast returns the diagonal of A⁻¹ in O(n³/6) by inverting
+// the triangular factor: (A⁻¹)ⱼⱼ = Σᵢ (L⁻¹)ᵢⱼ². It is the workhorse of the
+// exact LS-SVM leave-one-out computation.
+func (c *Cholesky) InverseDiagonalFast() []float64 {
+	n := c.l.Rows()
+	// M = L⁻¹, computed column by column; only the lower triangle is
+	// nonzero.
+	m := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		m.Set(j, j, 1/c.l.At(j, j))
+		for i := j + 1; i < n; i++ {
+			var s float64
+			lrow := c.l.Row(i)
+			for k := j; k < i; k++ {
+				s += lrow[k] * m.At(k, j)
+			}
+			m.Set(i, j, -s/lrow[i])
+		}
+	}
+	diag := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var s float64
+		for i := j; i < n; i++ {
+			v := m.At(i, j)
+			s += v * v
+		}
+		diag[j] = s
+	}
+	return diag
+}
+
+// SolvePD factors a and solves a·x = b in one call. The matrix a must be
+// symmetric positive definite.
+func SolvePD(a *Matrix, b []float64) ([]float64, error) {
+	ch, err := NewCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return ch.Solve(b), nil
+}

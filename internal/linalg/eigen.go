@@ -1,0 +1,114 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns the eigenvalues in descending order and a
+// matrix whose columns are the corresponding orthonormal eigenvectors.
+// Only the lower triangle of a is trusted; the matrix is symmetrized first.
+func EigenSym(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	if a.Rows() != a.Cols() {
+		return nil, nil, fmt.Errorf("linalg: EigenSym of non-square %dx%d matrix", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	// Work on a symmetrized copy.
+	w := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := a.At(i, j)
+			w.Set(i, j, v)
+			w.Set(j, i, v)
+		}
+	}
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off < 1e-12 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				// Compute the Jacobi rotation that zeroes w[p][q].
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				applyJacobi(w, v, p, q, c, s)
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] > values[idx[j]] })
+	sorted := make([]float64, n)
+	vectors = NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sorted[newCol] = values[oldCol]
+		for r := 0; r < n; r++ {
+			vectors.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sorted, vectors, nil
+}
+
+// applyJacobi applies a Givens rotation in the (p,q) plane to w (two-sided)
+// and accumulates it into the eigenvector matrix v (one-sided).
+func applyJacobi(w, v *Matrix, p, q int, c, s float64) {
+	n := w.Rows()
+	for k := 0; k < n; k++ {
+		wkp := w.At(k, p)
+		wkq := w.At(k, q)
+		w.Set(k, p, c*wkp-s*wkq)
+		w.Set(k, q, s*wkp+c*wkq)
+	}
+	for k := 0; k < n; k++ {
+		wpk := w.At(p, k)
+		wqk := w.At(q, k)
+		w.Set(p, k, c*wpk-s*wqk)
+		w.Set(q, k, s*wpk+c*wqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp := v.At(k, p)
+		vkq := v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+func offDiagNorm(w *Matrix) float64 {
+	var s float64
+	n := w.Rows()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				s += w.At(i, j) * w.At(i, j)
+			}
+		}
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,285 @@
+package loopgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"metaopt/internal/ir"
+	"metaopt/internal/lang"
+	"metaopt/internal/transform"
+)
+
+func smallCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c, err := Generate(Options{Seed: 1, LoopsScale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGenerateStructure(t *testing.T) {
+	c := smallCorpus(t)
+	if len(c.Benchmarks) != 72 {
+		t.Fatalf("benchmarks = %d, want 72", len(c.Benchmarks))
+	}
+	if len(c.Spec2000()) != 24 {
+		t.Fatalf("spec2000 = %d, want 24", len(c.Spec2000()))
+	}
+	fp := 0
+	for _, b := range c.Spec2000() {
+		if b.FP {
+			fp++
+		}
+	}
+	if fp != 13 {
+		t.Errorf("SPECfp count = %d, want 13", fp)
+	}
+	if c.TotalLoops() == 0 {
+		t.Fatal("no loops")
+	}
+	for _, b := range c.Benchmarks {
+		if len(b.Loops) != len(b.Sources) {
+			t.Fatalf("%s: loops/sources mismatch", b.Name)
+		}
+		if b.SerialFrac <= 0 || b.SerialFrac >= 1 {
+			t.Errorf("%s: serial frac %v", b.Name, b.SerialFrac)
+		}
+		if b.NoiseScale < 1 {
+			t.Errorf("%s: noise scale %v", b.Name, b.NoiseScale)
+		}
+	}
+}
+
+func TestFullScaleCorpusSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus in -short mode")
+	}
+	c, err := Generate(Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c.TotalLoops(); n < 2800 || n > 4500 {
+		t.Errorf("full corpus loops = %d, want ~3300", n)
+	}
+}
+
+func TestLoopsValidAndUnrollable(t *testing.T) {
+	c := smallCorpus(t)
+	for _, b := range c.Benchmarks {
+		for i, l := range b.Loops {
+			if err := l.Validate(); err != nil {
+				t.Fatalf("%s loop %d: %v\n%s", b.Name, i, err, b.Sources[i])
+			}
+			if l.Benchmark != b.Name {
+				t.Fatalf("%s loop %d: benchmark tag %q", b.Name, i, l.Benchmark)
+			}
+			if _, _, err := transform.Unroll(l, 4); err != nil {
+				t.Fatalf("%s loop %d not unrollable: %v", b.Name, i, err)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Options{Seed: 42, LoopsScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Options{Seed: 42, LoopsScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Benchmarks {
+		if a.Benchmarks[i].Name != b.Benchmarks[i].Name {
+			t.Fatal("benchmark order differs")
+		}
+		for j := range a.Benchmarks[i].Sources {
+			if a.Benchmarks[i].Sources[j] != b.Benchmarks[i].Sources[j] {
+				t.Fatalf("%s loop %d source differs", a.Benchmarks[i].Name, j)
+			}
+		}
+	}
+	c, err := Generate(Options{Seed: 43, LoopsScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Benchmarks {
+		for j := range a.Benchmarks[i].Sources {
+			if j < len(c.Benchmarks[i].Sources) && a.Benchmarks[i].Sources[j] != c.Benchmarks[i].Sources[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestCorpusDiversity(t *testing.T) {
+	c := smallCorpus(t)
+	var langs = map[ir.Lang]int{}
+	earlyExit, calls, indirect, knownTrip := 0, 0, 0, 0
+	for _, b := range c.Benchmarks {
+		for _, l := range b.Loops {
+			langs[l.Lang]++
+			if l.EarlyExit {
+				earlyExit++
+			}
+			if l.TripCount > 0 {
+				knownTrip++
+			}
+			for _, op := range l.Body {
+				if op.Code == ir.OpCall {
+					calls++
+					break
+				}
+			}
+			for _, op := range l.Body {
+				if op.Mem != nil && op.Mem.Indirect {
+					indirect++
+					break
+				}
+			}
+		}
+	}
+	if len(langs) < 3 {
+		t.Errorf("languages = %v", langs)
+	}
+	if earlyExit == 0 || calls == 0 || indirect == 0 {
+		t.Errorf("diversity: exits=%d calls=%d indirect=%d", earlyExit, calls, indirect)
+	}
+	if knownTrip == 0 {
+		t.Error("no known-trip loops")
+	}
+}
+
+func TestFind(t *testing.T) {
+	c := smallCorpus(t)
+	if c.Find("171.swim") == nil {
+		t.Error("171.swim missing")
+	}
+	if c.Find("nonesuch") != nil {
+		t.Error("found nonexistent benchmark")
+	}
+}
+
+func TestAllFamiliesGenerateValidKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for f := family(0); f < numFamilies; f++ {
+		for trial := 0; trial < 8; trial++ {
+			p := kernelParams{
+				name: "k", lang: []string{"c", "fortran", "f90"}[trial%3],
+				noalias: trial%2 == 0, nest: 1 + trial%3, elem: "double",
+			}
+			if trial%2 == 0 {
+				p.trip = 64
+			} else {
+				p.runtime = 100
+			}
+			src := genKernel(f, rng, p)
+			if _, err := compileKernel(src); err != nil {
+				t.Fatalf("family %d trial %d: %v\n%s", f, trial, err, src)
+			}
+		}
+	}
+}
+
+func TestWrapOuterLoop(t *testing.T) {
+	src := "kernel k lang=c {\n\tdouble a[];\n\tfor i = 0 .. 8 {\n\t\ta[i] = 0.0;\n\t}\n}\n"
+	wrapped := wrapOuterLoop(src, 16)
+	l, err := compileKernel(wrapped)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, wrapped)
+	}
+	if l.NestLevel < 2 {
+		t.Errorf("nest level = %d, want >= 2\n%s", l.NestLevel, wrapped)
+	}
+	if l.Entries != 16 {
+		t.Errorf("entries = %d, want 16", l.Entries)
+	}
+	// Unwrappable input passes through untouched.
+	if got := wrapOuterLoop("garbage", 4); got != "garbage" {
+		t.Errorf("wrap of garbage = %q", got)
+	}
+}
+
+func TestCorpusContainsRealNests(t *testing.T) {
+	c, err := Generate(Options{Seed: 3, LoopsScale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested := 0
+	for _, b := range c.Benchmarks {
+		for _, src := range b.Sources {
+			if strings.Contains(src, "for oo = ") {
+				nested++
+			}
+		}
+	}
+	if nested == 0 {
+		t.Error("no explicitly nested kernels in the corpus")
+	}
+}
+
+// TestCorpusSourcesRoundTripThroughPrinter: every generated kernel must
+// survive parse → print → parse → lower with identical IR.
+func TestCorpusSourcesRoundTripThroughPrinter(t *testing.T) {
+	c, err := Generate(Options{Seed: 13, LoopsScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range c.Benchmarks {
+		for i, src := range b.Sources {
+			k, err := lang.ParseKernel(src)
+			if err != nil {
+				t.Fatalf("%s loop %d: %v", b.Name, i, err)
+			}
+			printed := lang.PrintKernel(k)
+			k2, err := lang.ParseKernel(printed)
+			if err != nil {
+				t.Fatalf("%s loop %d reparse: %v\n%s", b.Name, i, err, printed)
+			}
+			l1, err := lang.Lower(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l2, err := lang.Lower(k2)
+			if err != nil {
+				t.Fatalf("%s loop %d lower printed: %v", b.Name, i, err)
+			}
+			if l1.String() != l2.String() {
+				t.Fatalf("%s loop %d lowers differently after printing:\n%s\nvs\n%s", b.Name, i, l1, l2)
+			}
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	c := smallCorpus(t)
+	s := c.ComputeStats()
+	if s.Benchmarks != 72 || s.Loops != c.TotalLoops() {
+		t.Fatalf("stats counts: %d/%d", s.Benchmarks, s.Loops)
+	}
+	if s.KnownTrip+s.UnknownTrip != s.Loops {
+		t.Error("trip counts do not partition the corpus")
+	}
+	if s.MeanOps <= 3 {
+		t.Errorf("mean ops = %v", s.MeanOps)
+	}
+	total := 0
+	for _, n := range s.BySuite {
+		total += n
+	}
+	if total != s.Loops {
+		t.Error("suite counts do not partition the corpus")
+	}
+	out := s.Render()
+	for _, want := range []string{"SPEC2000", "languages:", "early-exit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,344 @@
+// Package loopgen generates the training corpus: 72 benchmarks spanning
+// six suites (including the 24 SPEC CPU2000 programs of the paper's
+// Figures 4 and 5), each containing dozens of innermost loops emitted as
+// LoopLang source text and compiled through the real frontend. Loop shapes
+// are drawn from families that mirror the paper's discussion of when
+// unrolling pays: streaming elementwise loops, reductions, stencils, memory
+// recurrences, strided and indirect accesses, if-converted branches, early
+// exits, calls, integer work, divides and wide independent expression
+// trees.
+package loopgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// family enumerates loop-shape generators.
+type family int
+
+const (
+	famStream family = iota
+	famReduce
+	famStencil
+	famRecur
+	famStrided
+	famGather
+	famBranchy
+	famSearch
+	famCalls
+	famInt
+	famDiv
+	famWide
+	numFamilies
+)
+
+// kernelParams carries the knobs a family generator works from.
+type kernelParams struct {
+	name    string
+	lang    string // "c", "fortran", "f90"
+	noalias bool   // for C kernels: restrict-style declaration
+	trip    int    // compile-time trip count; 0 = unknown bound
+	runtime int    // runtime trip when the bound is unknown
+	entries int64
+	nest    int
+	elem    string // "double" or "float"
+}
+
+// header emits the kernel line and declarations shared by all families.
+func (p *kernelParams) header(arrays []string, scalars string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "kernel %s lang=%s", p.name, p.lang)
+	if p.nest > 1 {
+		fmt.Fprintf(&sb, " nest=%d", p.nest)
+	}
+	if p.entries > 1 {
+		fmt.Fprintf(&sb, " entries=%d", p.entries)
+	}
+	if p.trip == 0 && p.runtime > 0 {
+		fmt.Fprintf(&sb, " runtime_trip=%d", p.runtime)
+	}
+	sb.WriteString(" {\n")
+	if len(arrays) > 0 {
+		fmt.Fprintf(&sb, "\t%s %s;\n", p.elem, strings.Join(arrays, "[], ")+"[]")
+	}
+	if scalars != "" {
+		sb.WriteString(scalars)
+	}
+	if p.noalias && p.lang == "c" {
+		sb.WriteString("\tnoalias;\n")
+	}
+	return sb.String()
+}
+
+func (p *kernelParams) forLine(lo int) string {
+	if p.trip > 0 {
+		return fmt.Sprintf("\tfor i = %d .. %d {\n", lo, lo+p.trip)
+	}
+	return fmt.Sprintf("\tfor i = %d .. n {\n", lo)
+}
+
+// arrayNames returns k distinct array names.
+func arrayNames(k int) []string {
+	base := []string{"a", "b", "c", "d", "e", "f", "g", "h", "p", "q", "r", "s2", "t2", "u2", "v2", "w2"}
+	return base[:k]
+}
+
+// genKernel dispatches to the family generator.
+func genKernel(f family, r *rand.Rand, p kernelParams) string {
+	switch f {
+	case famStream:
+		return genStream(r, p)
+	case famReduce:
+		return genReduce(r, p)
+	case famStencil:
+		return genStencil(r, p)
+	case famRecur:
+		return genRecur(r, p)
+	case famStrided:
+		return genStrided(r, p)
+	case famGather:
+		return genGather(r, p)
+	case famBranchy:
+		return genBranchy(r, p)
+	case famSearch:
+		return genSearch(r, p)
+	case famCalls:
+		return genCalls(r, p)
+	case famInt:
+		return genInt(r, p)
+	case famDiv:
+		return genDiv(r, p)
+	case famWide:
+		return genWide(r, p)
+	}
+	return genStream(r, p)
+}
+
+// genStream emits elementwise streaming loops: out[i] = f(in[i], ...).
+func genStream(r *rand.Rand, p kernelParams) string {
+	stmts := 1 + r.Intn(5)
+	narr := 2 + r.Intn(3) + stmts
+	if narr > 8 {
+		narr = 8
+	}
+	arrs := arrayNames(narr)
+	var sb strings.Builder
+	sb.WriteString(p.header(arrs, "\tparam double alpha;\n"))
+	sb.WriteString(p.forLine(0))
+	for s := 0; s < stmts; s++ {
+		dst := arrs[s%len(arrs)]
+		a := arrs[(s+1)%len(arrs)]
+		b := arrs[(s+2)%len(arrs)]
+		switch r.Intn(3) {
+		case 0:
+			fmt.Fprintf(&sb, "\t\t%s[i] = %s[i] + alpha * %s[i];\n", dst, dst, a)
+		case 1:
+			fmt.Fprintf(&sb, "\t\t%s[i] = %s[i] * %s[i] + %0.1f;\n", dst, a, b, 0.5+r.Float64())
+		default:
+			fmt.Fprintf(&sb, "\t\t%s[i] = alpha * %s[i] - %s[i];\n", dst, a, b)
+		}
+	}
+	sb.WriteString("\t}\n}\n")
+	return sb.String()
+}
+
+// genReduce emits reductions with 1-3 accumulators.
+func genReduce(r *rand.Rand, p kernelParams) string {
+	accs := 1 + r.Intn(3)
+	arrs := arrayNames(2)
+	var scal strings.Builder
+	names := []string{"s0", "s1", "s2"}[:accs]
+	fmt.Fprintf(&scal, "\tdouble %s;\n", strings.Join(names, ", "))
+	var sb strings.Builder
+	sb.WriteString(p.header(arrs, scal.String()))
+	sb.WriteString(p.forLine(0))
+	for k, s := range names {
+		switch (k + r.Intn(2)) % 3 {
+		case 0:
+			fmt.Fprintf(&sb, "\t\t%s = %s + %s[i] * %s[i];\n", s, s, arrs[0], arrs[1])
+		case 1:
+			fmt.Fprintf(&sb, "\t\t%s = %s + %s[i+%d];\n", s, s, arrs[k%2], k)
+		default:
+			fmt.Fprintf(&sb, "\t\t%s = %s + %s[i] * %0.2f;\n", s, s, arrs[0], 0.25+r.Float64())
+		}
+	}
+	sb.WriteString("\t}\n}\n")
+	return sb.String()
+}
+
+// genStencil emits neighborhood loops: b[i] = w·a[i-1] + a[i] + w·a[i+1].
+func genStencil(r *rand.Rand, p kernelParams) string {
+	width := 1 + r.Intn(2) // 3- or 5-point
+	arrs := arrayNames(2)
+	var sb strings.Builder
+	sb.WriteString(p.header(arrs, ""))
+	sb.WriteString(p.forLine(width))
+	terms := []string{}
+	for o := -width; o <= width; o++ {
+		switch {
+		case o == 0:
+			terms = append(terms, fmt.Sprintf("%s[i]", arrs[0]))
+		case o < 0:
+			terms = append(terms, fmt.Sprintf("%0.2f * %s[i-%d]", 0.1+r.Float64(), arrs[0], -o))
+		default:
+			terms = append(terms, fmt.Sprintf("%0.2f * %s[i+%d]", 0.1+r.Float64(), arrs[0], o))
+		}
+	}
+	fmt.Fprintf(&sb, "\t\t%s[i] = %s;\n", arrs[1], strings.Join(terms, " + "))
+	sb.WriteString("\t}\n}\n")
+	return sb.String()
+}
+
+// genRecur emits memory recurrences b[i] = f(b[i-d]); small d serializes.
+func genRecur(r *rand.Rand, p kernelParams) string {
+	d := 1 + r.Intn(4)
+	arrs := arrayNames(2)
+	var sb strings.Builder
+	sb.WriteString(p.header(arrs, ""))
+	sb.WriteString(p.forLine(d))
+	if r.Intn(2) == 0 {
+		fmt.Fprintf(&sb, "\t\t%s[i] = %s[i-%d] * %0.3f + %s[i];\n", arrs[0], arrs[0], d, 0.3+0.5*r.Float64(), arrs[1])
+	} else {
+		fmt.Fprintf(&sb, "\t\t%s[i] = %s[i-%d] + %s[i-%d];\n", arrs[0], arrs[0], d, arrs[0], d+1)
+	}
+	sb.WriteString("\t}\n}\n")
+	return sb.String()
+}
+
+// genStrided emits column-order accesses through a linearized 2-D array.
+func genStrided(r *rand.Rand, p kernelParams) string {
+	stride := []int{8, 16, 32, 64}[r.Intn(4)]
+	arrs := arrayNames(3)
+	var sb strings.Builder
+	sb.WriteString(p.header(arrs, "\tparam double alpha;\n"))
+	sb.WriteString(p.forLine(0))
+	fmt.Fprintf(&sb, "\t\t%s[i] = %s[%d*i] * alpha + %s[i];\n", arrs[2], arrs[0], stride, arrs[1])
+	if r.Intn(2) == 0 {
+		fmt.Fprintf(&sb, "\t\t%s[%d*i+1] = %s[i];\n", arrs[1], stride, arrs[2])
+	}
+	sb.WriteString("\t}\n}\n")
+	return sb.String()
+}
+
+// genGather emits indirect accesses a[idx[i]].
+func genGather(r *rand.Rand, p kernelParams) string {
+	arrs := arrayNames(2)
+	var sb strings.Builder
+	sb.WriteString(p.header(arrs, "\tint idx[];\n"))
+	sb.WriteString(p.forLine(0))
+	if r.Intn(2) == 0 {
+		fmt.Fprintf(&sb, "\t\t%s[i] = %s[idx[i]] * %0.2f;\n", arrs[0], arrs[1], 0.5+r.Float64())
+	} else {
+		fmt.Fprintf(&sb, "\t\t%s[idx[i]] = %s[idx[i]] + %s[i];\n", arrs[1], arrs[1], arrs[0])
+	}
+	sb.WriteString("\t}\n}\n")
+	return sb.String()
+}
+
+// genBranchy emits if-converted conditional updates.
+func genBranchy(r *rand.Rand, p kernelParams) string {
+	arrs := arrayNames(3)
+	var sb strings.Builder
+	sb.WriteString(p.header(arrs, "\tdouble m;\n"))
+	sb.WriteString(p.forLine(0))
+	switch r.Intn(3) {
+	case 0:
+		fmt.Fprintf(&sb, "\t\tif (%s[i] > m) { m = %s[i]; }\n", arrs[0], arrs[0])
+		fmt.Fprintf(&sb, "\t\t%s[i] = m;\n", arrs[1])
+	case 1:
+		fmt.Fprintf(&sb, "\t\tif (%s[i] > 0.0) { %s[i] = %s[i]; } else { %s[i] = 0.0 - %s[i]; }\n",
+			arrs[0], arrs[1], arrs[0], arrs[1], arrs[0])
+	default:
+		fmt.Fprintf(&sb, "\t\tif (%s[i] >= %s[i]) { %s[i] = %s[i] - %s[i]; }\n",
+			arrs[0], arrs[1], arrs[2], arrs[0], arrs[1])
+	}
+	sb.WriteString("\t}\n}\n")
+	return sb.String()
+}
+
+// genSearch emits data-dependent early exits.
+func genSearch(r *rand.Rand, p kernelParams) string {
+	arrs := arrayNames(1)
+	var sb strings.Builder
+	sb.WriteString(p.header(arrs, "\tdouble s;\n"))
+	sb.WriteString(p.forLine(0))
+	fmt.Fprintf(&sb, "\t\ts = s + %s[i];\n", arrs[0])
+	fmt.Fprintf(&sb, "\t\tif (s > %d.0) break;\n", 100+r.Intn(10000))
+	sb.WriteString("\t}\n}\n")
+	return sb.String()
+}
+
+// genCalls emits loops containing opaque calls.
+func genCalls(r *rand.Rand, p kernelParams) string {
+	arrs := arrayNames(2)
+	var sb strings.Builder
+	sb.WriteString(p.header(arrs, ""))
+	sb.WriteString(p.forLine(0))
+	fmt.Fprintf(&sb, "\t\t%s[i] = %s[i] + 1.0;\n", arrs[0], arrs[1])
+	sb.WriteString("\t\tcall helper();\n")
+	sb.WriteString("\t}\n}\n")
+	return sb.String()
+}
+
+// genInt emits integer-dominated loops.
+func genInt(r *rand.Rand, p kernelParams) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "kernel %s lang=%s", p.name, p.lang)
+	if p.nest > 1 {
+		fmt.Fprintf(&sb, " nest=%d", p.nest)
+	}
+	if p.entries > 1 {
+		fmt.Fprintf(&sb, " entries=%d", p.entries)
+	}
+	if p.trip == 0 && p.runtime > 0 {
+		fmt.Fprintf(&sb, " runtime_trip=%d", p.runtime)
+	}
+	sb.WriteString(" {\n\tint x[], y[], z[];\n\tint acc;\n")
+	if p.noalias && p.lang == "c" {
+		sb.WriteString("\tnoalias;\n")
+	}
+	sb.WriteString(p.forLine(0))
+	switch r.Intn(3) {
+	case 0:
+		sb.WriteString("\t\tz[i] = x[i] + y[i];\n\t\tacc = acc + z[i];\n")
+	case 1:
+		sb.WriteString("\t\tz[i] = x[i] * 3 + y[i] * 5;\n")
+	default:
+		sb.WriteString("\t\ty[i] = x[i] + i;\n\t\tacc = acc + y[i];\n")
+	}
+	sb.WriteString("\t}\n}\n")
+	return sb.String()
+}
+
+// genDiv emits divide-heavy loops (unpipelined units).
+func genDiv(r *rand.Rand, p kernelParams) string {
+	arrs := arrayNames(3)
+	var sb strings.Builder
+	sb.WriteString(p.header(arrs, ""))
+	sb.WriteString(p.forLine(0))
+	fmt.Fprintf(&sb, "\t\t%s[i] = %s[i] / (%s[i] + %0.2f);\n", arrs[2], arrs[0], arrs[1], 1.0+r.Float64())
+	sb.WriteString("\t}\n}\n")
+	return sb.String()
+}
+
+// genWide emits wide independent expression trees (high ILP).
+func genWide(r *rand.Rand, p kernelParams) string {
+	terms := 3 + r.Intn(6)
+	narr := 2*terms + 1
+	if narr > 13 {
+		narr = 13
+	}
+	arrs := arrayNames(narr)
+	var sb strings.Builder
+	sb.WriteString(p.header(arrs, ""))
+	sb.WriteString(p.forLine(0))
+	parts := []string{}
+	for k := 0; k < terms; k++ {
+		parts = append(parts, fmt.Sprintf("%s[i]*%s[i]", arrs[(1+2*k)%len(arrs)], arrs[(2+2*k)%len(arrs)]))
+	}
+	fmt.Fprintf(&sb, "\t\t%s[i] = %s;\n", arrs[0], strings.Join(parts, " + "))
+	sb.WriteString("\t}\n}\n")
+	return sb.String()
+}

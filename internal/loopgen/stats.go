@@ -1,0 +1,98 @@
+package loopgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"metaopt/internal/ir"
+)
+
+// Stats summarizes corpus composition, mirroring the corpus description in
+// the paper's Section 4.6 (suites, languages, loop properties).
+type Stats struct {
+	Benchmarks int
+	Loops      int
+
+	BySuite map[Suite]int // loops per suite
+	ByLang  map[ir.Lang]int
+
+	KnownTrip   int
+	UnknownTrip int
+	EarlyExit   int
+	WithCalls   int
+	WithIndir   int
+	Nested      int // nest level > 1
+
+	MeanOps float64
+}
+
+// ComputeStats tallies the corpus.
+func (c *Corpus) ComputeStats() *Stats {
+	s := &Stats{
+		Benchmarks: len(c.Benchmarks),
+		BySuite:    map[Suite]int{},
+		ByLang:     map[ir.Lang]int{},
+	}
+	totalOps := 0
+	for _, b := range c.Benchmarks {
+		s.BySuite[b.Suite] += len(b.Loops)
+		for _, l := range b.Loops {
+			s.Loops++
+			s.ByLang[l.Lang]++
+			totalOps += l.NumOps()
+			if l.TripCount > 0 {
+				s.KnownTrip++
+			} else {
+				s.UnknownTrip++
+			}
+			if l.EarlyExit {
+				s.EarlyExit++
+			}
+			if l.NestLevel > 1 {
+				s.Nested++
+			}
+			for _, op := range l.Body {
+				if op.Code == ir.OpCall {
+					s.WithCalls++
+					break
+				}
+			}
+			for _, op := range l.Body {
+				if op.Mem != nil && op.Mem.Indirect {
+					s.WithIndir++
+					break
+				}
+			}
+		}
+	}
+	if s.Loops > 0 {
+		s.MeanOps = float64(totalOps) / float64(s.Loops)
+	}
+	return s
+}
+
+// Render formats the statistics.
+func (s *Stats) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "corpus: %d benchmarks, %d loops (mean body %.1f ops)\n",
+		s.Benchmarks, s.Loops, s.MeanOps)
+	suites := make([]string, 0, len(s.BySuite))
+	for suite := range s.BySuite {
+		suites = append(suites, string(suite))
+	}
+	sort.Strings(suites)
+	for _, suite := range suites {
+		fmt.Fprintf(&sb, "  %-12s %5d loops\n", suite, s.BySuite[Suite(suite)])
+	}
+	langs := []ir.Lang{ir.LangC, ir.LangFortran, ir.LangFortran90}
+	sb.WriteString("languages:")
+	for _, l := range langs {
+		fmt.Fprintf(&sb, " %s=%d", l, s.ByLang[l])
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "trip counts: %d known, %d unknown\n", s.KnownTrip, s.UnknownTrip)
+	fmt.Fprintf(&sb, "control: %d early-exit, %d with calls, %d with indirect refs, %d nested\n",
+		s.EarlyExit, s.WithCalls, s.WithIndir, s.Nested)
+	return sb.String()
+}

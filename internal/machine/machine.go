@@ -1,0 +1,312 @@
+// Package machine describes the target processor to the schedulers and the
+// timing simulator. The default description models an Itanium 2 class
+// machine — a 6-issue in-order VLIW with explicit functional-unit classes,
+// large rotating register files and predication — which is the platform the
+// paper evaluates on. Alternative descriptions support retargeting
+// experiments (the paper's motivation is cheap retuning after architectural
+// changes).
+package machine
+
+import (
+	"fmt"
+
+	"metaopt/internal/ir"
+)
+
+// UnitKind classifies functional units, following Itanium conventions:
+// M (memory), I (integer), F (floating point), B (branch).
+type UnitKind int
+
+// Functional unit kinds.
+const (
+	UnitM UnitKind = iota
+	UnitI
+	UnitF
+	UnitB
+	numUnits
+)
+
+// NumUnitKinds is the number of distinct unit kinds.
+const NumUnitKinds = int(numUnits)
+
+// String returns the unit letter.
+func (u UnitKind) String() string {
+	switch u {
+	case UnitM:
+		return "M"
+	case UnitI:
+		return "I"
+	case UnitF:
+		return "F"
+	case UnitB:
+		return "B"
+	}
+	return "?"
+}
+
+// Desc is a machine description.
+type Desc struct {
+	Name string
+
+	// IssueWidth is the total number of operations issued per cycle.
+	IssueWidth int
+
+	// Units maps each unit kind to the number of available slots per cycle.
+	Units [NumUnitKinds]int
+
+	// Latencies per opcode (cycles from issue to result availability).
+	IntLatency          int // simple integer ALU
+	IntMulLat           int // integer multiply (runs on F units on Itanium)
+	IntDivLat           int
+	FPLat               int // FP add/sub/mul/FMA
+	FPDivLat            int
+	CmpLat              int
+	SelLat              int
+	ConvLat             int
+	IntLoadLat          int
+	FPLoadLat           int
+	StoreLat            int
+	CallCycles          int // fixed cost charged for an opaque call
+	DivBlock            int // cycles a divide occupies its unit (unpipelined)
+	IndirectLoadPenalty int // expected extra cycles for indirect (gather) loads
+	StridePenalty       int // expected extra cycles per load with stride > StrideHitLimit
+	StrideHitLimit      int // largest stride (in elements) assumed to stay in cache lines
+
+	// Register files.
+	IntRegs      int // general registers available to the loop
+	FPRegs       int
+	RotatingRegs int // registers available for modulo-scheduled variables
+	SpillCost    int // cycles per spill/reload pair per iteration
+
+	// Front end / code size.
+	OpsPerBundle  int // operations per instruction bundle
+	BundleBytes   int
+	L1IBytes      int // instruction cache capacity available to a loop
+	L1IMissCycles int // per-iteration penalty factor once a loop overflows L1I
+
+	// Branching.
+	BranchCycles      int // back-edge branch cost per unrolled body execution
+	EarlyExitOverhead int // extra per-copy cycles for replicated side exits
+}
+
+// Itanium2 returns the default machine description: a 1.3 GHz Itanium 2
+// class core (6-issue; 4 M, 2 I, 2 F, 3 B units; 128 GR / 128 FR of which
+// about half are usable for loop values; 16 KB L1I).
+func Itanium2() *Desc {
+	d := &Desc{
+		Name:       "itanium2",
+		IssueWidth: 6,
+
+		IntLatency: 1,
+		IntMulLat:  4,
+		IntDivLat:  24,
+		FPLat:      4,
+		FPDivLat:   16,
+		CmpLat:     1,
+		SelLat:     1,
+		ConvLat:    4,
+		IntLoadLat: 2,
+		FPLoadLat:  6,
+		StoreLat:   1,
+		CallCycles: 24,
+		DivBlock:   8,
+
+		IndirectLoadPenalty: 9,
+		StridePenalty:       4,
+		StrideHitLimit:      4,
+
+		// Of the 128 architectural registers per file, the compiler keeps
+		// roughly half free for loop values (globals, stacked frames and
+		// the software conventions consume the rest).
+		IntRegs:      64,
+		FPRegs:       64,
+		RotatingRegs: 64,
+		SpillCost:    3,
+
+		OpsPerBundle:  3,
+		BundleBytes:   16,
+		L1IBytes:      16 * 1024,
+		L1IMissCycles: 8,
+
+		BranchCycles:      1,
+		EarlyExitOverhead: 1,
+	}
+	d.Units[UnitM] = 4
+	d.Units[UnitI] = 2
+	d.Units[UnitF] = 2
+	d.Units[UnitB] = 3
+	return d
+}
+
+// Embedded returns a narrow 2-issue machine with small register files and a
+// tiny instruction cache. It exists for retargeting experiments: the best
+// unroll factors on this machine differ sharply from Itanium 2.
+func Embedded() *Desc {
+	d := &Desc{
+		Name:       "embedded2",
+		IssueWidth: 2,
+
+		IntLatency: 1,
+		IntMulLat:  3,
+		IntDivLat:  20,
+		FPLat:      3,
+		FPDivLat:   18,
+		CmpLat:     1,
+		SelLat:     1,
+		ConvLat:    2,
+		IntLoadLat: 2,
+		FPLoadLat:  3,
+		StoreLat:   1,
+		CallCycles: 16,
+		DivBlock:   10,
+
+		IndirectLoadPenalty: 12,
+		StridePenalty:       6,
+		StrideHitLimit:      2,
+
+		IntRegs:      24,
+		FPRegs:       16,
+		RotatingRegs: 0,
+		SpillCost:    4,
+
+		OpsPerBundle:  1,
+		BundleBytes:   4,
+		L1IBytes:      4 * 1024,
+		L1IMissCycles: 10,
+
+		BranchCycles:      2,
+		EarlyExitOverhead: 2,
+	}
+	d.Units[UnitM] = 1
+	d.Units[UnitI] = 2
+	d.Units[UnitF] = 1
+	d.Units[UnitB] = 1
+	return d
+}
+
+// Wide returns a hypothetical Itanium successor: 8-issue with four FP
+// units, faster FP loads and a bigger I-cache. It exists for retargeting
+// experiments — the paper's Section 4.5 scenario of retuning after an
+// architectural change.
+func Wide() *Desc {
+	d := Itanium2()
+	d.Name = "wide8"
+	d.IssueWidth = 8
+	d.Units[UnitM] = 4
+	d.Units[UnitI] = 4
+	d.Units[UnitF] = 4
+	d.Units[UnitB] = 3
+	d.FPLoadLat = 4
+	d.L1IBytes = 32 * 1024
+	d.IntRegs = 96
+	d.FPRegs = 96
+	d.RotatingRegs = 96
+	return d
+}
+
+// UnitFor returns the functional unit class an operation executes on.
+func (d *Desc) UnitFor(code ir.Opcode) UnitKind {
+	switch code {
+	case ir.OpLoad, ir.OpStore:
+		return UnitM
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFMA, ir.OpFCmp, ir.OpConv, ir.OpMul, ir.OpDiv:
+		// Integer multiply/divide execute on the FP side on Itanium.
+		return UnitF
+	case ir.OpBr, ir.OpCondBr, ir.OpCall:
+		return UnitB
+	default:
+		return UnitI
+	}
+}
+
+// Latency returns the cycles from issue of op until its result is available.
+func (d *Desc) Latency(op *ir.Op) int {
+	switch op.Code {
+	case ir.OpAdd, ir.OpSub, ir.OpShl, ir.OpShr, ir.OpAnd, ir.OpOr, ir.OpXor:
+		return d.IntLatency
+	case ir.OpMul:
+		return d.IntMulLat
+	case ir.OpDiv:
+		return d.IntDivLat
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFMA:
+		return d.FPLat
+	case ir.OpFDiv:
+		return d.FPDivLat
+	case ir.OpCmp, ir.OpFCmp:
+		return d.CmpLat
+	case ir.OpSel:
+		return d.SelLat
+	case ir.OpConv:
+		return d.ConvLat
+	case ir.OpLoad:
+		return d.loadLatency(op)
+	case ir.OpStore:
+		return d.StoreLat
+	case ir.OpBr, ir.OpCondBr:
+		return d.BranchCycles
+	case ir.OpCall:
+		return d.CallCycles
+	}
+	return 1
+}
+
+func (d *Desc) loadLatency(op *ir.Op) int {
+	base := d.IntLoadLat
+	if op.Mem != nil && op.Mem.Elem.Float {
+		base = d.FPLoadLat
+	}
+	if op.Mem != nil {
+		if op.Mem.Indirect {
+			base += d.IndirectLoadPenalty
+		} else if abs(op.Mem.Stride) > d.StrideHitLimit {
+			base += d.StridePenalty
+		}
+	}
+	return base
+}
+
+// BlockCycles returns how many cycles op occupies its functional unit.
+// Divides are unpipelined; everything else is fully pipelined.
+func (d *Desc) BlockCycles(code ir.Opcode) int {
+	if code == ir.OpDiv || code == ir.OpFDiv {
+		return d.DivBlock
+	}
+	return 1
+}
+
+// CodeBytes returns the code footprint of n operations.
+func (d *Desc) CodeBytes(n int) int {
+	bundles := (n + d.OpsPerBundle - 1) / d.OpsPerBundle
+	return bundles * d.BundleBytes
+}
+
+// Validate checks the description for obvious inconsistencies.
+func (d *Desc) Validate() error {
+	if d.IssueWidth < 1 {
+		return fmt.Errorf("machine %s: issue width %d", d.Name, d.IssueWidth)
+	}
+	total := 0
+	for _, n := range d.Units {
+		if n < 0 {
+			return fmt.Errorf("machine %s: negative unit count", d.Name)
+		}
+		total += n
+	}
+	if total < d.IssueWidth {
+		return fmt.Errorf("machine %s: %d unit slots cannot sustain issue width %d", d.Name, total, d.IssueWidth)
+	}
+	if d.OpsPerBundle < 1 || d.BundleBytes < 1 {
+		return fmt.Errorf("machine %s: bad bundle geometry", d.Name)
+	}
+	if d.IntRegs < 1 || d.FPRegs < 1 {
+		return fmt.Errorf("machine %s: bad register files", d.Name)
+	}
+	return nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,151 @@
+package machine
+
+import (
+	"testing"
+
+	"metaopt/internal/ir"
+)
+
+func TestItanium2Valid(t *testing.T) {
+	d := Itanium2()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.IssueWidth != 6 {
+		t.Errorf("issue width = %d", d.IssueWidth)
+	}
+	if d.Units[UnitM] != 4 || d.Units[UnitF] != 2 {
+		t.Errorf("units = %v", d.Units)
+	}
+}
+
+func TestEmbeddedValid(t *testing.T) {
+	if err := Embedded().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnitFor(t *testing.T) {
+	d := Itanium2()
+	cases := []struct {
+		code ir.Opcode
+		want UnitKind
+	}{
+		{ir.OpLoad, UnitM},
+		{ir.OpStore, UnitM},
+		{ir.OpAdd, UnitI},
+		{ir.OpCmp, UnitI},
+		{ir.OpSel, UnitI},
+		{ir.OpFAdd, UnitF},
+		{ir.OpFMA, UnitF},
+		{ir.OpMul, UnitF}, // integer multiply runs on the FP side
+		{ir.OpBr, UnitB},
+		{ir.OpCall, UnitB},
+	}
+	for _, c := range cases {
+		if got := d.UnitFor(c.code); got != c.want {
+			t.Errorf("UnitFor(%s) = %s, want %s", c.code, got, c.want)
+		}
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	d := Itanium2()
+	fadd := &ir.Op{Code: ir.OpFAdd}
+	if d.Latency(fadd) != d.FPLat {
+		t.Errorf("fadd latency = %d", d.Latency(fadd))
+	}
+	intLd := &ir.Op{Code: ir.OpLoad, Mem: &ir.MemRef{Array: "a", Stride: 1, Elem: ir.ElemI64}}
+	if d.Latency(intLd) != d.IntLoadLat {
+		t.Errorf("int load latency = %d", d.Latency(intLd))
+	}
+	fpLd := &ir.Op{Code: ir.OpLoad, Mem: &ir.MemRef{Array: "a", Stride: 1, Elem: ir.ElemF64}}
+	if d.Latency(fpLd) != d.FPLoadLat {
+		t.Errorf("fp load latency = %d", d.Latency(fpLd))
+	}
+	ind := &ir.Op{Code: ir.OpLoad, Mem: &ir.MemRef{Array: "a", Indirect: true, Elem: ir.ElemF64}}
+	if d.Latency(ind) != d.FPLoadLat+d.IndirectLoadPenalty {
+		t.Errorf("indirect load latency = %d", d.Latency(ind))
+	}
+	strided := &ir.Op{Code: ir.OpLoad, Mem: &ir.MemRef{Array: "a", Stride: 16, Elem: ir.ElemF64}}
+	if d.Latency(strided) != d.FPLoadLat+d.StridePenalty {
+		t.Errorf("strided load latency = %d", d.Latency(strided))
+	}
+	negStride := &ir.Op{Code: ir.OpLoad, Mem: &ir.MemRef{Array: "a", Stride: -16, Elem: ir.ElemF64}}
+	if d.Latency(negStride) != d.FPLoadLat+d.StridePenalty {
+		t.Errorf("negative strided load latency = %d", d.Latency(negStride))
+	}
+}
+
+func TestBlockCycles(t *testing.T) {
+	d := Itanium2()
+	if d.BlockCycles(ir.OpFAdd) != 1 {
+		t.Error("fadd should be pipelined")
+	}
+	if d.BlockCycles(ir.OpFDiv) != d.DivBlock {
+		t.Error("fdiv should block its unit")
+	}
+	if d.BlockCycles(ir.OpDiv) != d.DivBlock {
+		t.Error("div should block its unit")
+	}
+}
+
+func TestCodeBytes(t *testing.T) {
+	d := Itanium2()
+	if got := d.CodeBytes(3); got != 16 {
+		t.Errorf("CodeBytes(3) = %d, want 16", got)
+	}
+	if got := d.CodeBytes(4); got != 32 {
+		t.Errorf("CodeBytes(4) = %d, want 32", got)
+	}
+	if got := d.CodeBytes(0); got != 0 {
+		t.Errorf("CodeBytes(0) = %d, want 0", got)
+	}
+}
+
+func TestValidateCatchesBadDesc(t *testing.T) {
+	d := Itanium2()
+	d.IssueWidth = 0
+	if err := d.Validate(); err == nil {
+		t.Error("expected error for zero issue width")
+	}
+	d = Itanium2()
+	d.Units[UnitM] = 0
+	d.Units[UnitI] = 0
+	d.Units[UnitF] = 0
+	d.Units[UnitB] = 0
+	if err := d.Validate(); err == nil {
+		t.Error("expected error for insufficient units")
+	}
+	d = Itanium2()
+	d.OpsPerBundle = 0
+	if err := d.Validate(); err == nil {
+		t.Error("expected error for bad bundle geometry")
+	}
+	d = Itanium2()
+	d.FPRegs = 0
+	if err := d.Validate(); err == nil {
+		t.Error("expected error for bad register file")
+	}
+}
+
+func TestUnitKindString(t *testing.T) {
+	if UnitM.String() != "M" || UnitB.String() != "B" || UnitKind(9).String() != "?" {
+		t.Error("UnitKind.String wrong")
+	}
+}
+
+func TestWideValid(t *testing.T) {
+	d := Wide()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.IssueWidth != 8 || d.Units[UnitF] != 4 {
+		t.Errorf("wide geometry: issue %d, F %d", d.IssueWidth, d.Units[UnitF])
+	}
+	// Wide must not alias Itanium2's description.
+	i2 := Itanium2()
+	if i2.IssueWidth != 6 {
+		t.Error("Wide mutated the Itanium2 description")
+	}
+}

@@ -1,0 +1,88 @@
+// Package greedy implements forward greedy feature selection (the paper's
+// Section 7.2): starting from the empty set, each round adds the feature
+// that minimizes the given classifier's error on the training set, until k
+// features have been chosen.
+package greedy
+
+import (
+	"fmt"
+
+	"metaopt/internal/ml"
+)
+
+// Result of one selection round.
+type Result struct {
+	Feature int     // the feature chosen this round
+	Error   float64 // classification error with the set so far
+}
+
+// Select runs greedy forward selection for k features using the trainer's
+// error on the dataset. Trainers with a fast leave-one-out shortcut are
+// scored by LOOCV error (the paper's near-neighbor variant searches for the
+// single closest *other* point, which is exactly LOO-1NN); others are
+// scored by plain training error.
+func Select(tr ml.Trainer, d *ml.Dataset, k int) ([]Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	dim := len(d.Examples[0].Features)
+	if k > dim {
+		k = dim
+	}
+	chosen := make([]int, 0, k)
+	used := make([]bool, dim)
+	var results []Result
+	for round := 0; round < k; round++ {
+		bestF, bestErr := -1, 2.0
+		for f := 0; f < dim; f++ {
+			if used[f] {
+				continue
+			}
+			sub := d.Select(append(chosen[:len(chosen):len(chosen)], f))
+			e, err := errorOf(tr, sub)
+			if err != nil {
+				return nil, fmt.Errorf("greedy: feature %d: %w", f, err)
+			}
+			if e < bestErr {
+				bestF, bestErr = f, e
+			}
+		}
+		if bestF < 0 {
+			break
+		}
+		used[bestF] = true
+		chosen = append(chosen, bestF)
+		results = append(results, Result{Feature: bestF, Error: bestErr})
+	}
+	return results, nil
+}
+
+// Features extracts just the chosen feature indices from results.
+func Features(results []Result) []int {
+	out := make([]int, len(results))
+	for i, r := range results {
+		out[i] = r.Feature
+	}
+	return out
+}
+
+func errorOf(tr ml.Trainer, d *ml.Dataset) (float64, error) {
+	if fast, ok := tr.(ml.LOOCVer); ok {
+		preds, err := fast.LOOCV(d)
+		if err != nil {
+			return 0, err
+		}
+		return 1 - ml.Accuracy(d, preds), nil
+	}
+	c, err := tr.Train(d)
+	if err != nil {
+		return 0, err
+	}
+	miss := 0
+	for _, e := range d.Examples {
+		if c.Predict(e.Features) != e.Label {
+			miss++
+		}
+	}
+	return float64(miss) / float64(d.Len()), nil
+}

@@ -1,0 +1,373 @@
+// Package ml defines the supervised-learning core the paper's experiments
+// are built from: labeled datasets of loop feature vectors, feature
+// normalization and projection, classifier interfaces, leave-one-out
+// cross-validation, and the rank/cost metrics of Table 2.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// NumClasses is the number of labels: unroll factors 1..8.
+const NumClasses = 8
+
+// Example is one labeled loop.
+type Example struct {
+	Name      string // loop name, unique within a benchmark
+	Benchmark string // owning benchmark
+	Features  []float64
+	Label     int // best unroll factor, 1..NumClasses
+
+	// Cycles holds the measured runtime for each unroll factor (index
+	// 1..8; index 0 unused). It backs the rank and cost columns of
+	// Table 2 and the oracle of Figures 4/5.
+	Cycles [NumClasses + 1]int64
+}
+
+// Dataset is a labeled training set.
+type Dataset struct {
+	Examples     []Example
+	FeatureNames []string
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return len(d.Examples) }
+
+// Validate checks labels and dimensions.
+func (d *Dataset) Validate() error {
+	if d.Len() == 0 {
+		return fmt.Errorf("ml: empty dataset")
+	}
+	dim := len(d.Examples[0].Features)
+	if len(d.FeatureNames) != 0 && len(d.FeatureNames) != dim {
+		return fmt.Errorf("ml: %d feature names for %d features", len(d.FeatureNames), dim)
+	}
+	for i, e := range d.Examples {
+		if e.Label < 1 || e.Label > NumClasses {
+			return fmt.Errorf("ml: example %d (%s) has label %d", i, e.Name, e.Label)
+		}
+		if len(e.Features) != dim {
+			return fmt.Errorf("ml: example %d (%s) has %d features, want %d", i, e.Name, len(e.Features), dim)
+		}
+	}
+	return nil
+}
+
+// Select returns a dataset projected onto the given feature indices.
+func (d *Dataset) Select(idx []int) *Dataset {
+	out := &Dataset{Examples: make([]Example, d.Len())}
+	for _, j := range idx {
+		name := fmt.Sprintf("f%d", j)
+		if j < len(d.FeatureNames) {
+			name = d.FeatureNames[j]
+		}
+		out.FeatureNames = append(out.FeatureNames, name)
+	}
+	for i, e := range d.Examples {
+		ne := e
+		ne.Features = make([]float64, len(idx))
+		for k, j := range idx {
+			ne.Features[k] = e.Features[j]
+		}
+		out.Examples[i] = ne
+	}
+	return out
+}
+
+// WithoutBenchmark splits off every example belonging to the named
+// benchmark: train gets the rest, test gets the benchmark's loops. This is
+// the evaluation protocol of Figures 4 and 5.
+func (d *Dataset) WithoutBenchmark(name string) (train, test *Dataset) {
+	train = &Dataset{FeatureNames: d.FeatureNames}
+	test = &Dataset{FeatureNames: d.FeatureNames}
+	for _, e := range d.Examples {
+		if e.Benchmark == name {
+			test.Examples = append(test.Examples, e)
+		} else {
+			train.Examples = append(train.Examples, e)
+		}
+	}
+	return train, test
+}
+
+// Without returns the dataset minus example i (for leave-one-out).
+func (d *Dataset) Without(i int) *Dataset {
+	out := &Dataset{FeatureNames: d.FeatureNames}
+	out.Examples = append(out.Examples, d.Examples[:i]...)
+	out.Examples = append(out.Examples, d.Examples[i+1:]...)
+	return out
+}
+
+// Norm is a per-feature normalizer mapping training values into [0, 1].
+// Counts and cycle estimates are heavy-tailed (a trip count spans 4 to
+// 8192), so values first pass through a signed log transform before min-max
+// scaling; this "weighs all features equally" (the paper's requirement) in
+// a way that keeps resolution where most loops live.
+type Norm struct {
+	Min, Scale []float64
+}
+
+// squash is the monotone transform applied before scaling.
+func squash(v float64) float64 {
+	if v < 0 {
+		return -math.Log1p(-v)
+	}
+	return math.Log1p(v)
+}
+
+// FitNorm computes normalization statistics over a dataset.
+func FitNorm(d *Dataset) *Norm {
+	if d.Len() == 0 {
+		return &Norm{}
+	}
+	dim := len(d.Examples[0].Features)
+	n := &Norm{Min: make([]float64, dim), Scale: make([]float64, dim)}
+	for j := 0; j < dim; j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, e := range d.Examples {
+			v := squash(e.Features[j])
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		n.Min[j] = lo
+		if hi > lo {
+			n.Scale[j] = 1 / (hi - lo)
+		}
+	}
+	return n
+}
+
+// Apply maps a raw feature vector into normalized space.
+func (n *Norm) Apply(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for j := range v {
+		if j < len(n.Min) {
+			out[j] = (squash(v[j]) - n.Min[j]) * n.Scale[j]
+		}
+	}
+	return out
+}
+
+// ApplyAll normalizes every example, returning the matrix of rows.
+func (n *Norm) ApplyAll(d *Dataset) [][]float64 {
+	rows := make([][]float64, d.Len())
+	for i, e := range d.Examples {
+		rows[i] = n.Apply(e.Features)
+	}
+	return rows
+}
+
+// Classifier predicts an unroll factor from a raw (unnormalized) feature
+// vector.
+type Classifier interface {
+	Predict(features []float64) int
+}
+
+// Trainer builds a classifier from a dataset.
+type Trainer interface {
+	Train(d *Dataset) (Classifier, error)
+}
+
+// LOOCVer is implemented by trainers with a fast exact leave-one-out
+// shortcut (the LS-SVM); LOOCV uses it when available.
+type LOOCVer interface {
+	LOOCV(d *Dataset) ([]int, error)
+}
+
+// LOOCV runs leave-one-out cross-validation and returns the held-out
+// prediction for every example.
+func LOOCV(tr Trainer, d *Dataset) ([]int, error) {
+	if fast, ok := tr.(LOOCVer); ok {
+		return fast.LOOCV(d)
+	}
+	preds := make([]int, d.Len())
+	for i := range d.Examples {
+		c, err := tr.Train(d.Without(i))
+		if err != nil {
+			return nil, fmt.Errorf("ml: LOOCV fold %d: %w", i, err)
+		}
+		preds[i] = c.Predict(d.Examples[i].Features)
+	}
+	return preds, nil
+}
+
+// Accuracy is the fraction of predictions matching the label.
+func Accuracy(d *Dataset, preds []int) float64 {
+	if len(preds) == 0 {
+		return 0
+	}
+	hit := 0
+	for i, p := range preds {
+		if p == d.Examples[i].Label {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(preds))
+}
+
+// Rank returns which place (1 = optimal .. NumClasses = worst) the
+// predicted unroll factor takes in the example's measured cycle ordering.
+// Ties in measured cycles share the better rank.
+func Rank(e *Example, pred int) int {
+	if pred < 1 || pred > NumClasses {
+		return NumClasses
+	}
+	rank := 1
+	for u := 1; u <= NumClasses; u++ {
+		if e.Cycles[u] < e.Cycles[pred] {
+			rank++
+		}
+	}
+	return rank
+}
+
+// Cost is the runtime penalty of the prediction relative to the measured
+// optimum (1.0 = optimal).
+func Cost(e *Example, pred int) float64 {
+	if pred < 1 || pred > NumClasses {
+		pred = 1
+	}
+	best := e.Cycles[1]
+	for u := 2; u <= NumClasses; u++ {
+		if e.Cycles[u] < best {
+			best = e.Cycles[u]
+		}
+	}
+	if best <= 0 {
+		return 1
+	}
+	return float64(e.Cycles[pred]) / float64(best)
+}
+
+// RankTable aggregates predictions into the Table 2 rows: the fraction of
+// predictions at each rank (index 0 = optimal) and the mean cost at each
+// rank over the dataset's measured runtimes.
+func RankTable(d *Dataset, preds []int) (frac [NumClasses]float64, cost [NumClasses]float64) {
+	var count [NumClasses]int
+	var costSum [NumClasses]float64
+	var costN [NumClasses]int
+	for i, p := range preds {
+		r := Rank(&d.Examples[i], p) - 1
+		if r >= NumClasses {
+			r = NumClasses - 1
+		}
+		count[r]++
+		costSum[r] += Cost(&d.Examples[i], p)
+		costN[r]++
+	}
+	for r := 0; r < NumClasses; r++ {
+		if len(preds) > 0 {
+			frac[r] = float64(count[r]) / float64(len(preds))
+		}
+		if costN[r] > 0 {
+			cost[r] = costSum[r] / float64(costN[r])
+		}
+	}
+	return frac, cost
+}
+
+// CostByRank computes, for every rank r (0-based), the mean penalty of
+// choosing the rank-r factor across all examples — the paper's Cost column
+// (how expensive the Nth-best choice is on average).
+func CostByRank(d *Dataset) [NumClasses]float64 {
+	var sum [NumClasses]float64
+	for i := range d.Examples {
+		e := &d.Examples[i]
+		// Order the factors by measured cycles.
+		order := make([]int, 0, NumClasses)
+		for u := 1; u <= NumClasses; u++ {
+			order = append(order, u)
+		}
+		for a := 1; a < len(order); a++ {
+			for b := a; b > 0 && e.Cycles[order[b]] < e.Cycles[order[b-1]]; b-- {
+				order[b], order[b-1] = order[b-1], order[b]
+			}
+		}
+		best := e.Cycles[order[0]]
+		for r, u := range order {
+			if best > 0 {
+				sum[r] += float64(e.Cycles[u]) / float64(best)
+			} else {
+				sum[r]++
+			}
+		}
+	}
+	n := float64(d.Len())
+	if n == 0 {
+		return sum
+	}
+	for r := range sum {
+		sum[r] /= n
+	}
+	return sum
+}
+
+// Confusion is a multi-class confusion matrix: Counts[a][p] is how often an
+// example with true label a was predicted as p (1-based labels; index 0
+// unused).
+type Confusion struct {
+	Counts [NumClasses + 1][NumClasses + 1]int
+	Total  int
+}
+
+// NewConfusion tallies predictions against a dataset's labels.
+func NewConfusion(d *Dataset, preds []int) *Confusion {
+	c := &Confusion{}
+	for i, p := range preds {
+		if p < 1 || p > NumClasses {
+			p = 1
+		}
+		c.Counts[d.Examples[i].Label][p]++
+		c.Total++
+	}
+	return c
+}
+
+// Accuracy is the diagonal mass.
+func (c *Confusion) Accuracy() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	hit := 0
+	for lab := 1; lab <= NumClasses; lab++ {
+		hit += c.Counts[lab][lab]
+	}
+	return float64(hit) / float64(c.Total)
+}
+
+// Recall returns the per-class recall (0 when the class never occurs).
+func (c *Confusion) Recall(label int) float64 {
+	total := 0
+	for p := 1; p <= NumClasses; p++ {
+		total += c.Counts[label][p]
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Counts[label][label]) / float64(total)
+}
+
+// String renders the matrix with actual labels as rows.
+func (c *Confusion) String() string {
+	var sb strings.Builder
+	sb.WriteString("actual\\pred")
+	for p := 1; p <= NumClasses; p++ {
+		fmt.Fprintf(&sb, "%6d", p)
+	}
+	sb.WriteString("  recall\n")
+	for a := 1; a <= NumClasses; a++ {
+		fmt.Fprintf(&sb, "%10d ", a)
+		for p := 1; p <= NumClasses; p++ {
+			fmt.Fprintf(&sb, "%6d", c.Counts[a][p])
+		}
+		fmt.Fprintf(&sb, "  %5.2f\n", c.Recall(a))
+	}
+	fmt.Fprintf(&sb, "overall accuracy: %.3f over %d examples\n", c.Accuracy(), c.Total)
+	return sb.String()
+}

@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"metaopt/internal/linalg"
+	"metaopt/internal/ml"
+)
+
+// classifierJSON is the serialized form of a trained near-neighbor
+// database.
+type classifierJSON struct {
+	Norm       *ml.Norm    `json:"norm"`
+	Rows       [][]float64 `json:"rows"`
+	Labels     []int       `json:"labels"`
+	Names      []string    `json:"names,omitempty"`
+	Benchmarks []string    `json:"benchmarks,omitempty"`
+	Radius     float64     `json:"radius"`
+	OneNN      bool        `json:"one_nn,omitempty"`
+}
+
+// MarshalJSON serializes the database so a trained predictor can ship
+// inside a compiler.
+func (c *Classifier) MarshalJSON() ([]byte, error) {
+	return json.Marshal(classifierJSON{
+		Norm:       c.norm,
+		Rows:       c.rows,
+		Labels:     c.labels,
+		Names:      c.names,
+		Benchmarks: c.benchmarks,
+		Radius:     c.radius,
+		OneNN:      c.oneNN,
+	})
+}
+
+// UnmarshalJSON restores a serialized database.
+func (c *Classifier) UnmarshalJSON(data []byte) error {
+	var in classifierJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("nn: unmarshal: %w", err)
+	}
+	if in.Norm == nil || len(in.Rows) == 0 || len(in.Rows) != len(in.Labels) {
+		return fmt.Errorf("nn: unmarshal: malformed classifier")
+	}
+	for _, label := range in.Labels {
+		if label < 1 || label > ml.NumClasses {
+			return fmt.Errorf("nn: unmarshal: label %d out of range", label)
+		}
+	}
+	c.norm = in.Norm
+	c.rows = in.Rows
+	c.labels = in.Labels
+	c.names = in.Names
+	c.benchmarks = in.Benchmarks
+	c.radius = in.Radius
+	c.oneNN = in.OneNN
+	if c.radius <= 0 {
+		c.radius = DefaultRadius
+	}
+	return nil
+}
+
+// Neighbor describes one training example near a query.
+type Neighbor struct {
+	Name      string
+	Benchmark string
+	Label     int
+	Dist      float64
+}
+
+// Neighbors returns the k nearest training examples to a raw query, nearest
+// first — the paper's proposed outlier-inspection workflow.
+func (c *Classifier) Neighbors(features []float64, k int) []Neighbor {
+	q := c.norm.Apply(features)
+	type cand struct {
+		i int
+		d float64
+	}
+	cands := make([]cand, len(c.rows))
+	for i, row := range c.rows {
+		cands[i] = cand{i, linalg.SqDist(q, row)}
+	}
+	// Partial selection sort: k is tiny.
+	if k > len(cands) {
+		k = len(cands)
+	}
+	for a := 0; a < k; a++ {
+		best := a
+		for b := a + 1; b < len(cands); b++ {
+			if cands[b].d < cands[best].d {
+				best = b
+			}
+		}
+		cands[a], cands[best] = cands[best], cands[a]
+	}
+	out := make([]Neighbor, 0, k)
+	for _, cd := range cands[:k] {
+		n := Neighbor{Label: c.labels[cd.i], Dist: math.Sqrt(cd.d)}
+		if cd.i < len(c.names) {
+			n.Name = c.names[cd.i]
+		}
+		if cd.i < len(c.benchmarks) {
+			n.Benchmark = c.benchmarks[cd.i]
+		}
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+// Package nn implements the paper's near-neighbor classifier: examples are
+// normalized so every feature weighs equally, a query is answered by the
+// most common label among training examples within a fixed radius (0.3 in
+// the paper), and queries with no neighbors fall back to the single nearest
+// example. A pure 1-NN mode supports the greedy feature-selection
+// experiments, which use the single closest point.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"metaopt/internal/linalg"
+	"metaopt/internal/ml"
+)
+
+// DefaultRadius is the neighborhood radius the paper determined
+// experimentally.
+const DefaultRadius = 0.3
+
+// Trainer configures near-neighbor classification.
+type Trainer struct {
+	// Radius of the voting neighborhood in normalized feature space.
+	// Zero means DefaultRadius.
+	Radius float64
+
+	// OneNN uses the single nearest example instead of radius voting.
+	OneNN bool
+}
+
+// Classifier is a populated near-neighbor database.
+type Classifier struct {
+	norm       *ml.Norm
+	rows       [][]float64
+	labels     []int
+	names      []string
+	benchmarks []string
+	radius     float64
+	oneNN      bool
+}
+
+var _ ml.Classifier = (*Classifier)(nil)
+var _ ml.LOOCVer = (*Trainer)(nil)
+
+func (t *Trainer) radius() float64 {
+	if t.Radius > 0 {
+		return t.Radius
+	}
+	return DefaultRadius
+}
+
+// Train populates the database. Near-neighbor "training" is just
+// normalization plus storage.
+func (t *Trainer) Train(d *ml.Dataset) (ml.Classifier, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	norm := ml.FitNorm(d)
+	c := &Classifier{
+		norm:   norm,
+		rows:   norm.ApplyAll(d),
+		radius: t.radius(),
+		oneNN:  t.OneNN,
+	}
+	for _, e := range d.Examples {
+		c.labels = append(c.labels, e.Label)
+		c.names = append(c.names, e.Name)
+		c.benchmarks = append(c.benchmarks, e.Benchmark)
+	}
+	return c, nil
+}
+
+// Predict classifies a raw feature vector.
+func (c *Classifier) Predict(features []float64) int {
+	return c.predict(c.norm.Apply(features), -1)
+}
+
+// predict classifies a normalized query, optionally excluding one database
+// index (for leave-one-out).
+func (c *Classifier) predict(q []float64, exclude int) int {
+	if c.oneNN {
+		return c.labels[c.nearest(q, exclude)]
+	}
+	r2 := c.radius * c.radius
+	var votes [ml.NumClasses + 1]int
+	var bestInClass [ml.NumClasses + 1]float64
+	for i := range bestInClass {
+		bestInClass[i] = math.Inf(1)
+	}
+	found := 0
+	for i, row := range c.rows {
+		if i == exclude {
+			continue
+		}
+		d2 := linalg.SqDist(q, row)
+		if d2 > r2 {
+			continue
+		}
+		found++
+		votes[c.labels[i]]++
+		if d2 < bestInClass[c.labels[i]] {
+			bestInClass[c.labels[i]] = d2
+		}
+	}
+	if found == 0 {
+		// Low confidence: fall back to the single nearest example.
+		return c.labels[c.nearest(q, exclude)]
+	}
+	best := 0
+	for label := 1; label <= ml.NumClasses; label++ {
+		if votes[label] == 0 {
+			continue
+		}
+		switch {
+		case best == 0, votes[label] > votes[best]:
+			best = label
+		case votes[label] == votes[best] && bestInClass[label] < bestInClass[best]:
+			// Tie: prefer the class with the closer exemplar.
+			best = label
+		}
+	}
+	return best
+}
+
+// Confidence reports the size of the voting neighborhood and the agreement
+// of its majority class for a query — the paper's outlier-detection signal.
+func (c *Classifier) Confidence(features []float64) (neighbors int, agreement float64) {
+	q := c.norm.Apply(features)
+	r2 := c.radius * c.radius
+	var votes [ml.NumClasses + 1]int
+	for i, row := range c.rows {
+		if linalg.SqDist(q, row) <= r2 {
+			neighbors++
+			votes[c.labels[i]]++
+		}
+	}
+	if neighbors == 0 {
+		return 0, 0
+	}
+	max := 0
+	for _, v := range votes {
+		if v > max {
+			max = v
+		}
+	}
+	return neighbors, float64(max) / float64(neighbors)
+}
+
+func (c *Classifier) nearest(q []float64, exclude int) int {
+	best, bestD := -1, math.Inf(1)
+	for i, row := range c.rows {
+		if i == exclude {
+			continue
+		}
+		if d := linalg.SqDist(q, row); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+// LOOCV classifies every example against the rest of the database. The
+// normalization statistics come from the full dataset, matching how the
+// paper's Matlab prototype normalized once before cross-validating.
+func (t *Trainer) LOOCV(d *ml.Dataset) ([]int, error) {
+	if d.Len() < 2 {
+		return nil, fmt.Errorf("nn: LOOCV needs at least 2 examples")
+	}
+	ci, err := t.Train(d)
+	if err != nil {
+		return nil, err
+	}
+	c := ci.(*Classifier)
+	preds := make([]int, d.Len())
+	for i := range d.Examples {
+		preds[i] = c.predict(c.rows[i], i)
+	}
+	return preds, nil
+}

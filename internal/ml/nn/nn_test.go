@@ -1,0 +1,128 @@
+package nn
+
+import (
+	"testing"
+
+	"metaopt/internal/ml"
+	"metaopt/internal/ml/mltest"
+)
+
+func TestSeparableClustersClassify(t *testing.T) {
+	d := mltest.Clusters(120, 6, 4, 0.05, 1)
+	tr := &Trainer{}
+	c, err := tr.Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, e := range d.Examples {
+		if c.Predict(e.Features) == e.Label {
+			hits++
+		}
+	}
+	if frac := float64(hits) / float64(d.Len()); frac < 0.95 {
+		t.Errorf("training-set accuracy %.2f on separable data", frac)
+	}
+}
+
+func TestLOOCVOnSeparableData(t *testing.T) {
+	d := mltest.Clusters(120, 6, 4, 0.05, 2)
+	tr := &Trainer{}
+	preds, err := ml.LOOCV(tr, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := ml.Accuracy(d, preds); acc < 0.9 {
+		t.Errorf("LOOCV accuracy = %.2f", acc)
+	}
+}
+
+func TestNoisyDataDegrades(t *testing.T) {
+	clean := mltest.Clusters(150, 6, 4, 0.05, 3)
+	noisy := mltest.NoisyLabels(clean, 0.4, 3)
+	tr := &Trainer{}
+	cleanPreds, err := ml.LOOCV(tr, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisyPreds, err := ml.LOOCV(tr, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.Accuracy(noisy, noisyPreds) >= ml.Accuracy(clean, cleanPreds) {
+		t.Error("label noise should reduce LOOCV accuracy")
+	}
+}
+
+func TestOneNNMode(t *testing.T) {
+	d := mltest.Clusters(60, 4, 3, 0.05, 4)
+	tr := &Trainer{OneNN: true}
+	c, err := tr.Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1-NN on the training set is trivially perfect (self-match).
+	for _, e := range d.Examples {
+		if c.Predict(e.Features) != e.Label {
+			t.Fatal("1-NN training prediction missed itself")
+		}
+	}
+	// LOOCV excludes self and must still be strong on separable data.
+	preds, err := tr.LOOCV(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := ml.Accuracy(d, preds); acc < 0.9 {
+		t.Errorf("LOO-1NN accuracy = %.2f", acc)
+	}
+}
+
+func TestFallbackToNearestWhenNoNeighbors(t *testing.T) {
+	// A tiny radius forces the fallback path.
+	d := mltest.Clusters(40, 4, 4, 0.05, 5)
+	tr := &Trainer{Radius: 1e-9}
+	preds, err := tr.LOOCV(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := ml.Accuracy(d, preds); acc < 0.8 {
+		t.Errorf("fallback accuracy = %.2f", acc)
+	}
+}
+
+func TestConfidence(t *testing.T) {
+	d := mltest.Clusters(80, 4, 4, 0.05, 6)
+	tr := &Trainer{}
+	ci, err := tr.Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ci.(*Classifier)
+	n, agree := c.Confidence(d.Examples[0].Features)
+	if n == 0 {
+		t.Fatal("no neighbors at a training point")
+	}
+	if agree <= 0 || agree > 1 {
+		t.Errorf("agreement = %v", agree)
+	}
+}
+
+func TestRejectsTinyDataset(t *testing.T) {
+	d := mltest.Clusters(1, 3, 1, 0.1, 7)
+	d.Examples[0].Label = 1
+	tr := &Trainer{}
+	if _, err := tr.LOOCV(d); err == nil {
+		t.Error("expected error for 1-example LOOCV")
+	}
+}
+
+func TestDefaultRadiusUsed(t *testing.T) {
+	tr := &Trainer{}
+	if tr.radius() != DefaultRadius {
+		t.Errorf("radius = %v", tr.radius())
+	}
+	tr.Radius = 0.5
+	if tr.radius() != 0.5 {
+		t.Errorf("radius = %v", tr.radius())
+	}
+}

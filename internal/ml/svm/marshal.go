@@ -1,0 +1,185 @@
+package svm
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"metaopt/internal/ml"
+)
+
+// kernelSpec is the serializable description of a kernel function.
+type kernelSpec struct {
+	Type  string  `json:"type"` // "rbf" or "linear"
+	Sigma float64 `json:"sigma,omitempty"`
+}
+
+func specOf(k Kernel) (kernelSpec, error) {
+	switch kk := k.(type) {
+	case RBF:
+		return kernelSpec{Type: "rbf", Sigma: kk.Sigma}, nil
+	case Linear:
+		return kernelSpec{Type: "linear"}, nil
+	}
+	return kernelSpec{}, fmt.Errorf("svm: kernel %T is not serializable", k)
+}
+
+func (s kernelSpec) kernel() (Kernel, error) {
+	switch s.Type {
+	case "rbf":
+		if s.Sigma <= 0 {
+			return nil, fmt.Errorf("svm: rbf kernel with sigma %v", s.Sigma)
+		}
+		return RBF{Sigma: s.Sigma}, nil
+	case "linear":
+		return Linear{}, nil
+	}
+	return nil, fmt.Errorf("svm: unknown kernel type %q", s.Type)
+}
+
+// modelJSON is the serialized form of a trained multi-class LS-SVM.
+type modelJSON struct {
+	Norm   *ml.Norm    `json:"norm"`
+	Rows   [][]float64 `json:"rows"`
+	Kernel kernelSpec  `json:"kernel"`
+	Codes  [][]int8    `json:"codes"`
+	Alpha  [][]float64 `json:"alpha"`
+	Bias   []float64   `json:"bias"`
+}
+
+// MarshalJSON serializes a trained LS-SVM.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	spec, err := specOf(m.kernel)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(modelJSON{
+		Norm: m.norm, Rows: m.rows, Kernel: spec,
+		Codes: m.codes.Bits, Alpha: m.alpha, Bias: m.bias,
+	})
+}
+
+// UnmarshalJSON restores a serialized LS-SVM.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var in modelJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("svm: unmarshal: %w", err)
+	}
+	k, err := in.Kernel.kernel()
+	if err != nil {
+		return err
+	}
+	if in.Norm == nil || len(in.Rows) == 0 || len(in.Alpha) == 0 ||
+		len(in.Alpha) != len(in.Bias) || len(in.Codes) == 0 {
+		return fmt.Errorf("svm: unmarshal: malformed model")
+	}
+	for _, a := range in.Alpha {
+		if len(a) != len(in.Rows) {
+			return fmt.Errorf("svm: unmarshal: alpha/rows mismatch")
+		}
+	}
+	m.norm = in.Norm
+	m.rows = in.Rows
+	m.kernel = k
+	m.codes = Codes{Bits: in.Codes}
+	m.alpha = in.Alpha
+	m.bias = in.Bias
+	return nil
+}
+
+// regJSON is the serialized form of a trained regressor.
+type regJSON struct {
+	Norm   *ml.Norm    `json:"norm"`
+	Rows   [][]float64 `json:"rows"`
+	Kernel kernelSpec  `json:"kernel"`
+	Alpha  []float64   `json:"alpha"`
+	Bias   float64     `json:"bias"`
+}
+
+// MarshalJSON serializes a trained regression model.
+func (m *RegModel) MarshalJSON() ([]byte, error) {
+	spec, err := specOf(m.kernel)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(regJSON{Norm: m.norm, Rows: m.rows, Kernel: spec, Alpha: m.alpha, Bias: m.bias})
+}
+
+// UnmarshalJSON restores a serialized regression model.
+func (m *RegModel) UnmarshalJSON(data []byte) error {
+	var in regJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("svm: unmarshal: %w", err)
+	}
+	k, err := in.Kernel.kernel()
+	if err != nil {
+		return err
+	}
+	if in.Norm == nil || len(in.Rows) == 0 || len(in.Alpha) != len(in.Rows) {
+		return fmt.Errorf("svm: unmarshal: malformed regression model")
+	}
+	m.norm = in.Norm
+	m.rows = in.Rows
+	m.kernel = k
+	m.alpha = in.Alpha
+	m.bias = in.Bias
+	return nil
+}
+
+// smoBinaryJSON mirrors smoBinary.
+type smoBinaryJSON struct {
+	Alpha []float64 `json:"alpha"`
+	Bias  float64   `json:"bias"`
+	Y     []float64 `json:"y"`
+}
+
+// smoJSON is the serialized form of a trained SMO model.
+type smoJSON struct {
+	Norm   *ml.Norm        `json:"norm"`
+	Rows   [][]float64     `json:"rows"`
+	Kernel kernelSpec      `json:"kernel"`
+	Codes  [][]int8        `json:"codes"`
+	Bits   []smoBinaryJSON `json:"bits"`
+}
+
+// MarshalJSON serializes a trained SMO SVM.
+func (m *smoModel) MarshalJSON() ([]byte, error) {
+	spec, err := specOf(m.kernel)
+	if err != nil {
+		return nil, err
+	}
+	out := smoJSON{Norm: m.norm, Rows: m.rows, Kernel: spec, Codes: m.codes.Bits}
+	for _, b := range m.bits {
+		out.Bits = append(out.Bits, smoBinaryJSON{Alpha: b.alpha, Bias: b.bias, Y: b.y})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a serialized SMO SVM.
+func (m *smoModel) UnmarshalJSON(data []byte) error {
+	var in smoJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("svm: unmarshal: %w", err)
+	}
+	k, err := in.Kernel.kernel()
+	if err != nil {
+		return err
+	}
+	if in.Norm == nil || len(in.Rows) == 0 || len(in.Bits) == 0 || len(in.Codes) == 0 {
+		return fmt.Errorf("svm: unmarshal: malformed SMO model")
+	}
+	m.norm = in.Norm
+	m.rows = in.Rows
+	m.kernel = k
+	m.codes = Codes{Bits: in.Codes}
+	m.bits = nil
+	for _, b := range in.Bits {
+		if len(b.Alpha) != len(in.Rows) || len(b.Y) != len(in.Rows) {
+			return fmt.Errorf("svm: unmarshal: SMO bit size mismatch")
+		}
+		m.bits = append(m.bits, smoBinary{alpha: b.Alpha, bias: b.Bias, y: b.Y})
+	}
+	return nil
+}
+
+// NewSMOModel returns an empty SMO model for deserialization.
+func NewSMOModel() ml.Classifier { return &smoModel{} }

@@ -1,0 +1,143 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+
+	"metaopt/internal/ml"
+)
+
+// Regression is kernel ridge regression in LS-SVM form, predicting the
+// unroll factor as a real value and rounding to the label range. The paper
+// lists regression as future work ("which can predict values outside the
+// range of the labels"); this implements it on the same solver as the
+// classifier.
+type Regression struct {
+	// Gamma is the regularization weight γ. Zero selects the default.
+	Gamma float64
+
+	// Kernel defaults to an RBF with a median-distance bandwidth.
+	Kernel Kernel
+}
+
+var _ ml.Trainer = (*Regression)(nil)
+var _ ml.LOOCVer = (*Regression)(nil)
+
+// RegModel is a trained regressor.
+type RegModel struct {
+	norm   *ml.Norm
+	rows   [][]float64
+	kernel Kernel
+	alpha  []float64
+	bias   float64
+}
+
+var _ ml.Classifier = (*RegModel)(nil)
+
+func (t *Regression) config(rows [][]float64) (float64, Kernel) {
+	gamma := t.Gamma
+	if gamma <= 0 {
+		gamma = DefaultGamma
+	}
+	kernel := t.Kernel
+	if kernel == nil {
+		kernel = RBF{Sigma: medianSigma(rows)}
+	}
+	return gamma, kernel
+}
+
+// Train fits the regressor to the labels.
+func (t *Regression) Train(d *ml.Dataset) (ml.Classifier, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	norm := ml.FitNorm(d)
+	rows := norm.ApplyAll(d)
+	gamma, kernel := t.config(rows)
+	ch, err := system(rows, kernel, gamma)
+	if err != nil {
+		return nil, err
+	}
+	n := len(rows)
+	ones := make([]float64, n)
+	y := make([]float64, n)
+	for i, e := range d.Examples {
+		ones[i] = 1
+		y[i] = float64(e.Label)
+	}
+	u := ch.Solve(ones)
+	var s float64
+	for _, x := range u {
+		s += x
+	}
+	alpha, bias := solveBit(ch, u, s, y)
+	return &RegModel{norm: norm, rows: rows, kernel: kernel, alpha: alpha, bias: bias}, nil
+}
+
+// Value returns the raw real-valued prediction.
+func (m *RegModel) Value(features []float64) float64 {
+	q := m.norm.Apply(features)
+	s := m.bias
+	for i, a := range m.alpha {
+		s += a * m.kernel.Eval(q, m.rows[i])
+	}
+	return s
+}
+
+// Predict rounds the regression value into the label range.
+func (m *RegModel) Predict(features []float64) int {
+	return clampRound(m.Value(features))
+}
+
+func clampRound(v float64) int {
+	u := int(math.Round(v))
+	if u < 1 {
+		u = 1
+	}
+	if u > ml.NumClasses {
+		u = ml.NumClasses
+	}
+	return u
+}
+
+// LOOCV computes exact leave-one-out predictions with the same shortcut as
+// the classifier: ŷᵢ = yᵢ − αᵢ/(C⁻¹)ᵢᵢ.
+func (t *Regression) LOOCV(d *ml.Dataset) ([]int, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Len() < 3 {
+		return nil, fmt.Errorf("svm: regression LOOCV needs at least 3 examples")
+	}
+	norm := ml.FitNorm(d)
+	rows := norm.ApplyAll(d)
+	gamma, kernel := t.config(rows)
+	ch, err := system(rows, kernel, gamma)
+	if err != nil {
+		return nil, err
+	}
+	n := len(rows)
+	ones := make([]float64, n)
+	y := make([]float64, n)
+	for i, e := range d.Examples {
+		ones[i] = 1
+		y[i] = float64(e.Label)
+	}
+	u := ch.Solve(ones)
+	var s float64
+	for _, x := range u {
+		s += x
+	}
+	alpha, _ := solveBit(ch, u, s, y)
+	diagA := ch.InverseDiagonalFast()
+	preds := make([]int, n)
+	for i := range preds {
+		diagC := diagA[i] - u[i]*u[i]/s
+		if diagC <= 0 {
+			preds[i] = clampRound(y[i])
+			continue
+		}
+		preds[i] = clampRound(y[i] - alpha[i]/diagC)
+	}
+	return preds, nil
+}

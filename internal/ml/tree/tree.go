@@ -1,0 +1,229 @@
+// Package tree implements CART decision trees and AdaBoost.SAMME boosting
+// over them. The paper's closest prior work (Monsifrot, Bodin & Quiniou)
+// used boosted decision trees for a *binary* unroll decision; this package
+// provides the multi-class counterpart so the comparison the paper draws
+// in Section 9 can be run directly against the same data.
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"metaopt/internal/ml"
+)
+
+// Trainer fits a single CART decision tree by recursive binary splitting
+// on Gini impurity.
+type Trainer struct {
+	// MaxDepth bounds the tree (0 = default 12).
+	MaxDepth int
+	// MinLeaf is the minimum examples per leaf (0 = default 3).
+	MinLeaf int
+}
+
+var _ ml.Trainer = (*Trainer)(nil)
+
+// node is one tree node: either a split (Feature/Threshold with children)
+// or a leaf (Label).
+type node struct {
+	Feature   int     `json:"f,omitempty"`
+	Threshold float64 `json:"t,omitempty"`
+	Left      *node   `json:"l,omitempty"`
+	Right     *node   `json:"r,omitempty"`
+	Label     int     `json:"y,omitempty"`
+}
+
+func (n *node) leaf() bool { return n.Left == nil && n.Right == nil }
+
+// Tree is a trained decision tree.
+type Tree struct {
+	Root *node `json:"root"`
+}
+
+var _ ml.Classifier = (*Tree)(nil)
+
+// Predict walks the tree.
+func (t *Tree) Predict(features []float64) int {
+	n := t.Root
+	for !n.leaf() {
+		if features[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Label
+}
+
+// Depth returns the maximum depth of the tree (a single leaf has depth 1).
+func (t *Tree) Depth() int { return depth(t.Root) }
+
+func depth(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf() {
+		return 1
+	}
+	l, r := depth(n.Left), depth(n.Right)
+	if r > l {
+		l = r
+	}
+	return l + 1
+}
+
+// Train fits the tree with uniform example weights.
+func (t *Trainer) Train(d *ml.Dataset) (ml.Classifier, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	w := make([]float64, d.Len())
+	for i := range w {
+		w[i] = 1
+	}
+	return t.trainWeighted(d, w)
+}
+
+func (t *Trainer) trainWeighted(d *ml.Dataset, weights []float64) (*Tree, error) {
+	maxDepth := t.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 12
+	}
+	minLeaf := t.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 3
+	}
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	root := build(d, weights, idx, maxDepth, minLeaf)
+	return &Tree{Root: root}, nil
+}
+
+// build grows one subtree over the example indices.
+func build(d *ml.Dataset, w []float64, idx []int, depthLeft, minLeaf int) *node {
+	label, pure := majority(d, w, idx)
+	if pure || depthLeft <= 1 || len(idx) < 2*minLeaf {
+		return &node{Label: label}
+	}
+	f, thr, ok := bestSplit(d, w, idx, minLeaf)
+	if !ok {
+		return &node{Label: label}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if d.Examples[i].Features[f] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return &node{Label: label}
+	}
+	return &node{
+		Feature:   f,
+		Threshold: thr,
+		Left:      build(d, w, left, depthLeft-1, minLeaf),
+		Right:     build(d, w, right, depthLeft-1, minLeaf),
+	}
+}
+
+// majority returns the weighted majority label and whether the set is pure.
+func majority(d *ml.Dataset, w []float64, idx []int) (label int, pure bool) {
+	var counts [ml.NumClasses + 1]float64
+	for _, i := range idx {
+		counts[d.Examples[i].Label] += w[i]
+	}
+	best, classes := 1, 0
+	for lab := 1; lab <= ml.NumClasses; lab++ {
+		if counts[lab] > 0 {
+			classes++
+		}
+		if counts[lab] > counts[best] {
+			best = lab
+		}
+	}
+	return best, classes <= 1
+}
+
+// bestSplit finds the (feature, threshold) pair minimizing weighted Gini
+// impurity of the induced partition.
+func bestSplit(d *ml.Dataset, w []float64, idx []int, minLeaf int) (feature int, threshold float64, ok bool) {
+	dim := len(d.Examples[0].Features)
+	bestGini := math.Inf(1)
+	type fv struct {
+		v float64
+		i int
+	}
+	vals := make([]fv, len(idx))
+	for f := 0; f < dim; f++ {
+		for k, i := range idx {
+			vals[k] = fv{d.Examples[i].Features[f], i}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+
+		// Sweep thresholds between distinct values, maintaining class
+		// weight tallies on each side.
+		var leftC, rightC [ml.NumClasses + 1]float64
+		var leftW, rightW float64
+		for _, x := range vals {
+			rightC[d.Examples[x.i].Label] += w[x.i]
+			rightW += w[x.i]
+		}
+		leftN := 0
+		for k := 0; k < len(vals)-1; k++ {
+			lab := d.Examples[vals[k].i].Label
+			leftC[lab] += w[vals[k].i]
+			leftW += w[vals[k].i]
+			rightC[lab] -= w[vals[k].i]
+			rightW -= w[vals[k].i]
+			leftN++
+			if vals[k].v == vals[k+1].v {
+				continue // not a valid cut point
+			}
+			if leftN < minLeaf || len(vals)-leftN < minLeaf {
+				continue
+			}
+			g := leftW*gini(&leftC, leftW) + rightW*gini(&rightC, rightW)
+			if g < bestGini {
+				bestGini = g
+				feature = f
+				threshold = (vals[k].v + vals[k+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+func gini(counts *[ml.NumClasses + 1]float64, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	s := 1.0
+	for _, c := range counts {
+		p := c / total
+		s -= p * p
+	}
+	return s
+}
+
+// String renders the tree structure for debugging.
+func (t *Tree) String() string {
+	var sb []byte
+	var walk func(n *node, indent string)
+	walk = func(n *node, indent string) {
+		if n.leaf() {
+			sb = append(sb, fmt.Sprintf("%s-> %d\n", indent, n.Label)...)
+			return
+		}
+		sb = append(sb, fmt.Sprintf("%sf%d <= %.3f?\n", indent, n.Feature, n.Threshold)...)
+		walk(n.Left, indent+"  ")
+		walk(n.Right, indent+"  ")
+	}
+	walk(t.Root, "")
+	return string(sb)
+}

@@ -1,0 +1,119 @@
+// Package regpress estimates the register pressure of a scheduled loop body
+// and converts excess pressure into a spill-cycle penalty. Growing live
+// ranges — and the spills they eventually force — are one of the principal
+// costs of aggressive unrolling (paper Section 3).
+package regpress
+
+import (
+	"metaopt/internal/analysis"
+	"metaopt/internal/ir"
+	"metaopt/internal/sched"
+)
+
+// Pressure summarizes the register demand of one scheduled body.
+type Pressure struct {
+	MaxLiveInt   int // peak simultaneously-live integer values
+	MaxLiveFP    int // peak simultaneously-live floating-point values
+	SpillsInt    int // values beyond the integer register file
+	SpillsFP     int
+	SpillCycles  int // estimated extra cycles per body execution
+	LiveRangeSum int // total live cycles across all values
+}
+
+// Analyze computes register pressure for a scheduled body. A value is live
+// from its definition's issue cycle to its last same-iteration use; values
+// consumed by a later iteration stay live to the end of the body. Loop
+// invariants occupy a register for the whole body.
+func Analyze(s *sched.Schedule) Pressure {
+	g := s.Graph
+	length := s.Length
+	if length < 1 {
+		length = 1
+	}
+	// Sweep events: +1 at live start, -1 after live end, per register file.
+	deltaInt := make([]int, length+2)
+	deltaFP := make([]int, length+2)
+	var p Pressure
+
+	addRange := func(from, to int, fp bool) {
+		if from < 0 {
+			from = 0
+		}
+		if to > length {
+			to = length
+		}
+		if to < from {
+			to = from
+		}
+		p.LiveRangeSum += to - from + 1
+		if fp {
+			deltaFP[from]++
+			deltaFP[to+1]--
+		} else {
+			deltaInt[from]++
+			deltaInt[to+1]--
+		}
+	}
+
+	// Loop-invariant inputs are live throughout.
+	for _, par := range g.Loop.Params {
+		if par.Code == ir.OpParam {
+			addRange(0, length, par.FP)
+		}
+	}
+
+	for i, op := range g.Ops {
+		if !op.Code.HasResult() {
+			continue
+		}
+		def := s.Cycle[i]
+		last := def
+		carried := false
+		used := false
+		for _, e := range g.Out[i] {
+			if e.Kind != analysis.EdgeData {
+				continue
+			}
+			used = true
+			if e.Dist > 0 {
+				carried = true
+				continue
+			}
+			if c := s.Cycle[e.To]; c > last {
+				last = c
+			}
+		}
+		if carried {
+			last = length
+		}
+		if !used {
+			// Dead value (e.g. a compare feeding only the branch is still
+			// used; a truly dead op holds its register one cycle).
+			last = def
+		}
+		addRange(def, last, op.FP)
+	}
+
+	p.MaxLiveInt = peak(deltaInt)
+	p.MaxLiveFP = peak(deltaFP)
+	m := g.Mach
+	if p.MaxLiveInt > m.IntRegs {
+		p.SpillsInt = p.MaxLiveInt - m.IntRegs
+	}
+	if p.MaxLiveFP > m.FPRegs {
+		p.SpillsFP = p.MaxLiveFP - m.FPRegs
+	}
+	p.SpillCycles = (p.SpillsInt + p.SpillsFP) * m.SpillCost
+	return p
+}
+
+func peak(delta []int) int {
+	live, best := 0, 0
+	for _, d := range delta {
+		live += d
+		if live > best {
+			best = live
+		}
+	}
+	return best
+}

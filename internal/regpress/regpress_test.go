@@ -1,0 +1,96 @@
+package regpress
+
+import (
+	"testing"
+
+	"metaopt/internal/analysis"
+	"metaopt/internal/lang"
+	"metaopt/internal/machine"
+	"metaopt/internal/sched"
+)
+
+func pressureOf(t *testing.T, src string, m *machine.Desc) Pressure {
+	t.Helper()
+	k, err := lang.ParseKernel(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	l, err := lang.Lower(k)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return Analyze(sched.List(analysis.Build(l, m)))
+}
+
+const daxpy = `
+kernel daxpy lang=c {
+	param double a;
+	double x[], y[];
+	noalias;
+	for i = 0 .. 4096 { y[i] = y[i] + a * x[i]; }
+}`
+
+func TestDaxpyPressure(t *testing.T) {
+	p := pressureOf(t, daxpy, machine.Itanium2())
+	if p.MaxLiveFP < 2 {
+		t.Errorf("fp pressure = %d, want >= 2 (param a + pipeline values)", p.MaxLiveFP)
+	}
+	if p.MaxLiveInt < 1 {
+		t.Errorf("int pressure = %d, want >= 1 (induction variable)", p.MaxLiveInt)
+	}
+	if p.SpillCycles != 0 {
+		t.Errorf("daxpy should not spill on Itanium 2, got %d cycles", p.SpillCycles)
+	}
+	if p.LiveRangeSum <= 0 {
+		t.Errorf("live range sum = %d", p.LiveRangeSum)
+	}
+}
+
+func TestWiderLoopMorePressure(t *testing.T) {
+	wide := `
+kernel wide lang=fortran {
+	double a[], b[], c[], d[], e[], f[], o[];
+	for i = 0 .. 100 { o[i] = a[i]*b[i] + c[i]*d[i] + e[i]*f[i]; }
+}`
+	pd := pressureOf(t, daxpy, machine.Itanium2())
+	pw := pressureOf(t, wide, machine.Itanium2())
+	if pw.MaxLiveFP <= pd.MaxLiveFP {
+		t.Errorf("wide fp pressure %d <= daxpy %d", pw.MaxLiveFP, pd.MaxLiveFP)
+	}
+}
+
+func TestSmallMachineSpills(t *testing.T) {
+	// A loop with many simultaneously-live FP values on a machine with a
+	// tiny FP register file must spill.
+	src := `
+kernel fat lang=fortran {
+	double a[], b[], c[], d[], e[], f[], g[], h[], o[];
+	for i = 0 .. 100 {
+		o[i] = a[i]*b[i] + c[i]*d[i] + e[i]*f[i] + g[i]*h[i]
+		     + a[i+1]*b[i+1] + c[i+1]*d[i+1] + e[i+1]*f[i+1] + g[i+1]*h[i+1];
+	}
+}`
+	m := machine.Embedded()
+	m.FPRegs = 4
+	p := pressureOf(t, src, m)
+	if p.SpillsFP == 0 {
+		t.Errorf("expected FP spills, pressure = %+v", p)
+	}
+	if p.SpillCycles != (p.SpillsFP+p.SpillsInt)*m.SpillCost {
+		t.Errorf("spill cycles inconsistent: %+v", p)
+	}
+}
+
+func TestCarriedValueLiveToBodyEnd(t *testing.T) {
+	// A reduction keeps its accumulator live across the entire body.
+	red := `
+kernel red lang=fortran {
+	double a[];
+	double s;
+	for i = 0 .. 100 { s = s + a[i]; }
+}`
+	p := pressureOf(t, red, machine.Itanium2())
+	if p.MaxLiveFP < 1 {
+		t.Errorf("reduction fp pressure = %d", p.MaxLiveFP)
+	}
+}

@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"metaopt/internal/machine"
+)
+
+// Dump renders the schedule as a cycle-by-cycle issue table, one column
+// per functional-unit class, the way VLIW compiler listings present
+// bundles. Long-latency results are annotated with their ready cycle.
+func (s *Schedule) Dump() string {
+	g := s.Graph
+	m := g.Mach
+	byCycle := map[int][]int{}
+	for i := range g.Ops {
+		byCycle[s.Cycle[i]] = append(byCycle[s.Cycle[i]], i)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "list schedule of %s: %d ops, length %d, period %d\n",
+		g.Loop.Name, len(g.Ops), s.Length, s.Period)
+	for c := 0; c < s.Length; c++ {
+		ops := byCycle[c]
+		if len(ops) == 0 {
+			fmt.Fprintf(&sb, "%4d | (stall)\n", c)
+			continue
+		}
+		sort.Slice(ops, func(a, b int) bool {
+			ka := m.UnitFor(g.Ops[ops[a]].Code)
+			kb := m.UnitFor(g.Ops[ops[b]].Code)
+			if ka != kb {
+				return ka < kb
+			}
+			return ops[a] < ops[b]
+		})
+		cells := make([]string, 0, len(ops))
+		for _, i := range ops {
+			op := g.Ops[i]
+			cell := fmt.Sprintf("%s:%s", m.UnitFor(op.Code), opLabel(s, i))
+			if lat := m.Latency(op); lat > 1 && op.Code.HasResult() {
+				cell += fmt.Sprintf("(->%d)", c+lat)
+			}
+			cells = append(cells, cell)
+		}
+		fmt.Fprintf(&sb, "%4d | %s\n", c, strings.Join(cells, "  "))
+	}
+	return sb.String()
+}
+
+func opLabel(s *Schedule, i int) string {
+	op := s.Graph.Ops[i]
+	if op.Mem != nil {
+		return fmt.Sprintf("%s %s", op.Code, op.Mem)
+	}
+	if op.Name != "" {
+		return fmt.Sprintf("%s %s", op.Code, op.Name)
+	}
+	return fmt.Sprintf("%s v%d", op.Code, op.ID)
+}
+
+// Utilization returns, per functional-unit class, the fraction of issue
+// slots the schedule fills over its length.
+func (s *Schedule) Utilization() map[string]float64 {
+	g := s.Graph
+	m := g.Mach
+	if s.Length == 0 {
+		return nil
+	}
+	var used [machine.NumUnitKinds]int
+	for _, op := range g.Ops {
+		used[m.UnitFor(op.Code)] += m.BlockCycles(op.Code)
+	}
+	out := map[string]float64{}
+	for k := 0; k < machine.NumUnitKinds; k++ {
+		kind := machine.UnitKind(k)
+		if m.Units[k] == 0 {
+			continue
+		}
+		out[kind.String()] = float64(used[k]) / float64(m.Units[k]*s.Length)
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"metaopt/internal/analysis"
+	"metaopt/internal/lang"
+	"metaopt/internal/machine"
+)
+
+func TestDumpRendersEveryOp(t *testing.T) {
+	s := mustSched(t, daxpy)
+	out := s.Dump()
+	for _, want := range []string{"list schedule of daxpy", "load x[i]", "fma", "store y[i]", "br"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// Long-latency ops are annotated with their ready cycle.
+	if !strings.Contains(out, "(->") {
+		t.Errorf("dump missing latency annotations:\n%s", out)
+	}
+}
+
+func TestDumpShowsStalls(t *testing.T) {
+	// A serial chain forces empty issue cycles.
+	s := mustSched(t, `
+kernel chain lang=fortran {
+	double a[], o[];
+	for i = 0 .. 64 { o[i] = ((a[i] * 2.0) * 3.0) * 4.0; }
+}`)
+	if !strings.Contains(s.Dump(), "(stall)") {
+		t.Errorf("expected stalls in serial chain:\n%s", s.Dump())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s := mustSched(t, daxpy)
+	util := s.Utilization()
+	for kind, v := range util {
+		if v < 0 || v > 1 {
+			t.Errorf("utilization[%s] = %v", kind, v)
+		}
+	}
+	if util["M"] <= 0 {
+		t.Errorf("M utilization = %v, daxpy has 3 memory ops", util["M"])
+	}
+}
+
+func TestUtilizationEmpty(t *testing.T) {
+	k, err := lang.ParseKernel(daxpy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := lang.Lower(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := List(analysis.Build(l, machine.Itanium2()))
+	s.Length = 0
+	if s.Utilization() != nil {
+		t.Error("zero-length schedule should have nil utilization")
+	}
+}

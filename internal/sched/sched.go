@@ -1,0 +1,212 @@
+// Package sched implements the operation list scheduler used when software
+// pipelining is disabled: a cycle-driven, critical-path-priority scheduler
+// with functional-unit reservation, producing the issue cycle of every
+// operation plus the steady-state period of the loop body (including stalls
+// imposed across the back edge by loop-carried dependences).
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"metaopt/internal/analysis"
+	"metaopt/internal/machine"
+)
+
+// Schedule is the result of list-scheduling one loop body.
+type Schedule struct {
+	Graph *analysis.Graph
+
+	// Cycle is the issue cycle of each op (indexed like Graph.Ops).
+	Cycle []int
+
+	// Length is the number of issue cycles in the body schedule
+	// (last issue cycle + 1).
+	Length int
+
+	// Period is the steady-state cycle count per body execution: schedule
+	// length, back-edge redirect cost, and any extra stall needed to honor
+	// loop-carried dependences between consecutive bodies.
+	Period int
+}
+
+// List schedules the body of g's loop. It always succeeds: the dependence
+// graph restricted to same-iteration edges is acyclic by IR construction.
+func List(g *analysis.Graph) *Schedule {
+	n := len(g.Ops)
+	s := &Schedule{Graph: g, Cycle: make([]int, n)}
+	if n == 0 {
+		s.Period = 1
+		return s
+	}
+	m := g.Mach
+
+	// Priority: height — longest dist-0 path from the op to any sink,
+	// including latencies.
+	height := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		height[i] = m.Latency(g.Ops[i])
+		for _, e := range g.Out[i] {
+			if e.Dist != 0 {
+				continue
+			}
+			if h := e.Lat + height[e.To]; h > height[i] {
+				height[i] = h
+			}
+		}
+	}
+
+	// Earliest start constrained by scheduled dist-0 predecessors.
+	preds := make([]int, n) // unscheduled dist-0 predecessor count
+	earliest := make([]int, n)
+	for i := range g.Ops {
+		for _, e := range g.In[i] {
+			if e.Dist == 0 {
+				preds[i]++
+			}
+		}
+	}
+	var ready []int
+	for i := range g.Ops {
+		if preds[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+
+	// Resource state, grown on demand: per-kind usage and issue count per
+	// cycle.
+	var unitUse [machine.NumUnitKinds][]int
+	var issueUse []int
+	ensure := func(c int) {
+		for len(issueUse) <= c {
+			issueUse = append(issueUse, 0)
+			for k := range unitUse {
+				unitUse[k] = append(unitUse[k], 0)
+			}
+		}
+	}
+	fits := func(op int, c int) bool {
+		kind := m.UnitFor(g.Ops[op].Code)
+		block := m.BlockCycles(g.Ops[op].Code)
+		ensure(c + block)
+		if issueUse[c] >= m.IssueWidth {
+			return false
+		}
+		for j := 0; j < block; j++ {
+			if unitUse[kind][c+j] >= m.Units[kind] {
+				return false
+			}
+		}
+		return true
+	}
+	place := func(op, c int) {
+		kind := m.UnitFor(g.Ops[op].Code)
+		block := m.BlockCycles(g.Ops[op].Code)
+		ensure(c + block)
+		issueUse[c]++
+		for j := 0; j < block; j++ {
+			unitUse[kind][c+j]++
+		}
+		s.Cycle[op] = c
+	}
+
+	remaining := n
+	cycle := 0
+	for remaining > 0 {
+		// Keep filling the current cycle until nothing more fits: an op
+		// whose predecessors all issue this cycle with zero latency may
+		// still co-issue (e.g. the back-edge branch beside the last store).
+		for {
+			// Highest first; stable tiebreak on program order.
+			sort.SliceStable(ready, func(a, b int) bool { return height[ready[a]] > height[ready[b]] })
+			var deferred []int
+			placedAny := false
+			for _, op := range ready {
+				if earliest[op] > cycle || !fits(op, cycle) {
+					deferred = append(deferred, op)
+					continue
+				}
+				place(op, cycle)
+				placedAny = true
+				remaining--
+				if s.Cycle[op]+1 > s.Length {
+					s.Length = s.Cycle[op] + 1
+				}
+				for _, e := range g.Out[op] {
+					if e.Dist != 0 {
+						continue
+					}
+					if t := cycle + e.Lat; t > earliest[e.To] {
+						earliest[e.To] = t
+					}
+					preds[e.To]--
+					if preds[e.To] == 0 {
+						deferred = append(deferred, e.To)
+					}
+				}
+			}
+			ready = deferred
+			if !placedAny {
+				break
+			}
+		}
+		cycle++
+		if cycle > 4*n*16+64 {
+			panic(fmt.Sprintf("sched: no progress scheduling %s", g.Loop.Name))
+		}
+	}
+
+	s.Period = s.Length + m.BranchCycles - 1
+	// Loop-carried dependences may stretch the inter-body period: op v of
+	// body k+d must start at least lat cycles after op u of body k.
+	for _, e := range g.Edges {
+		if e.Dist == 0 {
+			continue
+		}
+		need := s.Cycle[e.From] + e.Lat - s.Cycle[e.To]
+		if need <= 0 {
+			continue
+		}
+		p := (need + e.Dist - 1) / e.Dist
+		if p > s.Period {
+			s.Period = p
+		}
+	}
+	return s
+}
+
+// Verify checks that the schedule respects dependences and resources.
+// It is used by tests and as an internal consistency check.
+func (s *Schedule) Verify() error {
+	g := s.Graph
+	m := g.Mach
+	for _, e := range g.Edges {
+		if e.Dist != 0 {
+			continue
+		}
+		if s.Cycle[e.From]+e.Lat > s.Cycle[e.To] {
+			return fmt.Errorf("sched: %s: edge v%d→v%d (%s lat %d) violated: %d → %d",
+				g.Loop.Name, g.Ops[e.From].ID, g.Ops[e.To].ID, e.Kind, e.Lat, s.Cycle[e.From], s.Cycle[e.To])
+		}
+	}
+	var unitUse [machine.NumUnitKinds]map[int]int
+	for k := range unitUse {
+		unitUse[k] = map[int]int{}
+	}
+	issue := map[int]int{}
+	for i, op := range g.Ops {
+		c := s.Cycle[i]
+		issue[c]++
+		if issue[c] > m.IssueWidth {
+			return fmt.Errorf("sched: %s: issue width exceeded at cycle %d", g.Loop.Name, c)
+		}
+		kind := m.UnitFor(op.Code)
+		for j := 0; j < m.BlockCycles(op.Code); j++ {
+			unitUse[kind][c+j]++
+			if unitUse[kind][c+j] > m.Units[kind] {
+				return fmt.Errorf("sched: %s: unit %s oversubscribed at cycle %d", g.Loop.Name, kind, c+j)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"testing"
+
+	"metaopt/internal/analysis"
+	"metaopt/internal/lang"
+	"metaopt/internal/machine"
+)
+
+func mustSched(t *testing.T, src string) *Schedule {
+	t.Helper()
+	k, err := lang.ParseKernel(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	l, err := lang.Lower(k)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	s := List(analysis.Build(l, machine.Itanium2()))
+	if err := s.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return s
+}
+
+const daxpy = `
+kernel daxpy lang=c {
+	param double a;
+	double x[], y[];
+	noalias;
+	for i = 0 .. 4096 { y[i] = y[i] + a * x[i]; }
+}`
+
+func TestListDaxpy(t *testing.T) {
+	s := mustSched(t, daxpy)
+	m := machine.Itanium2()
+	// Critical chain: fp load (6) → fma (4) → store; the store issues at
+	// cycle 10, so the length is 11 and the period ≥ 11.
+	want := m.FPLoadLat + m.FPLat + 1
+	if s.Length != want {
+		t.Errorf("length = %d, want %d", s.Length, want)
+	}
+	if s.Period < s.Length {
+		t.Errorf("period %d < length %d", s.Period, s.Length)
+	}
+}
+
+func TestListRespectsResources(t *testing.T) {
+	// 12 independent loads, 4 M units: at least 3 issue cycles of loads.
+	s := mustSched(t, `
+kernel manyloads lang=fortran {
+	double a[], b[], c[], d[], e[], f[], g[], h[], p[], q[], r[], s[], o[];
+	for i = 0 .. 100 {
+		o[i] = a[i]+b[i]+c[i]+d[i]+e[i]+f[i]+g[i]+h[i]+p[i]+q[i]+r[i]+s[i];
+	}
+}`)
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeriodIncludesCarriedStall(t *testing.T) {
+	// A serial floating-point recurrence: s = s*0.5 + a[i]. The next body
+	// cannot start its fma before the previous fma finishes, so the period
+	// is pinned at ≥ FPLat even though the schedule itself is short.
+	s := mustSched(t, `
+kernel serial lang=fortran {
+	double a[];
+	double s;
+	for i = 0 .. 100 { s = s*0.5 + a[i]; }
+}`)
+	m := machine.Itanium2()
+	if s.Period < m.FPLat {
+		t.Errorf("period = %d, want >= %d", s.Period, m.FPLat)
+	}
+}
+
+func TestDivBlocksUnit(t *testing.T) {
+	// Two independent fdivs share one schedule: unpipelined divides force
+	// them at least DivBlock cycles apart on the 2 F units... with 2 units
+	// they can go in parallel, but 3 divides cannot.
+	s := mustSched(t, `
+kernel divs lang=fortran {
+	double a[], b[], c[], o[];
+	for i = 0 .. 100 {
+		o[i] = a[i]/b[i] + b[i]/c[i] + a[i]/c[i];
+	}
+}`)
+	m := machine.Itanium2()
+	if s.Length < m.DivBlock {
+		t.Errorf("length = %d, want >= %d (third divide must wait)", s.Length, m.DivBlock)
+	}
+}
+
+func TestVerifyCatchesViolation(t *testing.T) {
+	s := mustSched(t, daxpy)
+	// Corrupt the schedule: put everything at cycle 0.
+	for i := range s.Cycle {
+		s.Cycle[i] = 0
+	}
+	if err := s.Verify(); err == nil {
+		t.Error("expected verification failure")
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	a := mustSched(t, daxpy)
+	b := mustSched(t, daxpy)
+	if a.Length != b.Length || a.Period != b.Period {
+		t.Error("schedule not deterministic")
+	}
+	for i := range a.Cycle {
+		if a.Cycle[i] != b.Cycle[i] {
+			t.Fatalf("cycle %d differs", i)
+		}
+	}
+}
+
+func TestEmptyBody(t *testing.T) {
+	g := &analysis.Graph{Mach: machine.Itanium2()}
+	s := List(g)
+	if s.Period != 1 {
+		t.Errorf("empty period = %d", s.Period)
+	}
+}

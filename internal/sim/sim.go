@@ -1,0 +1,371 @@
+// Package sim is the timing substrate standing in for the paper's 1.3 GHz
+// Itanium 2: it compiles a loop at a given unroll factor (unroll + cleanup,
+// dependence analysis, list scheduling or modulo scheduling, register
+// pressure, I-cache model) and reports the cycles the loop consumes in a
+// program run. A measurement layer reproduces the paper's instrumentation
+// methodology: repeated noisy runs, median aggregation, and the 50 000-cycle
+// floor below which loops are considered too noisy to train on.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"metaopt/internal/analysis"
+	"metaopt/internal/ir"
+	"metaopt/internal/machine"
+	"metaopt/internal/regalloc"
+	"metaopt/internal/sched"
+	"metaopt/internal/swp"
+	"metaopt/internal/transform"
+)
+
+// Config selects the compilation mode and measurement behaviour.
+type Config struct {
+	Mach *machine.Desc
+
+	// SWP enables software pipelining (the paper's second experiment).
+	// Loops with side exits or calls fall back to list scheduling, as in
+	// ORC.
+	SWP bool
+
+	// Runs is how many times each measurement is repeated (paper: 30).
+	Runs int
+
+	// Noise is the relative standard deviation of multiplicative
+	// measurement noise. Zero gives exact cycle counts.
+	Noise float64
+
+	// MinCycles is the instrumentation floor: loops running for fewer
+	// cycles are too noisy to label (paper: 50 000).
+	MinCycles int64
+
+	// BiasNoise is the relative standard deviation of a systematic
+	// per-measurement bias (operating-system and placement effects that an
+	// entire 30-run session shares). Unlike Noise it is not suppressed by
+	// taking the median, so it directly perturbs labels whose factors are
+	// near ties.
+	BiasNoise float64
+
+	// ContextVar is the strength of hidden per-loop program context: real
+	// loops run inside programs whose data-cache residency and
+	// instruction-cache pressure the compiler's static features cannot
+	// see. Each loop gets deterministic hidden factors scaling its memory
+	// latency and code-size penalties; this bounds achievable prediction
+	// accuracy, as on real hardware. Zero disables it.
+	ContextVar float64
+}
+
+// DefaultConfig mirrors the paper's methodology on the default machine.
+func DefaultConfig() *Config {
+	return &Config{
+		Mach:       machine.Itanium2(),
+		Runs:       30,
+		Noise:      0.03,
+		BiasNoise:  0.02,
+		MinCycles:  50_000,
+		ContextVar: 0.55,
+	}
+}
+
+// CompileStats describes one compiled loop variant.
+type CompileStats struct {
+	Unroll      int
+	BodyOps     int
+	CodeBytes   int
+	Period      float64 // steady-state cycles per source iteration
+	II          int     // SWP only
+	Stages      int     // SWP only
+	SpillCycles int
+	Pipelined   bool
+}
+
+// Timer compiles and times loops, caching compilations: label collection
+// re-times the same (loop, unroll) pairs many times.
+type Timer struct {
+	Cfg   *Config
+	cache map[timerKey]*compiled
+}
+
+type timerKey struct {
+	loop *ir.Loop
+	u    int
+	swp  bool
+}
+
+type compiled struct {
+	perEntry float64 // cycles per loop entry, deterministic
+	stats    CompileStats
+}
+
+// NewTimer returns a Timer for the given configuration.
+func NewTimer(cfg *Config) *Timer {
+	return &Timer{Cfg: cfg, cache: map[timerKey]*compiled{}}
+}
+
+// Cycles returns the deterministic total cycles loop l consumes per program
+// run when compiled with unroll factor u.
+func (t *Timer) Cycles(l *ir.Loop, u int) (int64, error) {
+	c, err := t.compile(l, u)
+	if err != nil {
+		return 0, err
+	}
+	return int64(c.perEntry * float64(l.Entries)), nil
+}
+
+// Stats returns the compilation statistics for (l, u).
+func (t *Timer) Stats(l *ir.Loop, u int) (CompileStats, error) {
+	c, err := t.compile(l, u)
+	if err != nil {
+		return CompileStats{}, err
+	}
+	return c.stats, nil
+}
+
+func (t *Timer) compile(l *ir.Loop, u int) (*compiled, error) {
+	key := timerKey{l, u, t.Cfg.SWP}
+	if c, ok := t.cache[key]; ok {
+		return c, nil
+	}
+	c, err := compileLoop(l, u, t.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.cache[key] = c
+	return c, nil
+}
+
+// compileLoop builds the unrolled variant and prices one loop entry.
+func compileLoop(l *ir.Loop, u int, cfg *Config) (*compiled, error) {
+	unrolled, info, err := transform.Unroll(l, u)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	m := cfg.Mach
+	g := analysis.Build(unrolled, m)
+
+	usePipeline := cfg.SWP && !unrolled.EarlyExit && !hasCalls(unrolled)
+
+	var bodyCycles float64 // steady-state cycles per unrolled body
+	var fillDrain float64  // per-entry pipeline fill/drain
+	stats := CompileStats{Unroll: u, BodyOps: len(unrolled.Body)}
+
+	if usePipeline {
+		mii := pipelineMII(l, g, u, m)
+		r, err := swp.Schedule(g, mii)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		bodyCycles = float64(r.II + r.SpillCycles)
+		fillDrain = float64(2 * (r.Stages - 1) * r.II)
+		stats.II = r.II
+		stats.Stages = r.Stages
+		stats.SpillCycles = r.SpillCycles
+		stats.Pipelined = true
+		// Kernel plus prologue/epilogue code.
+		stats.CodeBytes = m.CodeBytes(len(unrolled.Body) * (1 + r.Stages))
+	} else {
+		s := sched.List(g)
+		ra := regalloc.Run(s)
+		bodyCycles = float64(s.Period + ra.SpillCycles)
+		stats.SpillCycles = ra.SpillCycles
+		stats.CodeBytes = m.CodeBytes(len(unrolled.Body) + ra.StoreOps + ra.ReloadOps)
+	}
+
+	// Replicated side exits cost extra branch resolution per body.
+	if unrolled.EarlyExit && u > 1 {
+		bodyCycles += float64((u - 1) * m.EarlyExitOverhead)
+	}
+
+	// Hidden program context (see Config.ContextVar): deterministic
+	// per-loop factors modeling the surrounding program's data-cache
+	// behaviour, instruction-cache pressure and branch-predictor state.
+	// They tilt the unrolling trade-off in ways no static loop feature can
+	// observe.
+	hMem, hIC, hBr := contextFactors(l)
+	v := cfg.ContextVar
+	if v > 0 {
+		// Contended data cache: issuing many loads in parallel from a big
+		// unrolled body thrashes; cost grows with the unroll factor.
+		loads := 0
+		for _, op := range unrolled.Body {
+			if op.Code == ir.OpLoad {
+				loads++
+			}
+		}
+		bodyCycles += v * hMem * 2.2 * float64(loads) * float64(u-1) / 7
+		// Costly back edges (cold predictor, deep frontend): rewards
+		// larger bodies.
+		bodyCycles += v * hBr * 2
+	}
+
+	// Instruction-cache model: cold misses on entry plus a steady-state
+	// capacity penalty once the loop outgrows its share of L1I.
+	const lineBytes = 64
+	lines := (stats.CodeBytes + lineBytes - 1) / lineBytes
+	icScale := 1 + 3*v*hIC
+	coldPenalty := icScale * float64(lines*m.L1IMissCycles) / 2
+	share := m.L1IBytes / 4
+	var capacityPerBody float64
+	if stats.CodeBytes > share {
+		capacityPerBody = icScale * float64(m.L1IMissCycles) * float64(stats.CodeBytes-share) / float64(m.L1IBytes)
+	}
+	bodyCycles += capacityPerBody
+
+	trip := l.RuntimeTrip
+	if trip < 1 {
+		trip = 1
+	}
+	var perEntry float64
+	const setup = 6.0 // loop preconditioning: counted once per entry
+	switch {
+	case unrolled.EarlyExit:
+		// The exit can fire mid-body: the final body runs to completion,
+		// wasting up to u-1 iterations of work.
+		bodies := (trip + u - 1) / u
+		perEntry = float64(bodies)*bodyCycles + setup
+	default:
+		bodies := trip / u
+		rem := trip % u
+		perEntry = float64(bodies)*bodyCycles + fillDrain + setup
+		if rem > 0 {
+			remCycles, err := rolledRemainder(l, cfg)
+			if err != nil {
+				return nil, err
+			}
+			perEntry += float64(rem)*remCycles + 2 // re-dispatch into the tail loop
+		}
+		if u > 1 && l.TripCount < 0 {
+			perEntry += 2 // dynamic trip test guarding the unrolled body
+		}
+	}
+	perEntry += coldPenalty
+
+	stats.Period = perEntry / float64(trip)
+	_ = info
+	return &compiled{perEntry: perEntry, stats: stats}, nil
+}
+
+// rolledRemainder prices one iteration of the rolled loop (used for the
+// tail of a trip count not divisible by the unroll factor). Remainder
+// iterations always run unpipelined.
+func rolledRemainder(l *ir.Loop, cfg *Config) (float64, error) {
+	rolled, _, err := transform.Unroll(l, 1)
+	if err != nil {
+		return 0, err
+	}
+	g := analysis.Build(rolled, cfg.Mach)
+	s := sched.List(g)
+	ra := regalloc.Run(s)
+	return float64(s.Period + ra.SpillCycles), nil
+}
+
+// pipelineMII estimates the modulo-scheduling lower bound for the unrolled
+// body: the exact resource bound plus the rolled loop's recurrence ratio
+// scaled by the unroll factor (the induction-variable update is excluded —
+// unrolling folds it).
+func pipelineMII(rolled *ir.Loop, g *analysis.Graph, u int, m *machine.Desc) int {
+	num, den := g.ResMII()
+	mii := (num + den - 1) / den
+	rg := analysis.Build(mustClone(rolled), m)
+	rn, rd := rg.RecurrenceRatioExcluding(func(op *ir.Op) bool {
+		return op.Code == ir.OpAdd && selfCarried(op)
+	})
+	if rd > 0 && rn > 0 {
+		if r := (u*rn + rd - 1) / rd; r > mii {
+			mii = r
+		}
+	}
+	if mii < 1 {
+		mii = 1
+	}
+	return mii
+}
+
+func mustClone(l *ir.Loop) *ir.Loop { return l.Clone() }
+
+func selfCarried(op *ir.Op) bool {
+	for _, a := range op.Args {
+		if a.Op == op && a.Dist == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+func hasCalls(l *ir.Loop) bool {
+	return l.Count(func(o *ir.Op) bool { return o.Code == ir.OpCall }) > 0
+}
+
+// contextFactors derives three deterministic uniforms in [0,1) from the
+// loop's identity — its hidden execution context.
+func contextFactors(l *ir.Loop) (hMem, hIC, hBr float64) {
+	var h uint64 = 14695981039346656037
+	for _, s := range []string{l.Benchmark, "/", l.Name} {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 1099511628211
+		}
+	}
+	next := func() float64 {
+		h += 0x9e3779b97f4a7c15
+		z := h
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z>>11) / float64(1<<53)
+	}
+	return next(), next(), next()
+}
+
+// Measure runs the paper's instrumentation protocol for one (loop, unroll)
+// pair: cfg.Runs noisy executions, reported as the median. The rng makes
+// noise reproducible; measurements from the same rng sequence are
+// independent draws.
+func (t *Timer) Measure(l *ir.Loop, u int, rng *rand.Rand) (int64, error) {
+	return t.MeasureScaled(l, u, rng, 1)
+}
+
+// MeasureScaled measures with the configured noise multiplied by scale —
+// some benchmarks are noisier than others (the paper's mesa/mcf/crafty).
+func (t *Timer) MeasureScaled(l *ir.Loop, u int, rng *rand.Rand, scale float64) (int64, error) {
+	base, err := t.Cycles(l, u)
+	if err != nil {
+		return 0, err
+	}
+	runs := t.Cfg.Runs
+	noise := t.Cfg.Noise * scale
+	if runs < 1 || (noise == 0 && t.Cfg.BiasNoise == 0) {
+		return base, nil
+	}
+	// The whole measurement session shares one systematic bias; the
+	// per-run noise on top of it is mostly removed by the median.
+	bias := 1 + t.Cfg.BiasNoise*scale*rng.NormFloat64()
+	if bias < 0.5 {
+		bias = 0.5
+	}
+	samples := make([]int64, runs)
+	for i := range samples {
+		f := bias * (1 + noise*rng.NormFloat64())
+		if f < 0.25 {
+			f = 0.25
+		}
+		samples[i] = int64(float64(base) * f)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[runs/2], nil
+}
+
+// MeasureAll measures a loop at every unroll factor 1..MaxFactor and
+// reports whether the loop meets the instrumentation floor at its rolled
+// setting.
+func (t *Timer) MeasureAll(l *ir.Loop, rng *rand.Rand) (cycles [transform.MaxFactor + 1]int64, usable bool, err error) {
+	for u := 1; u <= transform.MaxFactor; u++ {
+		c, err := t.Measure(l, u, rng)
+		if err != nil {
+			return cycles, false, err
+		}
+		cycles[u] = c
+	}
+	return cycles, cycles[1] >= t.Cfg.MinCycles, nil
+}

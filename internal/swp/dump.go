@@ -1,0 +1,47 @@
+package swp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"metaopt/internal/analysis"
+)
+
+// Dump renders the modulo schedule as a kernel table: one row per modulo
+// slot (II rows total), each op annotated with its pipeline stage. This is
+// the standard way software-pipelining papers present kernels.
+func (r *Result) Dump(g *analysis.Graph) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "modulo schedule of %s: II=%d, %d stages, %d ops",
+		g.Loop.Name, r.II, r.Stages, len(g.Ops))
+	if r.SpillCycles > 0 {
+		fmt.Fprintf(&sb, ", %d spill cycles", r.SpillCycles)
+	}
+	sb.WriteByte('\n')
+
+	type placed struct {
+		op    int
+		stage int
+	}
+	rows := make([][]placed, r.II)
+	for i := range g.Ops {
+		slot := r.Cycle[i] % r.II
+		rows[slot] = append(rows[slot], placed{op: i, stage: r.Cycle[i] / r.II})
+	}
+	for slot := 0; slot < r.II; slot++ {
+		sort.Slice(rows[slot], func(a, b int) bool { return rows[slot][a].stage < rows[slot][b].stage })
+		cells := make([]string, 0, len(rows[slot]))
+		for _, p := range rows[slot] {
+			op := g.Ops[p.op]
+			label := fmt.Sprintf("v%d:%s", op.ID, op.Code)
+			if op.Mem != nil {
+				label = fmt.Sprintf("v%d:%s %s", op.ID, op.Code, op.Mem)
+			}
+			cells = append(cells, fmt.Sprintf("[s%d] %s", p.stage, label))
+		}
+		fmt.Fprintf(&sb, "%3d | %s\n", slot, strings.Join(cells, "  "))
+	}
+	fmt.Fprintf(&sb, "register demand: %d FP, %d int\n", r.RegsFP, r.RegsInt)
+	return sb.String()
+}

@@ -1,0 +1,30 @@
+package swp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpRendersKernel(t *testing.T) {
+	g, r := schedule(t, daxpy, 2)
+	out := r.Dump(g)
+	for _, want := range []string{"modulo schedule of daxpy", "II=", "stages", "[s", "register demand"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// Every modulo slot appears as a row.
+	for slot := 0; slot < r.II; slot++ {
+		if !strings.Contains(out, "\n") {
+			t.Fatalf("dump has no rows:\n%s", out)
+		}
+	}
+}
+
+func TestDumpMarksSpills(t *testing.T) {
+	g, r := schedule(t, daxpy, 1)
+	r.SpillCycles = 9
+	if !strings.Contains(r.Dump(g), "9 spill cycles") {
+		t.Error("dump does not mention spill cycles")
+	}
+}

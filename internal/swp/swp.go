@@ -1,0 +1,393 @@
+// Package swp implements software pipelining by iterative modulo scheduling
+// (Rau's IMS): it finds the smallest initiation interval II at which a new
+// loop iteration can be started every II cycles under the machine's
+// resource and recurrence constraints. Loop unrolling interacts with the
+// pipeliner through fractional initiation intervals: a loop whose resource
+// bound is 3/2 wastes half a cycle per iteration at II=2 rolled, but
+// unrolled twice it runs at II=3 for two iterations — exactly the effect
+// the paper's second experiment (Figure 5) measures.
+package swp
+
+import (
+	"fmt"
+	"sort"
+
+	"metaopt/internal/analysis"
+	"metaopt/internal/ir"
+	"metaopt/internal/machine"
+)
+
+// Result is a modulo schedule for one loop body.
+type Result struct {
+	II     int   // achieved initiation interval
+	Cycle  []int // absolute issue cycle per op
+	Stages int   // pipeline depth in stages of II cycles
+
+	// Register demand under modulo variable expansion.
+	RegsFP  int
+	RegsInt int
+
+	// SpillCycles is nonzero when the register files cannot hold the
+	// pipelined values even at the maximum II attempted.
+	SpillCycles int
+}
+
+// Schedule modulo-schedules the body of g, starting the II search at mii
+// (callers pass the analysis MII estimate; the search self-corrects upward
+// if the estimate is low). It fails only for pathological inputs where no
+// II up to the cap admits a schedule.
+func Schedule(g *analysis.Graph, mii int) (*Result, error) {
+	n := len(g.Ops)
+	if n == 0 {
+		return &Result{II: 1, Stages: 1}, nil
+	}
+	if mii < 1 {
+		mii = 1
+	}
+	maxII := 4*mii + 64
+	var lastErr error
+	for ii := mii; ii <= maxII; ii++ {
+		cycles, ok := tryII(g, ii)
+		if !ok {
+			continue
+		}
+		res := finish(g, ii, cycles)
+		if res.SpillCycles == 0 {
+			return res, nil
+		}
+		// Register overflow: retry at a higher II (less overlap, fewer
+		// simultaneously-live values); keep the best spilling schedule as
+		// a fallback.
+		if lastErr == nil {
+			lastErr = fmt.Errorf("swp: %s: register overflow at II=%d", g.Loop.Name, ii)
+		}
+		if ii == maxII {
+			return res, nil
+		}
+		// Try a few higher IIs; if demand never fits, accept spills.
+		if ii >= mii+8 {
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("swp: %s: no feasible II in [%d,%d]", g.Loop.Name, mii, maxII)
+}
+
+// tryII attempts one iterative-modulo-scheduling pass at the given II.
+func tryII(g *analysis.Graph, ii int) ([]int, bool) {
+	n := len(g.Ops)
+	m := g.Mach
+
+	// Height priority (same-iteration critical path to sinks).
+	height := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		height[i] = m.Latency(g.Ops[i])
+		for _, e := range g.Out[i] {
+			if e.Dist != 0 {
+				continue
+			}
+			if h := e.Lat + height[e.To]; h > height[i] {
+				height[i] = h
+			}
+		}
+	}
+
+	cycle := make([]int, n)
+	placed := make([]bool, n)
+	prevTime := make([]int, n)
+	for i := range prevTime {
+		prevTime[i] = -1
+	}
+
+	// Modulo reservation table: usage per unit kind per modulo slot, plus
+	// issue slots.
+	var unitUse [machine.NumUnitKinds][]int
+	for k := range unitUse {
+		unitUse[k] = make([]int, ii)
+	}
+	issueUse := make([]int, ii)
+
+	reserve := func(op, at int, dir int) {
+		kind := m.UnitFor(g.Ops[op].Code)
+		for j := 0; j < m.BlockCycles(g.Ops[op].Code); j++ {
+			unitUse[kind][(at+j)%ii] += dir
+		}
+		issueUse[at%ii] += dir
+	}
+	fits := func(op, at int) bool {
+		kind := m.UnitFor(g.Ops[op].Code)
+		if issueUse[at%ii] >= m.IssueWidth {
+			return false
+		}
+		block := m.BlockCycles(g.Ops[op].Code)
+		// An unpipelined op whose block span exceeds the II wraps around
+		// the modulo table and demands some slots more than once.
+		span := block
+		if span > ii {
+			span = ii
+		}
+		for j := 0; j < span; j++ {
+			demand := (block-1-j)/ii + 1
+			if unitUse[kind][(at+j)%ii]+demand > m.Units[kind] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Worklist ordered by priority.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return height[order[a]] > height[order[b]] })
+
+	var work []int
+	work = append(work, order...)
+	budget := n * 16
+
+	for len(work) > 0 {
+		if budget--; budget < 0 {
+			return nil, false
+		}
+		op := work[0]
+		work = work[1:]
+
+		// Earliest start given scheduled predecessors.
+		estart := 0
+		for _, e := range g.In[op] {
+			if !placed[e.From] {
+				continue
+			}
+			if t := cycle[e.From] + e.Lat - ii*e.Dist; t > estart {
+				estart = t
+			}
+		}
+		// Find a resource-feasible slot within one II of estart.
+		at := -1
+		for t := estart; t < estart+ii; t++ {
+			if fits(op, t) {
+				at = t
+				break
+			}
+		}
+		forced := false
+		if at < 0 {
+			at = estart
+			forced = true
+		}
+		// Progress rule: never reschedule an op at or before its previous
+		// slot when forcing.
+		if at <= prevTime[op] {
+			at = prevTime[op] + 1
+			forced = true
+		}
+
+		if forced {
+			// Evict resource conflicts at the target slot.
+			for other := 0; other < n; other++ {
+				if !placed[other] {
+					continue
+				}
+				if conflicts(g, m, ii, other, cycle[other], op, at) {
+					reserve(other, cycle[other], -1)
+					placed[other] = false
+					work = append(work, other)
+				}
+			}
+		}
+		cycle[op] = at
+		prevTime[op] = at
+		placed[op] = true
+		reserve(op, at, +1)
+
+		// Unschedule any successor whose dependence is now violated.
+		for _, e := range g.Out[op] {
+			if !placed[e.To] || e.To == op {
+				continue
+			}
+			if cycle[op]+e.Lat-ii*e.Dist > cycle[e.To] {
+				reserve(e.To, cycle[e.To], -1)
+				placed[e.To] = false
+				work = append(work, e.To)
+			}
+		}
+		for _, e := range g.In[op] {
+			if !placed[e.From] || e.From == op {
+				continue
+			}
+			if cycle[e.From]+e.Lat-ii*e.Dist > cycle[op] {
+				reserve(e.From, cycle[e.From], -1)
+				placed[e.From] = false
+				work = append(work, e.From)
+			}
+		}
+	}
+
+	// Final verification: dependences and the modulo reservation table
+	// (forced placements may have oversubscribed an infeasible II).
+	for _, e := range g.Edges {
+		if cycle[e.From]+e.Lat-ii*e.Dist > cycle[e.To] {
+			return nil, false
+		}
+	}
+	var finalUse [machine.NumUnitKinds][]int
+	for k := range finalUse {
+		finalUse[k] = make([]int, ii)
+	}
+	for i, op := range g.Ops {
+		kind := m.UnitFor(op.Code)
+		for j := 0; j < m.BlockCycles(op.Code); j++ {
+			slot := (cycle[i] + j) % ii
+			finalUse[kind][slot]++
+			if finalUse[kind][slot] > m.Units[kind] {
+				return nil, false
+			}
+		}
+	}
+	// Normalize so the earliest op is at cycle 0. Shifting every cycle by
+	// the same amount rotates the reservation table uniformly, which
+	// preserves feasibility.
+	min := cycle[0]
+	for _, c := range cycle {
+		if c < min {
+			min = c
+		}
+	}
+	for i := range cycle {
+		cycle[i] -= min
+	}
+	return cycle, true
+}
+
+// conflicts reports whether two placed ops collide on a functional unit or
+// issue slot in the modulo reservation table.
+func conflicts(g *analysis.Graph, m *machine.Desc, ii int, a, aCyc, b, bCyc int) bool {
+	if a == b {
+		return false
+	}
+	// Issue-slot collision.
+	if aCyc%ii == bCyc%ii && issueLimited(g, m, ii, aCyc%ii) {
+		return true
+	}
+	ka := m.UnitFor(g.Ops[a].Code)
+	kb := m.UnitFor(g.Ops[b].Code)
+	if ka != kb {
+		return false
+	}
+	for i := 0; i < m.BlockCycles(g.Ops[a].Code); i++ {
+		for j := 0; j < m.BlockCycles(g.Ops[b].Code); j++ {
+			if (aCyc+i)%ii == (bCyc+j)%ii {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// issueLimited reports whether the issue slot at the given modulo time is
+// already at capacity.
+func issueLimited(g *analysis.Graph, m *machine.Desc, ii, slot int) bool {
+	// Conservative: treat issue conflicts as real only on narrow machines.
+	return m.IssueWidth <= 2
+}
+
+// finish packages a feasible modulo schedule and computes register demand
+// under modulo variable expansion: a value live for L cycles needs
+// ceil(L/II) registers.
+func finish(g *analysis.Graph, ii int, cycle []int) *Result {
+	res := &Result{II: ii, Cycle: cycle}
+	last := 0
+	for _, c := range cycle {
+		if c > last {
+			last = c
+		}
+	}
+	res.Stages = last/ii + 1
+
+	m := g.Mach
+	demFP, demInt := 0, 0
+	for i, op := range g.Ops {
+		if !op.Code.HasResult() {
+			continue
+		}
+		def := cycle[i]
+		end := def
+		for _, e := range g.Out[i] {
+			if e.Kind != analysis.EdgeData {
+				continue
+			}
+			if t := cycle[e.To] + ii*e.Dist; t > end {
+				end = t
+			}
+		}
+		need := (end - def + ii - 1) / ii
+		if need < 1 {
+			need = 1
+		}
+		if op.FP {
+			demFP += need
+		} else {
+			demInt += need
+		}
+	}
+	for _, p := range g.Loop.Params {
+		if p.Code != ir.OpParam {
+			continue
+		}
+		if p.FP {
+			demFP++
+		} else {
+			demInt++
+		}
+	}
+	res.RegsFP = demFP
+	res.RegsInt = demInt
+
+	availFP := m.FPRegs
+	availInt := m.IntRegs
+	if m.RotatingRegs > 0 {
+		if m.RotatingRegs < availFP {
+			availFP = m.RotatingRegs
+		}
+		if m.RotatingRegs < availInt {
+			availInt = m.RotatingRegs
+		}
+	}
+	spills := 0
+	if demFP > availFP {
+		spills += demFP - availFP
+	}
+	if demInt > availInt {
+		spills += demInt - availInt
+	}
+	res.SpillCycles = spills * m.SpillCost
+	return res
+}
+
+// Verify checks every dependence edge under the modulo constraint.
+func (r *Result) Verify(g *analysis.Graph) error {
+	for _, e := range g.Edges {
+		if r.Cycle[e.From]+e.Lat-r.II*e.Dist > r.Cycle[e.To] {
+			return fmt.Errorf("swp: %s: edge v%d→v%d (lat %d dist %d) violated at II=%d",
+				g.Loop.Name, g.Ops[e.From].ID, g.Ops[e.To].ID, e.Lat, e.Dist, r.II)
+		}
+	}
+	// Modulo resource check.
+	m := g.Mach
+	var unitUse [machine.NumUnitKinds][]int
+	for k := range unitUse {
+		unitUse[k] = make([]int, r.II)
+	}
+	for i, op := range g.Ops {
+		kind := m.UnitFor(op.Code)
+		for j := 0; j < m.BlockCycles(op.Code); j++ {
+			slot := (r.Cycle[i] + j) % r.II
+			unitUse[kind][slot]++
+			if unitUse[kind][slot] > m.Units[kind] {
+				return fmt.Errorf("swp: %s: unit %s oversubscribed at modulo slot %d (II=%d)",
+					g.Loop.Name, kind, slot, r.II)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package swp
+
+import (
+	"testing"
+
+	"metaopt/internal/analysis"
+	"metaopt/internal/ir"
+	"metaopt/internal/lang"
+	"metaopt/internal/machine"
+	"metaopt/internal/transform"
+)
+
+func graphOf(t *testing.T, src string, u int) *analysis.Graph {
+	t.Helper()
+	k, err := lang.ParseKernel(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	l, err := lang.Lower(k)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	if u > 1 {
+		l, _, err = transform.Unroll(l, u)
+		if err != nil {
+			t.Fatalf("unroll: %v", err)
+		}
+	}
+	return analysis.Build(l, machine.Itanium2())
+}
+
+func schedule(t *testing.T, src string, u int) (*analysis.Graph, *Result) {
+	t.Helper()
+	g := graphOf(t, src, u)
+	r, err := Schedule(g, g.MII())
+	if err != nil {
+		t.Fatalf("swp: %v", err)
+	}
+	if err := r.Verify(g); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return g, r
+}
+
+const daxpy = `
+kernel daxpy lang=c {
+	param double a;
+	double x[], y[];
+	noalias;
+	for i = 0 .. 4096 { y[i] = y[i] + a * x[i]; }
+}`
+
+func TestDaxpyPipelinesToSmallII(t *testing.T) {
+	_, r := schedule(t, daxpy, 1)
+	// 7 ops on a 6-issue machine with ample units: II of 2 is achievable
+	// (3 memory ops on 4 M units, 1 F op, 1 I op, 1 B op).
+	if r.II > 2 {
+		t.Errorf("II = %d, want <= 2", r.II)
+	}
+	if r.Stages < 2 {
+		t.Errorf("stages = %d: a long-latency chain must span stages", r.Stages)
+	}
+}
+
+func TestReductionIIBoundByRecurrence(t *testing.T) {
+	g, r := schedule(t, `
+kernel dot lang=fortran {
+	double a[], b[];
+	double s;
+	for i = 0 .. 1024 { s = s + a[i]*b[i]; }
+}`, 1)
+	m := machine.Itanium2()
+	if r.II < m.FPLat {
+		t.Errorf("II = %d beats the recurrence bound %d", r.II, m.FPLat)
+	}
+	if g.MII() != m.FPLat {
+		t.Errorf("MII = %d, want %d", g.MII(), m.FPLat)
+	}
+}
+
+func TestFractionalIIFromUnrolling(t *testing.T) {
+	// 3 FP ops per iteration on 2 F units: rolled II = 2 (wasting half a
+	// slot); unrolled by 2, II = 3 for two iterations = 1.5 per iteration.
+	src := `
+kernel f3 lang=fortran {
+	double a[], b[], c[], d[];
+	for i = 0 .. 4096 { d[i] = a[i]*b[i] + a[i]*c[i] + b[i]*c[i]; }
+}`
+	_, r1 := schedule(t, src, 1)
+	_, r2 := schedule(t, src, 2)
+	per1 := float64(r1.II)
+	per2 := float64(r2.II) / 2
+	if per2 >= per1 {
+		t.Errorf("unrolling did not improve per-iteration II: %.2f vs %.2f", per2, per1)
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	g, r := schedule(t, daxpy, 1)
+	for i := range r.Cycle {
+		r.Cycle[i] = 0
+	}
+	if err := r.Verify(g); err == nil {
+		t.Error("expected verification failure")
+	}
+}
+
+func TestRegisterDemandGrowsWithUnroll(t *testing.T) {
+	_, r1 := schedule(t, daxpy, 1)
+	_, r8 := schedule(t, daxpy, 8)
+	if r8.RegsFP <= r1.RegsFP {
+		t.Errorf("fp demand: u8 %d <= u1 %d", r8.RegsFP, r1.RegsFP)
+	}
+}
+
+func TestSpillsOnTinyRegisterFile(t *testing.T) {
+	k, err := lang.ParseKernel(daxpy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := lang.Lower(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l8, _, err := transform.Unroll(l, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.Itanium2()
+	tiny := *m
+	tiny.FPRegs = 3
+	tiny.RotatingRegs = 3
+	g := analysis.Build(l8, &tiny)
+	r, err := Schedule(g, g.MII())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SpillCycles == 0 {
+		t.Errorf("expected spills with 3 FP regs: %+v", r)
+	}
+}
+
+func TestAllFactorsVerify(t *testing.T) {
+	srcs := []string{
+		daxpy,
+		`kernel dot lang=fortran { double a[], b[]; double s; for i = 0 .. 512 { s = s + a[i]*b[i]; } }`,
+		`kernel stencil lang=c { double a[], b[]; noalias; for i = 1 .. 511 { b[i] = a[i-1] + a[i] + a[i+1]; } }`,
+		`kernel divloop lang=fortran { double a[], b[], o[]; for i = 0 .. 128 { o[i] = a[i] / b[i]; } }`,
+		`kernel pred lang=c { double a[], b[]; for i = 0 .. 100 { if (a[i] > 0.0) { b[i] = a[i]; } } }`,
+	}
+	for _, src := range srcs {
+		for u := 1; u <= 8; u *= 2 {
+			g := graphOf(t, src, u)
+			r, err := Schedule(g, g.MII())
+			if err != nil {
+				t.Fatalf("%v (u=%d)", err, u)
+			}
+			if err := r.Verify(g); err != nil {
+				t.Fatalf("%v (u=%d)", err, u)
+			}
+			if r.II < 1 || r.Stages < 1 {
+				t.Errorf("degenerate result %+v (u=%d)", r, u)
+			}
+		}
+	}
+}
+
+func TestEmptyLoop(t *testing.T) {
+	g := &analysis.Graph{Mach: machine.Itanium2(), Loop: ir.NewLoop("empty")}
+	r, err := Schedule(g, 1)
+	if err != nil || r.II != 1 {
+		t.Errorf("empty: %v %+v", err, r)
+	}
+}

@@ -1,0 +1,277 @@
+package transform
+
+import (
+	"fmt"
+	"sort"
+
+	"metaopt/internal/ir"
+)
+
+// applyCleanups runs the post-unroll optimizations in order: store→load and
+// load→load forwarding (cross-iteration scalar replacement), dead store
+// elimination, then load/store coalescing (the wide-memory-bus effect).
+//
+// Note on modeling: this IR drives a performance model, not an interpreter.
+// Coalescing therefore redirects the dependence structure (consumers of a
+// merged access depend on the surviving wide access) without representing
+// the distinct element values — which is exactly what the schedulers and
+// the cycle model need.
+func applyCleanups(l *ir.Loop, info *Info) {
+	forwardLoads(l, info)
+	deadStores(l, info)
+	coalesce(l, info, ir.OpLoad)
+	coalesce(l, info, ir.OpStore)
+}
+
+func locKey(m *ir.MemRef) string {
+	return fmt.Sprintf("%s|%d|%d", m.Array, m.Stride, m.Offset)
+}
+
+// forwardLoads replaces loads whose value is already available from an
+// earlier unpredicated load of, or store to, the same location in the same
+// unrolled body.
+func forwardLoads(l *ir.Loop, info *Info) {
+	type avail struct {
+		ref ir.ArgRef // the value at the location
+	}
+	values := map[string]avail{}
+	killArray := func(array string) {
+		for k := range values {
+			if array == "" || !l.NoAlias ||
+				(len(k) > len(array) && k[:len(array)] == array && k[len(array)] == '|') {
+				delete(values, k)
+			}
+		}
+	}
+	removed := map[*ir.Op]ir.ArgRef{}
+	for _, op := range l.Body {
+		switch op.Code {
+		case ir.OpCall:
+			killArray("")
+		case ir.OpLoad:
+			if op.Predicated || op.Mem.Indirect {
+				continue
+			}
+			key := locKey(op.Mem)
+			if v, ok := values[key]; ok {
+				removed[op] = v.ref
+				info.ForwardedLoads++
+				continue
+			}
+			values[key] = avail{ref: ir.Use(op)}
+		case ir.OpStore:
+			if op.Mem.Indirect {
+				killArray(op.Mem.Array)
+				continue
+			}
+			if op.Predicated {
+				// The store may not execute: the old value may survive.
+				delete(values, locKey(op.Mem))
+				if !l.NoAlias {
+					killArray("")
+				}
+				continue
+			}
+			if !l.NoAlias {
+				killArray("")
+			}
+			values[locKey(op.Mem)] = avail{ref: op.Args[len(op.Args)-1]}
+		}
+	}
+	if len(removed) == 0 {
+		return
+	}
+	rewrite(l, removed)
+}
+
+// rewrite redirects every use of the removed ops to their replacement
+// values (composing carried distances) and drops them from the body.
+func rewrite(l *ir.Loop, removed map[*ir.Op]ir.ArgRef) {
+	// Replacements may chain (a forwarded load replaced by another load
+	// that is itself forwarded); resolve transitively.
+	resolve := func(op *ir.Op, dist int) ir.ArgRef {
+		ref := ir.ArgRef{Op: op, Dist: dist}
+		for {
+			r, ok := removed[ref.Op]
+			if !ok {
+				return ref
+			}
+			ref = ir.ArgRef{Op: r.Op, Dist: ref.Dist + r.Dist}
+		}
+	}
+	for _, op := range l.Body {
+		for i := range op.Args {
+			if _, ok := removed[op.Args[i].Op]; ok {
+				op.Args[i] = resolve(op.Args[i].Op, op.Args[i].Dist)
+			}
+		}
+	}
+	keep := l.Body[:0]
+	for _, op := range l.Body {
+		if _, dead := removed[op]; !dead {
+			keep = append(keep, op)
+		}
+	}
+	l.Body = keep
+}
+
+// deadStores removes stores overwritten by a later unconditional store to
+// the same location with no intervening read, exit or call that could
+// observe the earlier value.
+func deadStores(l *ir.Loop, info *Info) {
+	dead := map[*ir.Op]bool{}
+	// Backward scan: "covered" locations will be overwritten before any
+	// observation point.
+	covered := map[string]bool{}
+	for i := len(l.Body) - 1; i >= 0; i-- {
+		op := l.Body[i]
+		switch op.Code {
+		case ir.OpCall, ir.OpCondBr:
+			// Memory is observable here.
+			covered = map[string]bool{}
+		case ir.OpLoad:
+			if op.Mem.Indirect || !l.NoAlias {
+				covered = map[string]bool{}
+			} else {
+				delete(covered, locKey(op.Mem))
+			}
+		case ir.OpStore:
+			if op.Mem.Indirect {
+				covered = map[string]bool{}
+				continue
+			}
+			key := locKey(op.Mem)
+			if covered[key] && !op.Predicated {
+				dead[op] = true
+				info.DeadStores++
+				continue
+			}
+			if !op.Predicated {
+				covered[key] = true
+			}
+		}
+	}
+	if len(dead) == 0 {
+		return
+	}
+	keep := l.Body[:0]
+	for _, op := range l.Body {
+		if !dead[op] {
+			keep = append(keep, op)
+		}
+	}
+	l.Body = keep
+}
+
+// coalesce merges pairs of unpredicated affine accesses to adjacent
+// elements of the same array into one wide access, provided no store or
+// call intervenes between the pair. Each access joins at most one pair.
+func coalesce(l *ir.Loop, info *Info, code ir.Opcode) {
+	pos := make(map[*ir.Op]int, len(l.Body))
+	for i, op := range l.Body {
+		pos[op] = i
+	}
+	type groupKey struct {
+		array  string
+		stride int
+		bytes  int
+		float  bool
+	}
+	groups := map[groupKey][]*ir.Op{}
+	for _, op := range l.Body {
+		if op.Code != code || op.Predicated || op.Mem.Indirect {
+			continue
+		}
+		k := groupKey{op.Mem.Array, op.Mem.Stride, op.Mem.Elem.Bytes, op.Mem.Elem.Float}
+		groups[k] = append(groups[k], op)
+	}
+	// Barrier positions between a candidate pair: calls always; stores that
+	// may touch the array; and — when merging stores, since the earlier
+	// store is delayed to the later one's position — loads that may read
+	// the array and side exits that would observe the missing store.
+	barrier := func(a, b int, array string) bool {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for i := lo + 1; i < hi; i++ {
+			op := l.Body[i]
+			switch op.Code {
+			case ir.OpCall:
+				return true
+			case ir.OpStore:
+				if !l.NoAlias || op.Mem.Array == array || op.Mem.Indirect {
+					return true
+				}
+			case ir.OpLoad:
+				if code == ir.OpStore && (!l.NoAlias || op.Mem.Array == array || op.Mem.Indirect) {
+					return true
+				}
+			case ir.OpCondBr:
+				if code == ir.OpStore {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	removedLoads := map[*ir.Op]ir.ArgRef{}
+	removedStores := map[*ir.Op]bool{}
+	for key, ops := range groups {
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Mem.Offset < ops[j].Mem.Offset })
+		for i := 0; i+1 < len(ops); i++ {
+			a, b := ops[i], ops[i+1]
+			if removedIn(a, removedLoads, removedStores) || removedIn(b, removedLoads, removedStores) {
+				continue
+			}
+			if b.Mem.Offset != a.Mem.Offset+1 {
+				continue
+			}
+			if barrier(pos[a], pos[b], key.array) {
+				continue
+			}
+			first, second := a, b
+			if pos[b] < pos[a] {
+				first, second = b, a
+			}
+			lowOff := a.Mem.Offset // a has the smaller offset after sorting
+			if code == ir.OpLoad {
+				// Keep the earlier load: the wide access satisfies both.
+				removedLoads[second] = ir.Use(first)
+				first.Mem.Offset = lowOff
+				first.Mem.Span = 2
+				info.CoalescedLoads++
+			} else {
+				// Keep the later store so both values are defined by the
+				// time the wide store issues; it adopts the earlier
+				// store's inputs.
+				second.Args = append(second.Args, first.Args...)
+				second.Mem.Offset = lowOff
+				second.Mem.Span = 2
+				removedStores[first] = true
+				info.CoalescedStores++
+			}
+			i++ // the pair is consumed
+		}
+	}
+	if len(removedLoads) > 0 {
+		rewrite(l, removedLoads)
+	}
+	if len(removedStores) > 0 {
+		keep := l.Body[:0]
+		for _, op := range l.Body {
+			if !removedStores[op] {
+				keep = append(keep, op)
+			}
+		}
+		l.Body = keep
+	}
+}
+
+func removedIn(op *ir.Op, loads map[*ir.Op]ir.ArgRef, stores map[*ir.Op]bool) bool {
+	if _, ok := loads[op]; ok {
+		return true
+	}
+	return stores[op]
+}

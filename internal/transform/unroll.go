@@ -1,0 +1,289 @@
+// Package transform implements loop unrolling on the IR, together with the
+// post-unroll cleanups that give unrolling its payoff on real machines
+// (paper Section 3): cross-iteration scalar replacement (store→load and
+// load→load forwarding), adjacent-reference load/store coalescing (the
+// wide-memory-bus effect), dead store elimination, and folding of the
+// per-iteration loop overhead (induction update, trip test, back edge) into
+// one instance per unrolled body.
+package transform
+
+import (
+	"fmt"
+
+	"metaopt/internal/ir"
+)
+
+// Info reports what unrolling did to a loop.
+type Info struct {
+	U               int // the unroll factor
+	ForwardedLoads  int // loads replaced by values from earlier copies
+	CoalescedLoads  int // loads merged into a neighbor's wide access
+	CoalescedStores int // stores merged into a neighbor's wide access
+	DeadStores      int // stores overwritten within the unrolled body
+	IV              *ir.Op
+}
+
+// MaxFactor is the largest unroll factor the system considers; beyond eight
+// the paper's training loops stop compiling, and the label space is 1..8.
+const MaxFactor = 8
+
+// Unroll returns a new loop whose body executes u consecutive iterations of
+// l, plus a description of the cleanup opportunities it found. Unroll(l, 1)
+// returns a plain clone. The input loop is not modified.
+func Unroll(l *ir.Loop, u int) (*ir.Loop, *Info, error) {
+	if u < 1 {
+		return nil, nil, fmt.Errorf("transform: unroll factor %d", u)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("transform: input: %w", err)
+	}
+	iv, cmp, br, err := loopControl(l)
+	if err != nil {
+		return nil, nil, err
+	}
+	info := &Info{U: u}
+	if u == 1 {
+		out := l.Clone()
+		info.IV = findByID(out, iv.ID)
+		applyCleanups(out, info)
+		return out, info, nil
+	}
+
+	out := ir.NewLoop(l.Name)
+	out.Benchmark = l.Benchmark
+	out.Lang = l.Lang
+	out.NestLevel = l.NestLevel
+	out.TripCount = l.TripCount
+	out.EarlyExit = l.EarlyExit
+	out.NoAlias = l.NoAlias
+	out.RuntimeTrip = l.RuntimeTrip
+	out.Entries = l.Entries
+
+	// Shared pseudo-ops.
+	paramMap := make(map[*ir.Op]*ir.Op, len(l.Params))
+	for _, p := range l.Params {
+		var np *ir.Op
+		if p.Code == ir.OpParam {
+			np = out.NewParam(p.Name)
+		} else {
+			np = out.NewConst(p.Name)
+		}
+		np.FP = p.FP
+		paramMap[p] = np
+	}
+
+	// The replicated portion of the body: everything except loop control.
+	var repl []*ir.Op
+	maxPred := 0
+	for _, op := range l.Body {
+		if op == iv || op == cmp || op == br {
+			continue
+		}
+		repl = append(repl, op)
+		if op.PredID > maxPred {
+			maxPred = op.PredID
+		}
+	}
+
+	// Pass 1: clone u copies without arguments.
+	clones := make([]map[*ir.Op]*ir.Op, u)
+	for k := 0; k < u; k++ {
+		clones[k] = make(map[*ir.Op]*ir.Op, len(repl))
+		for _, op := range repl {
+			nc := out.NewOp(op.Code)
+			nc.FP = op.FP
+			nc.Name = op.Name
+			nc.Predicated = op.Predicated
+			if op.PredID != 0 {
+				nc.PredID = op.PredID + k*(maxPred+1)
+			}
+			if op.Mem != nil {
+				m := *op.Mem
+				m.Stride = op.Mem.Stride * u
+				m.Offset = op.Mem.Offset + op.Mem.Stride*k
+				nc.Mem = &m
+			}
+			clones[k][op] = nc
+		}
+	}
+
+	// New loop control: one induction update per unrolled body. Its
+	// constant names the step for readability.
+	step := out.NewConst(fmt.Sprint(u))
+	newIV := out.NewOp(ir.OpAdd, ir.Use(step))
+	newIV.Name = iv.Name
+	newIV.Args = append(newIV.Args, ir.Carried(newIV, 1))
+	info.IV = newIV
+
+	// Per-copy materialization of the induction value (only built when a
+	// copy actually reads the IV as data).
+	ivValue := make([]*ir.Op, u)
+	ivFor := func(k int) ir.ArgRef {
+		if k == 0 {
+			return ir.Carried(newIV, 1)
+		}
+		if ivValue[k] == nil {
+			c := out.NewConst(fmt.Sprint(k))
+			add := out.NewOp(ir.OpAdd, ir.Carried(newIV, 1), ir.Use(c))
+			add.Name = fmt.Sprintf("%s+%d", iv.Name, k)
+			ivValue[k] = add
+		}
+		return ir.Use(ivValue[k])
+	}
+
+	// Pass 2: wire arguments.
+	for k := 0; k < u; k++ {
+		for _, op := range repl {
+			nc := clones[k][op]
+			for _, a := range op.Args {
+				nc.Args = append(nc.Args, remapArg(a, k, u, iv, clones, paramMap, ivFor))
+			}
+		}
+	}
+
+	// Loop control tail: compare and back edge.
+	newCmp := out.NewOp(ir.OpCmp, ir.Use(newIV))
+	newCmp.Name = cmp.Name
+	for _, a := range cmp.Args {
+		if a.Op == iv {
+			continue // already wired to the new IV
+		}
+		newCmp.Args = append(newCmp.Args, remapArg(a, u-1, u, iv, clones, paramMap, ivFor))
+	}
+	out.NewOp(ir.OpBr, ir.Use(newCmp))
+
+	// Order the body so that every dist-0 use follows its definition: the
+	// materialized IV adds were appended out of order.
+	if err := reorder(out); err != nil {
+		return nil, nil, err
+	}
+
+	applyCleanups(out, info)
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("transform: unroll %s by %d: %w", l.Name, u, err)
+	}
+	return out, info, nil
+}
+
+// remapArg translates an argument of the source op into copy k's body.
+func remapArg(a ir.ArgRef, k, u int, iv *ir.Op, clones []map[*ir.Op]*ir.Op,
+	paramMap map[*ir.Op]*ir.Op, ivFor func(int) ir.ArgRef) ir.ArgRef {
+	if np, ok := paramMap[a.Op]; ok {
+		return ir.ArgRef{Op: np, Dist: 0}
+	}
+	if a.Op == iv {
+		// Reading the induction value: copy k sees base+k.
+		return ivFor(k)
+	}
+	j := k - a.Dist
+	if j >= 0 {
+		return ir.Use(clones[j][a.Op])
+	}
+	// Value from an earlier unrolled body: copy (j mod u), ceil(-j/u)
+	// bodies back.
+	dist := (-j + u - 1) / u
+	src := ((j % u) + u) % u
+	return ir.Carried(clones[src][a.Op], dist)
+}
+
+// loopControl identifies the induction update, trip test and back edge.
+func loopControl(l *ir.Loop) (iv, cmp, br *ir.Op, err error) {
+	for _, op := range l.Body {
+		if op.Code == ir.OpBr {
+			br = op
+		}
+	}
+	if br == nil || len(br.Args) != 1 {
+		return nil, nil, nil, fmt.Errorf("transform: %s: no back-edge branch", l.Name)
+	}
+	cmp = br.Args[0].Op
+	if cmp == nil || cmp.Code != ir.OpCmp {
+		return nil, nil, nil, fmt.Errorf("transform: %s: back edge not fed by a compare", l.Name)
+	}
+	for _, a := range cmp.Args {
+		if a.Op.Code == ir.OpAdd && selfCarried(a.Op) {
+			iv = a.Op
+		}
+	}
+	if iv == nil {
+		return nil, nil, nil, fmt.Errorf("transform: %s: no induction update", l.Name)
+	}
+	return iv, cmp, br, nil
+}
+
+func selfCarried(op *ir.Op) bool {
+	for _, a := range op.Args {
+		if a.Op == op && a.Dist == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+func findByID(l *ir.Loop, id int) *ir.Op {
+	for _, op := range l.Body {
+		if op.ID == id {
+			return op
+		}
+	}
+	return nil
+}
+
+// reorder topologically sorts the body by dist-0 argument edges, keeping
+// the original relative order where possible (memory ordering must be
+// preserved: it is encoded positionally).
+func reorder(l *ir.Loop) error {
+	n := len(l.Body)
+	index := make(map[*ir.Op]int, n)
+	for i, op := range l.Body {
+		index[op] = i
+	}
+	indeg := make([]int, n)
+	succs := make([][]int, n)
+	for i, op := range l.Body {
+		for _, a := range op.Args {
+			if a.Dist != 0 {
+				continue
+			}
+			if j, ok := index[a.Op]; ok {
+				succs[j] = append(succs[j], i)
+				indeg[i]++
+			}
+		}
+	}
+	// Kahn's algorithm with a position-ordered frontier keeps the body
+	// stable.
+	var order []int
+	frontier := make([]bool, n)
+	for i, d := range indeg {
+		if d == 0 {
+			frontier[i] = true
+		}
+	}
+	for len(order) < n {
+		picked := -1
+		for i := 0; i < n; i++ {
+			if frontier[i] {
+				picked = i
+				break
+			}
+		}
+		if picked < 0 {
+			return fmt.Errorf("transform: %s: cycle in dist-0 dependences", l.Name)
+		}
+		frontier[picked] = false
+		order = append(order, picked)
+		for _, s := range succs[picked] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				frontier[s] = true
+			}
+		}
+	}
+	body := make([]*ir.Op, n)
+	for pos, i := range order {
+		body[pos] = l.Body[i]
+	}
+	l.Body = body
+	return nil
+}

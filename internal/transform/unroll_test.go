@@ -1,0 +1,330 @@
+package transform
+
+import (
+	"testing"
+
+	"metaopt/internal/ir"
+	"metaopt/internal/lang"
+)
+
+func lower(t *testing.T, src string) *ir.Loop {
+	t.Helper()
+	k, err := lang.ParseKernel(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	l, err := lang.Lower(k)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return l
+}
+
+func unroll(t *testing.T, src string, u int) (*ir.Loop, *Info) {
+	t.Helper()
+	l, info, err := Unroll(lower(t, src), u)
+	if err != nil {
+		t.Fatalf("unroll by %d: %v", u, err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("unrolled loop invalid: %v", err)
+	}
+	return l, info
+}
+
+func count(l *ir.Loop, code ir.Opcode) int {
+	return l.Count(func(o *ir.Op) bool { return o.Code == code })
+}
+
+const daxpy = `
+kernel daxpy lang=c {
+	param double a;
+	double x[], y[];
+	noalias;
+	for i = 0 .. 4096 { y[i] = y[i] + a * x[i]; }
+}`
+
+func TestUnrollIdentity(t *testing.T) {
+	l, info := unroll(t, daxpy, 1)
+	if info.U != 1 || info.IV == nil {
+		t.Errorf("info = %+v", info)
+	}
+	if l.NumOps() != 7 {
+		t.Errorf("ops = %d, want 7", l.NumOps())
+	}
+}
+
+func TestUnrollRejectsBadFactor(t *testing.T) {
+	if _, _, err := Unroll(lower(t, daxpy), 0); err == nil {
+		t.Error("expected error for factor 0")
+	}
+}
+
+func TestUnrollDaxpyBy4(t *testing.T) {
+	l, info := unroll(t, daxpy, 4)
+	// One loop-control set for the whole body.
+	if count(l, ir.OpBr) != 1 || count(l, ir.OpCmp) != 1 {
+		t.Errorf("loop control not folded: br=%d cmp=%d", count(l, ir.OpBr), count(l, ir.OpCmp))
+	}
+	if count(l, ir.OpFMA) != 4 {
+		t.Errorf("fma = %d, want 4", count(l, ir.OpFMA))
+	}
+	// The four x-loads coalesce pairwise (no intervening stores to x);
+	// the y-loads are blocked by the interleaved y-stores.
+	if info.CoalescedLoads != 2 {
+		t.Errorf("coalesced loads = %d, want 2\n%s", info.CoalescedLoads, l)
+	}
+	if count(l, ir.OpLoad) != 4+2 {
+		t.Errorf("loads = %d, want 6\n%s", count(l, ir.OpLoad), l)
+	}
+	if count(l, ir.OpStore) != 4 {
+		t.Errorf("stores = %d, want 4", count(l, ir.OpStore))
+	}
+}
+
+func TestUnrollMemRefScaling(t *testing.T) {
+	l, _ := unroll(t, daxpy, 4)
+	offsets := map[int]bool{}
+	for _, op := range l.Body {
+		if op.Code == ir.OpStore {
+			if op.Mem.Stride != 4 {
+				t.Errorf("store stride = %d, want 4", op.Mem.Stride)
+			}
+			offsets[op.Mem.Offset] = true
+		}
+	}
+	for k := 0; k < 4; k++ {
+		if !offsets[k] {
+			t.Errorf("missing store offset %d; have %v", k, offsets)
+		}
+	}
+}
+
+func TestUnrollRecurrenceForwarding(t *testing.T) {
+	// b[i] = b[i-1]*0.5: each copy's load is satisfied by the previous
+	// copy's store; only the first load per body remains.
+	l, info := unroll(t, `
+kernel rec lang=c {
+	double b[];
+	for i = 1 .. 1000 { b[i] = b[i-1] * 0.5; }
+}`, 4)
+	if info.ForwardedLoads != 3 {
+		t.Errorf("forwarded = %d, want 3\n%s", info.ForwardedLoads, l)
+	}
+	if count(l, ir.OpLoad) != 1 {
+		t.Errorf("loads = %d, want 1\n%s", count(l, ir.OpLoad), l)
+	}
+	// The fmul chain must now be serial through registers: copy k's fmul
+	// feeds copy k+1's fmul directly.
+	fmuls := 0
+	directChain := 0
+	for _, op := range l.Body {
+		if op.Code != ir.OpFMul {
+			continue
+		}
+		fmuls++
+		for _, a := range op.Args {
+			if a.Op.Code == ir.OpFMul && a.Dist == 0 {
+				directChain++
+			}
+		}
+	}
+	if fmuls != 4 || directChain != 3 {
+		t.Errorf("fmuls = %d chain = %d\n%s", fmuls, directChain, l)
+	}
+}
+
+func TestUnrollMemRecurrenceForwardsIntraBody(t *testing.T) {
+	// b[i] = b[i-2] unrolled by 4: copies 2 and 3 read what copies 0 and 1
+	// just stored, so their loads forward to register values; only the two
+	// leading loads (which read the previous body's stores) remain, and the
+	// cross-body portion of the recurrence stays a memory dependence.
+	l, info := unroll(t, `
+kernel rec2 lang=fortran {
+	double b[];
+	for i = 2 .. 1000 { b[i] = b[i-2] * 0.5; }
+}`, 4)
+	if info.ForwardedLoads != 2 {
+		t.Errorf("forwarded = %d, want 2\n%s", info.ForwardedLoads, l)
+	}
+	if count(l, ir.OpLoad) != 2 {
+		t.Errorf("loads = %d, want 2\n%s", count(l, ir.OpLoad), l)
+	}
+	// Copies 2 and 3 chain directly on copies 0 and 1 through registers.
+	direct := 0
+	for _, op := range l.Body {
+		if op.Code != ir.OpFMul {
+			continue
+		}
+		for _, a := range op.Args {
+			if a.Op.Code == ir.OpFMul && a.Dist == 0 {
+				direct++
+			}
+		}
+	}
+	if direct != 2 {
+		t.Errorf("direct fmul chains = %d, want 2\n%s", direct, l)
+	}
+}
+
+func TestUnrollReduction(t *testing.T) {
+	// s = s + a[i]: the chain must thread through all copies and wrap.
+	l, _ := unroll(t, `
+kernel sum lang=fortran {
+	double a[];
+	double s;
+	for i = 0 .. 1024 { s = s + a[i]; }
+}`, 8)
+	adds := 0
+	wrap := 0
+	for _, op := range l.Body {
+		if op.Code != ir.OpFAdd {
+			continue
+		}
+		adds++
+		for _, a := range op.Args {
+			if a.Op.Code == ir.OpFAdd && a.Dist == 1 {
+				wrap++
+			}
+		}
+	}
+	if adds != 8 || wrap != 1 {
+		t.Errorf("adds = %d wrap = %d\n%s", adds, wrap, l)
+	}
+}
+
+func TestUnrollDeadStores(t *testing.T) {
+	// c[0] is overwritten every iteration: only the last store per body
+	// survives.
+	l, info := unroll(t, `
+kernel laststore lang=fortran {
+	double a[], c[];
+	for i = 0 .. 100 { c[0] = a[i]; }
+}`, 4)
+	if info.DeadStores != 3 {
+		t.Errorf("dead stores = %d, want 3\n%s", info.DeadStores, l)
+	}
+	if count(l, ir.OpStore) != 1 {
+		t.Errorf("stores = %d, want 1", count(l, ir.OpStore))
+	}
+}
+
+func TestUnrollEarlyExitKeepsStores(t *testing.T) {
+	// With a side exit between stores, earlier stores are observable.
+	l, info := unroll(t, `
+kernel obs lang=fortran {
+	double a[], c[];
+	for i = 0 .. n {
+		c[0] = a[i];
+		if (a[i] == 0.0) break;
+	}
+}`, 4)
+	if info.DeadStores != 0 {
+		t.Errorf("dead stores = %d, want 0", info.DeadStores)
+	}
+	if count(l, ir.OpCondBr) != 4 {
+		t.Errorf("side exits = %d, want 4 (one per copy)", count(l, ir.OpCondBr))
+	}
+	if !l.EarlyExit {
+		t.Error("EarlyExit lost")
+	}
+}
+
+func TestUnrollPredicatesStayDistinct(t *testing.T) {
+	l, _ := unroll(t, `
+kernel pred lang=c {
+	double a[], b[];
+	for i = 0 .. 100 {
+		if (a[i] > 0.0) { b[i] = a[i]; }
+	}
+}`, 3)
+	preds := map[int]bool{}
+	for _, op := range l.Body {
+		if op.Predicated {
+			preds[op.PredID] = true
+		}
+	}
+	if len(preds) != 3 {
+		t.Errorf("distinct predicates = %d, want 3", len(preds))
+	}
+}
+
+func TestUnrollIVReads(t *testing.T) {
+	// a[i] = i*2: copies > 0 need materialized i+k adds.
+	l, _ := unroll(t, `
+kernel ivval lang=c {
+	double a[];
+	for i = 0 .. 100 { a[i] = i * 2; }
+}`, 4)
+	// 4 muls, each fed by the IV value; copies 1..3 get an extra add.
+	if got := count(l, ir.OpMul); got != 4 {
+		t.Errorf("muls = %d, want 4\n%s", got, l)
+	}
+	adds := count(l, ir.OpAdd)
+	if adds != 1+3 { // folded IV update + 3 materialized offsets
+		t.Errorf("adds = %d, want 4\n%s", adds, l)
+	}
+}
+
+func TestUnrollIndirect(t *testing.T) {
+	l, _ := unroll(t, `
+kernel gather lang=c {
+	double a[], b[];
+	int idx[];
+	noalias;
+	for i = 0 .. 100 { a[i] = b[idx[i]]; }
+}`, 2)
+	ind := 0
+	for _, op := range l.Body {
+		if op.Code == ir.OpLoad && op.Mem.Indirect {
+			ind++
+			if len(op.Args) == 0 {
+				t.Error("indirect load lost its index dependence")
+			}
+		}
+	}
+	if ind != 2 {
+		t.Errorf("indirect loads = %d, want 2", ind)
+	}
+}
+
+func TestUnrollAllKernelFactors(t *testing.T) {
+	srcs := []string{
+		daxpy,
+		`kernel dot lang=fortran { double a[], b[]; double s; for i = 0 .. 512 { s = s + a[i]*b[i]; } }`,
+		`kernel stencil lang=c { double a[], b[]; noalias; for i = 1 .. 511 { b[i] = a[i-1] + a[i] + a[i+1]; } }`,
+		`kernel branchy lang=c { double a[], b[]; double m; for i = 0 .. n { if (a[i] > m) { m = a[i]; } b[i] = m; } }`,
+		`kernel exitk lang=c { double a[]; double s; for i = 0 .. n { s = s + a[i]; if (s > 100.0) break; } }`,
+		`kernel callk lang=c { double a[]; for i = 0 .. n { a[i] = a[i] + 1.0; call f(); } }`,
+		`kernel ivk lang=c { int c[]; for i = 0 .. 256 { c[i] = i; } }`,
+	}
+	for _, src := range srcs {
+		base := lower(t, src)
+		for u := 1; u <= MaxFactor; u++ {
+			out, info, err := Unroll(base, u)
+			if err != nil {
+				t.Fatalf("%s by %d: %v", base.Name, u, err)
+			}
+			if err := out.Validate(); err != nil {
+				t.Fatalf("%s by %d invalid: %v\n%s", base.Name, u, err, out)
+			}
+			if info.U != u || info.IV == nil {
+				t.Errorf("%s by %d: bad info %+v", base.Name, u, info)
+			}
+			if count(out, ir.OpBr) != 1 {
+				t.Errorf("%s by %d: br = %d", base.Name, u, count(out, ir.OpBr))
+			}
+		}
+	}
+}
+
+func TestUnrollDoesNotMutateInput(t *testing.T) {
+	base := lower(t, daxpy)
+	before := base.String()
+	if _, _, err := Unroll(base, 8); err != nil {
+		t.Fatal(err)
+	}
+	if base.String() != before {
+		t.Error("Unroll mutated its input")
+	}
+}

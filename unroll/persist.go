@@ -1,0 +1,158 @@
+package unroll
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"metaopt/internal/ml"
+	"metaopt/internal/ml/nn"
+	"metaopt/internal/ml/svm"
+	"metaopt/internal/ml/tree"
+)
+
+// predictorEnvelope wraps a serialized model with everything needed to
+// reconstruct the predictor: the algorithm, the machine, and the feature
+// subset it was trained on.
+type predictorEnvelope struct {
+	Algorithm Algorithm       `json:"algorithm"`
+	Machine   string          `json:"machine"`
+	Features  []int           `json:"features,omitempty"`
+	Model     json.RawMessage `json:"model"`
+}
+
+// Save serializes a trained predictor so a compiler can load it at startup
+// — the paper's point that "the learned classifier can easily be
+// incorporated into a compiler".
+func (p *Predictor) Save(w io.Writer) error {
+	var alg Algorithm
+	switch p.c.(type) {
+	case *nn.Classifier:
+		alg = NearNeighbor
+	case *svm.Model:
+		alg = LSSVM
+	case *svm.RegModel:
+		alg = Regress
+	case *tree.Tree:
+		alg = DecisionTree
+	case *tree.Ensemble:
+		alg = BoostedTree
+	case json.Marshaler:
+		alg = SMOSVM
+	default:
+		return fmt.Errorf("unroll: predictor type %T is not serializable", p.c)
+	}
+	raw, err := json.Marshal(p.c)
+	if err != nil {
+		return err
+	}
+	env := predictorEnvelope{
+		Algorithm: alg,
+		Machine:   p.mach.Name,
+		Features:  p.feats,
+		Model:     raw,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(env)
+}
+
+// LoadPredictor restores a predictor saved by Save.
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	var env predictorEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("unroll: load predictor: %w", err)
+	}
+	var m *Machine
+	switch env.Machine {
+	case "", "itanium2":
+		m = Itanium2()
+	case "embedded2":
+		m = Embedded()
+	case "wide8":
+		m = Wide()
+	default:
+		return nil, fmt.Errorf("unroll: unknown machine %q", env.Machine)
+	}
+	var c ml.Classifier
+	switch env.Algorithm {
+	case NearNeighbor:
+		c = &nn.Classifier{}
+	case LSSVM, LSSVMECOC:
+		c = &svm.Model{}
+	case Regress:
+		c = &svm.RegModel{}
+	case DecisionTree:
+		c = &tree.Tree{}
+	case BoostedTree:
+		c = &tree.Ensemble{}
+	case SMOSVM:
+		c = svm.NewSMOModel()
+	default:
+		return nil, fmt.Errorf("unroll: unknown algorithm %q", env.Algorithm)
+	}
+	if err := json.Unmarshal(env.Model, c); err != nil {
+		return nil, fmt.Errorf("unroll: load predictor: %w", err)
+	}
+	return &Predictor{c: c, mach: m, feats: env.Features}, nil
+}
+
+// Explanation describes why a near-neighbor predictor chose a factor.
+type Explanation struct {
+	Factor    int
+	Neighbors []nn.Neighbor
+	// Votes counts neighborhood labels within the radius.
+	VoteNeighbors int
+	Agreement     float64
+}
+
+// Explain reports the nearest training loops behind a prediction and the
+// neighborhood vote (near-neighbor predictors only) — the inspection tool
+// the paper sketches for engineers confronting an opaque decision.
+func (p *Predictor) Explain(l *Loop, k int) (*Explanation, error) {
+	c, ok := p.c.(*nn.Classifier)
+	if !ok {
+		return nil, fmt.Errorf("unroll: explanations need a near-neighbor predictor, have %T", p.c)
+	}
+	v := p.project(Features(l, p.mach))
+	n, agree := c.Confidence(v)
+	return &Explanation{
+		Factor:        p.c.Predict(v),
+		Neighbors:     c.Neighbors(v, k),
+		VoteNeighbors: n,
+		Agreement:     agree,
+	}, nil
+}
+
+// project maps a full feature vector onto the predictor's subset.
+func (p *Predictor) project(full []float64) []float64 {
+	if p.feats == nil {
+		return full
+	}
+	v := make([]float64, len(p.feats))
+	for k, j := range p.feats {
+		v[k] = full[j]
+	}
+	return v
+}
+
+// Render formats an explanation for terminal output.
+func (e *Explanation) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "predicted unroll factor: %d", e.Factor)
+	if e.VoteNeighbors > 0 {
+		fmt.Fprintf(&sb, " (%d neighbors in radius, %.0f%% agreement)", e.VoteNeighbors, 100*e.Agreement)
+	} else {
+		sb.WriteString(" (no neighbors in radius: nearest-example fallback)")
+	}
+	sb.WriteByte('\n')
+	sb.WriteString("nearest training loops:\n")
+	ns := append([]nn.Neighbor(nil), e.Neighbors...)
+	sort.SliceStable(ns, func(a, b int) bool { return ns[a].Dist < ns[b].Dist })
+	for _, n := range ns {
+		fmt.Fprintf(&sb, "  %-14s %-16s label %d  dist %.3f\n", n.Benchmark, n.Name, n.Label, n.Dist)
+	}
+	return sb.String()
+}

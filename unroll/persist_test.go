@@ -1,0 +1,162 @@
+package unroll_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"metaopt/unroll"
+)
+
+// roundTrip saves and reloads a predictor, then checks that predictions
+// agree on a bag of query loops.
+func roundTrip(t *testing.T, d *unroll.Dataset, alg unroll.Algorithm, queries []*unroll.Loop) {
+	t.Helper()
+	p, err := unroll.Train(d, unroll.TrainOptions{Algorithm: alg, Seed: 3})
+	if err != nil {
+		t.Fatalf("%s: train: %v", alg, err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("%s: save: %v", alg, err)
+	}
+	p2, err := unroll.LoadPredictor(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("%s: load: %v", alg, err)
+	}
+	for i, q := range queries {
+		if a, b := p.Predict(q), p2.Predict(q); a != b {
+			t.Errorf("%s: query %d: %d vs %d after round trip", alg, i, a, b)
+		}
+	}
+}
+
+func queryLoops(t *testing.T) []*unroll.Loop {
+	t.Helper()
+	loops, err := unroll.ParseFile(daxpy + `
+kernel q2 lang=fortran { double a[], b[]; double s; for i = 0 .. 512 { s = s + a[i]*b[i]; } }
+kernel q3 lang=c { double a[]; int k[]; for i = 0 .. 64 { a[k[i]] = a[k[i]] + 1.0; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loops
+}
+
+func TestPredictorSaveLoadAllAlgorithms(t *testing.T) {
+	d := smallDataset(t)
+	qs := queryLoops(t)
+	for _, alg := range []unroll.Algorithm{
+		unroll.NearNeighbor, unroll.LSSVM, unroll.LSSVMECOC, unroll.SMOSVM,
+		unroll.Regress, unroll.DecisionTree, unroll.BoostedTree,
+	} {
+		roundTrip(t, d, alg, qs)
+	}
+}
+
+func TestPredictorSaveLoadWithFeatureSubset(t *testing.T) {
+	d := smallDataset(t)
+	feats, err := unroll.SelectFeatures(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := unroll.Train(d, unroll.TrainOptions{Algorithm: unroll.LSSVM, Features: feats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := unroll.LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queryLoops(t) {
+		if p.Predict(q) != p2.Predict(q) {
+			t.Fatal("subset predictor disagrees after round trip")
+		}
+	}
+}
+
+func TestLoadPredictorRejectsGarbage(t *testing.T) {
+	if _, err := unroll.LoadPredictor(strings.NewReader("{oops")); err == nil {
+		t.Error("expected decode error")
+	}
+	if _, err := unroll.LoadPredictor(strings.NewReader(`{"algorithm":"wat","model":{}}`)); err == nil {
+		t.Error("expected unknown-algorithm error")
+	}
+	if _, err := unroll.LoadPredictor(strings.NewReader(`{"algorithm":"nn","machine":"vax","model":{}}`)); err == nil {
+		t.Error("expected unknown-machine error")
+	}
+	if _, err := unroll.LoadPredictor(strings.NewReader(`{"algorithm":"nn","model":{}}`)); err == nil {
+		t.Error("expected malformed-model error")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	d := smallDataset(t)
+	p, err := unroll.Train(d, unroll.TrainOptions{Algorithm: unroll.NearNeighbor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := unroll.ParseKernel(daxpy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := p.Explain(l, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Factor != p.Predict(l) {
+		t.Errorf("explanation factor %d != prediction %d", ex.Factor, p.Predict(l))
+	}
+	if len(ex.Neighbors) != 5 {
+		t.Fatalf("neighbors = %d", len(ex.Neighbors))
+	}
+	// Neighbors must be sorted by distance and carry identities.
+	for i := 1; i < len(ex.Neighbors); i++ {
+		if ex.Neighbors[i].Dist < ex.Neighbors[i-1].Dist {
+			t.Error("neighbors not sorted by distance")
+		}
+	}
+	if ex.Neighbors[0].Benchmark == "" || ex.Neighbors[0].Name == "" {
+		t.Error("neighbor identity missing")
+	}
+	out := ex.Render()
+	if !strings.Contains(out, "nearest training loops") || !strings.Contains(out, "label") {
+		t.Errorf("render:\n%s", out)
+	}
+	// Explanations require a near-neighbor predictor.
+	svmP, err := unroll.Train(d, unroll.TrainOptions{Algorithm: unroll.LSSVM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svmP.Explain(l, 3); err == nil {
+		t.Error("expected error for SVM explanation")
+	}
+}
+
+// TestExplainSurvivesPersistence: identities must survive the round trip.
+func TestExplainSurvivesPersistence(t *testing.T) {
+	d := smallDataset(t)
+	p, err := unroll.Train(d, unroll.TrainOptions{Algorithm: unroll.NearNeighbor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := unroll.LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := unroll.ParseKernel(daxpy)
+	ex, err := p2.Explain(l, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Neighbors[0].Benchmark == "" {
+		t.Error("neighbor identities lost in persistence")
+	}
+}

@@ -1,0 +1,363 @@
+package unroll
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"metaopt/internal/core"
+	"metaopt/internal/ml"
+	"metaopt/internal/ml/nn"
+	"metaopt/internal/ml/svm"
+	"metaopt/internal/ml/tree"
+	"metaopt/internal/sim"
+)
+
+// Algorithm selects the learning algorithm for Train.
+type Algorithm string
+
+// Available algorithms.
+const (
+	// NearNeighbor is the paper's radius-0.3 voting classifier.
+	NearNeighbor Algorithm = "nn"
+	// LSSVM is the paper's least-squares SVM with one-vs-rest output codes.
+	LSSVM Algorithm = "svm"
+	// LSSVMECOC uses random error-correcting output codes (15 bits).
+	LSSVMECOC Algorithm = "svm-ecoc"
+	// SMOSVM is a soft-margin C-SVM trained by SMO.
+	SMOSVM Algorithm = "smo"
+	// Regress predicts the factor by kernel ridge regression and rounds.
+	Regress Algorithm = "regress"
+	// DecisionTree is a single CART tree.
+	DecisionTree Algorithm = "tree"
+	// BoostedTree is AdaBoost.SAMME over shallow CART trees — the learner
+	// of the paper's closest prior work (Monsifrot et al.).
+	BoostedTree Algorithm = "boosted-tree"
+)
+
+// trainerFor builds the ml.Trainer for an algorithm.
+func trainerFor(opt TrainOptions) (ml.Trainer, error) {
+	switch opt.Algorithm {
+	case "", NearNeighbor:
+		return &nn.Trainer{Radius: opt.Radius}, nil
+	case LSSVM:
+		return &svm.LSSVM{Gamma: opt.Gamma}, nil
+	case LSSVMECOC:
+		return &svm.LSSVM{Gamma: opt.Gamma, Codes: svm.Random(ml.NumClasses, 15, opt.Seed+1)}, nil
+	case SMOSVM:
+		return &svm.SMO{Seed: opt.Seed}, nil
+	case Regress:
+		return &svm.Regression{Gamma: opt.Gamma}, nil
+	case DecisionTree:
+		return &tree.Trainer{}, nil
+	case BoostedTree:
+		return &tree.Boost{}, nil
+	}
+	return nil, fmt.Errorf("unroll: unknown algorithm %q", opt.Algorithm)
+}
+
+// Dataset is a labeled training set of loop examples.
+type Dataset struct {
+	d *ml.Dataset
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return d.d.Len() }
+
+// Labels returns the label of every example.
+func (d *Dataset) Labels() []int {
+	out := make([]int, d.d.Len())
+	for i, e := range d.d.Examples {
+		out[i] = e.Label
+	}
+	return out
+}
+
+// CollectOptions controls dataset collection from a corpus.
+type CollectOptions struct {
+	Machine *Machine // nil = Itanium 2
+	SWP     bool     // label with software pipelining enabled
+	Seed    int64
+	Runs    int // measurement repetitions (0 = paper's 30)
+}
+
+// CollectDataset measures every loop in the corpus at every unroll factor
+// and returns the filtered training set (loops above the instrumentation
+// floor whose unrolling choice measurably matters), exactly as the paper
+// collected its 2,500 examples.
+func CollectDataset(c *Corpus, opt CollectOptions) (*Dataset, error) {
+	cfg := sim.DefaultConfig()
+	if opt.Machine != nil {
+		cfg.Mach = opt.Machine
+	}
+	cfg.SWP = opt.SWP
+	if opt.Runs > 0 {
+		cfg.Runs = opt.Runs
+	}
+	t := sim.NewTimer(cfg)
+	lb, err := core.CollectLabels(c, t, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{d: lb.Dataset(t)}, nil
+}
+
+// SelectFeatures runs the paper's Section 7 pipeline (mutual information
+// plus greedy selection under both classifiers) and returns the union
+// feature set used for classification.
+func SelectFeatures(d *Dataset, seed int64) ([]int, error) {
+	opt := core.DefaultSelectOptions()
+	opt.Seed = seed
+	fs, err := core.SelectFeatures(d.d, opt)
+	if err != nil {
+		return nil, err
+	}
+	return fs.Union, nil
+}
+
+// TrainOptions configures Train.
+type TrainOptions struct {
+	Algorithm Algorithm // default NearNeighbor
+	Machine   *Machine  // nil = Itanium 2
+	Features  []int     // feature subset; nil = all 38
+	Radius    float64   // NearNeighbor only; 0 = the paper's 0.3
+	Gamma     float64   // LS-SVM regularization; 0 = default
+	Seed      int64
+}
+
+// Predictor maps loops to unroll factors.
+type Predictor struct {
+	c     ml.Classifier
+	mach  *Machine
+	feats []int
+}
+
+// Train fits a predictor on a dataset.
+func Train(d *Dataset, opt TrainOptions) (*Predictor, error) {
+	m := opt.Machine
+	if m == nil {
+		m = Itanium2()
+	}
+	set := d.d
+	if opt.Features != nil {
+		set = set.Select(opt.Features)
+	}
+	tr, err := trainerFor(opt)
+	if err != nil {
+		return nil, err
+	}
+	c, err := tr.Train(set)
+	if err != nil {
+		return nil, err
+	}
+	return &Predictor{c: c, mach: m, feats: opt.Features}, nil
+}
+
+// TrainDefault trains the paper's best configuration: an LS-SVM on the
+// selected feature union.
+func TrainDefault(d *Dataset) (*Predictor, error) {
+	feats, err := SelectFeatures(d, 1)
+	if err != nil {
+		return nil, err
+	}
+	return Train(d, TrainOptions{Algorithm: LSSVM, Features: feats})
+}
+
+// Predict returns the chosen unroll factor for a loop.
+func (p *Predictor) Predict(l *Loop) int {
+	u := p.c.Predict(p.project(Features(l, p.mach)))
+	if u < 1 {
+		u = 1
+	}
+	if u > MaxFactor {
+		u = MaxFactor
+	}
+	return u
+}
+
+// Confidence reports the voting-neighborhood evidence behind a prediction
+// (near-neighbor predictors only): how many training loops vote and how
+// strongly they agree. The paper proposes exactly this signal for outlier
+// detection. ok is false for non-NN predictors.
+func (p *Predictor) Confidence(l *Loop) (neighbors int, agreement float64, ok bool) {
+	c, isNN := p.c.(*nn.Classifier)
+	if !isNN {
+		return 0, 0, false
+	}
+	n, a := c.Confidence(p.project(Features(l, p.mach)))
+	return n, a, true
+}
+
+// CrossValidate runs leave-one-out cross-validation of an algorithm on a
+// dataset and returns the fraction of optimal predictions.
+func CrossValidate(d *Dataset, opt TrainOptions) (accuracy float64, err error) {
+	set := d.d
+	if opt.Features != nil {
+		set = set.Select(opt.Features)
+	}
+	tr, err := trainerFor(opt)
+	if err != nil {
+		return 0, err
+	}
+	preds, err := ml.LOOCV(tr, set)
+	if err != nil {
+		return 0, err
+	}
+	return ml.Accuracy(set, preds), nil
+}
+
+// jsonExample is the serialized form of one training example — the "raw
+// loop data" release format.
+type jsonExample struct {
+	Name      string    `json:"name"`
+	Benchmark string    `json:"benchmark"`
+	Features  []float64 `json:"features"`
+	Label     int       `json:"label"`
+	Cycles    []int64   `json:"cycles"`
+}
+
+type jsonDataset struct {
+	FeatureNames []string      `json:"feature_names"`
+	Examples     []jsonExample `json:"examples"`
+}
+
+// Save writes the dataset as JSON.
+func (d *Dataset) Save(w io.Writer) error {
+	out := jsonDataset{FeatureNames: d.d.FeatureNames}
+	for _, e := range d.d.Examples {
+		out.Examples = append(out.Examples, jsonExample{
+			Name:      e.Name,
+			Benchmark: e.Benchmark,
+			Features:  e.Features,
+			Label:     e.Label,
+			Cycles:    append([]int64(nil), e.Cycles[1:]...),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// LoadDataset reads a dataset saved by Save.
+func LoadDataset(r io.Reader) (*Dataset, error) {
+	var in jsonDataset
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("unroll: load dataset: %w", err)
+	}
+	d := &ml.Dataset{FeatureNames: in.FeatureNames}
+	for _, je := range in.Examples {
+		e := ml.Example{
+			Name:      je.Name,
+			Benchmark: je.Benchmark,
+			Features:  je.Features,
+			Label:     je.Label,
+		}
+		copy(e.Cycles[1:], je.Cycles)
+		d.Examples = append(d.Examples, e)
+	}
+	out := &Dataset{d: d}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("unroll: load dataset: %w", err)
+	}
+	return out, nil
+}
+
+// SaveCSV writes the dataset as CSV: one row per loop with its benchmark,
+// every feature, the measured cycles at each factor, and the label. This is
+// the flat "raw loop data" format for external analysis tools.
+func (d *Dataset) SaveCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"benchmark", "loop"}
+	header = append(header, d.d.FeatureNames...)
+	for u := 1; u <= ml.NumClasses; u++ {
+		header = append(header, fmt.Sprintf("cycles_u%d", u))
+	}
+	header = append(header, "label")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, 0, len(header))
+	for _, e := range d.d.Examples {
+		row = row[:0]
+		row = append(row, e.Benchmark, e.Name)
+		for _, f := range e.Features {
+			row = append(row, strconv.FormatFloat(f, 'g', -1, 64))
+		}
+		for u := 1; u <= ml.NumClasses; u++ {
+			row = append(row, strconv.FormatInt(e.Cycles[u], 10))
+		}
+		row = append(row, strconv.Itoa(e.Label))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Evaluation is a Table-2-style report for one algorithm on one dataset:
+// where its leave-one-out predictions rank in the measured ordering, the
+// misprediction cost, and the full confusion matrix.
+type Evaluation struct {
+	Algorithm Algorithm
+	Examples  int
+	// RankFrac[r] is the fraction of predictions whose factor was the
+	// (r+1)-th best measured choice; RankFrac[0] is the optimal fraction.
+	RankFrac [8]float64
+	// CostByRank[r] is the mean runtime penalty of a rank-(r+1) choice.
+	CostByRank [8]float64
+	Confusion  *ml.Confusion
+}
+
+// Accuracy is the optimal-prediction fraction.
+func (e *Evaluation) Accuracy() float64 { return e.RankFrac[0] }
+
+// Evaluate cross-validates an algorithm on the dataset (leave-one-out) and
+// assembles the evaluation report.
+func Evaluate(d *Dataset, opt TrainOptions) (*Evaluation, error) {
+	set := d.d
+	if opt.Features != nil {
+		set = set.Select(opt.Features)
+	}
+	tr, err := trainerFor(opt)
+	if err != nil {
+		return nil, err
+	}
+	preds, err := ml.LOOCV(tr, set)
+	if err != nil {
+		return nil, err
+	}
+	ev := &Evaluation{Algorithm: opt.Algorithm, Examples: set.Len()}
+	ev.RankFrac, _ = ml.RankTable(set, preds)
+	ev.CostByRank = ml.CostByRank(set)
+	ev.Confusion = ml.NewConfusion(set, preds)
+	return ev, nil
+}
+
+// Render formats the report for terminal output.
+func (e *Evaluation) Render() string {
+	var sb strings.Builder
+	alg := e.Algorithm
+	if alg == "" {
+		alg = NearNeighbor
+	}
+	fmt.Fprintf(&sb, "evaluation of %s on %d loops (leave-one-out)\n", alg, e.Examples)
+	fmt.Fprintf(&sb, "%-14s %8s %8s\n", "rank", "fraction", "cost")
+	for r := 0; r < len(e.RankFrac); r++ {
+		fmt.Fprintf(&sb, "%-14s %8.2f %7.2fx\n", rankName(r), e.RankFrac[r], e.CostByRank[r])
+	}
+	sb.WriteString(e.Confusion.String())
+	return sb.String()
+}
+
+func rankName(r int) string {
+	names := [...]string{"optimal", "second-best", "third-best", "fourth-best",
+		"fifth-best", "sixth-best", "seventh-best", "worst"}
+	if r >= 0 && r < len(names) {
+		return names[r]
+	}
+	return fmt.Sprintf("rank-%d", r+1)
+}

@@ -1,0 +1,179 @@
+// Package unroll is the public API of the metaopt library: supervised
+// learning of loop-unrolling heuristics, as in Stephenson & Amarasinghe,
+// "Predicting Unroll Factors Using Supervised Classification" (CGO 2005).
+//
+// The package wraps the full pipeline:
+//
+//   - parse loop kernels written in LoopLang and lower them to the loop IR,
+//   - extract the 38-element static feature vector of a loop,
+//   - unroll loops and time them on an Itanium-2-class machine model (with
+//     or without software pipelining),
+//   - build labeled corpora, select informative features, and train
+//     near-neighbor, LS-SVM, SMO-SVM or regression predictors,
+//   - cross-validate predictors and query their confidence.
+//
+// A minimal session:
+//
+//	loop, _ := unroll.ParseKernel(src)
+//	pred, _ := unroll.TrainDefault(dataset)
+//	factor := pred.Predict(loop)
+package unroll
+
+import (
+	"fmt"
+
+	"metaopt/internal/features"
+	"metaopt/internal/heuristic"
+	"metaopt/internal/ir"
+	"metaopt/internal/lang"
+	"metaopt/internal/loopgen"
+	"metaopt/internal/machine"
+	"metaopt/internal/sim"
+	"metaopt/internal/transform"
+)
+
+// Loop is one innermost loop in the intermediate representation.
+type Loop = ir.Loop
+
+// Machine describes a target processor.
+type Machine = machine.Desc
+
+// Corpus is a generated benchmark corpus.
+type Corpus = loopgen.Corpus
+
+// Benchmark is one program of a corpus.
+type Benchmark = loopgen.Benchmark
+
+// MaxFactor is the largest unroll factor considered (the paper's limit).
+const MaxFactor = transform.MaxFactor
+
+// NumFeatures is the length of a loop feature vector.
+const NumFeatures = features.NumFeatures
+
+// Itanium2 returns the default machine model (the paper's platform).
+func Itanium2() *Machine { return machine.Itanium2() }
+
+// Embedded returns a narrow 2-issue machine for retargeting experiments.
+func Embedded() *Machine { return machine.Embedded() }
+
+// Wide returns a hypothetical 8-issue Itanium successor for retargeting
+// experiments.
+func Wide() *Machine { return machine.Wide() }
+
+// ParseKernel parses LoopLang source containing exactly one kernel and
+// lowers it to a Loop.
+func ParseKernel(src string) (*Loop, error) {
+	k, err := lang.ParseKernel(src)
+	if err != nil {
+		return nil, err
+	}
+	return lang.Lower(k)
+}
+
+// ParseFile parses LoopLang source containing any number of kernels.
+func ParseFile(src string) ([]*Loop, error) {
+	return lang.LowerFile(src)
+}
+
+// Features extracts the 38-element static feature vector of a loop.
+func Features(l *Loop, m *Machine) []float64 {
+	return features.Extract(l, m)
+}
+
+// FeatureNames returns the names of the 38 features, index-aligned with
+// Features.
+func FeatureNames() []string {
+	return append([]string(nil), features.Names[:]...)
+}
+
+// FeatureIndex returns the index of a named feature, or -1.
+func FeatureIndex(name string) int { return features.Index(name) }
+
+// UnrollLoop returns a new loop whose body executes u iterations of l,
+// after the post-unroll cleanups (load forwarding, coalescing, dead-store
+// elimination). The input loop is unchanged.
+func UnrollLoop(l *Loop, u int) (*Loop, error) {
+	out, _, err := transform.Unroll(l, u)
+	return out, err
+}
+
+// Heuristic returns the hand-written baseline's unroll factor for a loop,
+// for the given pipelining mode.
+func Heuristic(l *Loop, m *Machine, swp bool) int {
+	if swp {
+		return heuristic.SWP(l, m)
+	}
+	return heuristic.NoSWP(l, m)
+}
+
+// Timing reports the simulated cost of one compiled loop variant.
+type Timing struct {
+	Cycles    int64   // total cycles per program run
+	PerIter   float64 // steady-state cycles per source iteration
+	Pipelined bool
+	II        int // initiation interval (pipelined loops)
+	Stages    int
+	Spills    int // spill cycles per body
+	Ops       int // unrolled body size
+}
+
+// Timer times loop variants on a machine; it caches compilations.
+type Timer struct {
+	t *sim.Timer
+}
+
+// NewTimer returns a timer for the machine and pipelining mode.
+func NewTimer(m *Machine, swp bool) *Timer {
+	cfg := sim.DefaultConfig()
+	cfg.Mach = m
+	cfg.SWP = swp
+	cfg.Noise = 0 // the public timer is deterministic
+	return &Timer{t: sim.NewTimer(cfg)}
+}
+
+// Time compiles l at unroll factor u and reports its cost.
+func (tm *Timer) Time(l *Loop, u int) (Timing, error) {
+	if u < 1 || u > MaxFactor {
+		return Timing{}, fmt.Errorf("unroll: factor %d out of range [1,%d]", u, MaxFactor)
+	}
+	cycles, err := tm.t.Cycles(l, u)
+	if err != nil {
+		return Timing{}, err
+	}
+	st, err := tm.t.Stats(l, u)
+	if err != nil {
+		return Timing{}, err
+	}
+	return Timing{
+		Cycles:    cycles,
+		PerIter:   st.Period,
+		Pipelined: st.Pipelined,
+		II:        st.II,
+		Stages:    st.Stages,
+		Spills:    st.SpillCycles,
+		Ops:       st.BodyOps,
+	}, nil
+}
+
+// Best sweeps all factors 1..MaxFactor and returns the cheapest.
+func (tm *Timer) Best(l *Loop) (factor int, timings [MaxFactor + 1]Timing, err error) {
+	factor = 1
+	for u := 1; u <= MaxFactor; u++ {
+		t, err := tm.Time(l, u)
+		if err != nil {
+			return 0, timings, err
+		}
+		timings[u] = t
+		if t.Cycles < timings[factor].Cycles {
+			factor = u
+		}
+	}
+	return factor, timings, nil
+}
+
+// GenerateCorpus builds the 72-benchmark training corpus deterministically.
+// Scale 1.0 yields the full ~3500-loop corpus; smaller values shrink it
+// proportionally.
+func GenerateCorpus(seed int64, scale float64) (*Corpus, error) {
+	return loopgen.Generate(loopgen.Options{Seed: seed, LoopsScale: scale})
+}
