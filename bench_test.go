@@ -7,6 +7,7 @@
 package metaopt_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -18,9 +19,11 @@ import (
 	"metaopt/internal/loopgen"
 	"metaopt/internal/machine"
 	"metaopt/internal/ml"
+	"metaopt/internal/ml/greedy"
 	"metaopt/internal/ml/nn"
 	"metaopt/internal/ml/svm"
 	"metaopt/internal/ml/tree"
+	"metaopt/internal/par"
 	"metaopt/internal/sched"
 	"metaopt/internal/sim"
 	"metaopt/internal/swp"
@@ -379,6 +382,80 @@ func BenchmarkAblationNoise(b *testing.B) {
 			b.ReportMetric(acc, "loocv-acc")
 		})
 	}
+}
+
+// --- Parallel evaluation engine ------------------------------------------
+
+// runWorkers runs the body under forced-serial and full-pool worker
+// limits, so the parallel engine's wall-clock win (and its absence of one
+// on a single-core box) shows up directly in the bench output.
+func runWorkers(b *testing.B, body func(b *testing.B)) {
+	for _, w := range []struct {
+		name  string
+		limit int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(w.name, func(b *testing.B) {
+			restore := par.SetLimit(w.limit)
+			defer restore()
+			b.ResetTimer()
+			body(b)
+			b.ReportMetric(float64(w.limit), "workers")
+		})
+	}
+}
+
+// BenchmarkLOOCVParallel measures slow-path leave-one-out folds (the CART
+// trainer has no exact shortcut) across the worker pool.
+func BenchmarkLOOCVParallel(b *testing.B) {
+	_, d, fs := env(b)
+	sel := d.Select(fs.Union)
+	tr := &tree.Trainer{MaxDepth: 4}
+	runWorkers(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ml.LOOCV(tr, sel); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGreedyParallel measures greedy forward selection with its
+// per-candidate-feature scoring fanned out over the pool.
+func BenchmarkGreedyParallel(b *testing.B) {
+	_, d, _ := env(b)
+	runWorkers(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := greedy.Select(&nn.Trainer{OneNN: true}, d, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSpeedupFolds measures the Figure 4 leave-one-benchmark-out
+// folds running concurrently against the shared timer cache.
+func BenchmarkSpeedupFolds(b *testing.B) {
+	e, d, fs := env(b)
+	lb, err := e.Labels(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := e.Corpus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.DefaultSpeedupOptions()
+	opt.TrainCap = 250
+	runWorkers(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Speedups(c, lb, d, fs.Union, e.Timer(false), opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Substrate micro-benchmarks ------------------------------------------

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	experiments [-run all|table2,table3,table4,figure1..figure5,summary] \
-//	            [-scale 1.0] [-seed 2005] [-runs 30] [-svmcap 0] [-traincap 1500]
+//	            [-scale 1.0] [-seed 2005] [-runs 30] [-svmcap 0] [-traincap 1500] \
+//	            [-workers 0] [-cpuprofile out.pprof] [-memprofile out.pprof]
 package main
 
 import (
@@ -13,10 +14,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"metaopt/internal/experiments"
+	"metaopt/internal/par"
 )
 
 func main() {
@@ -27,10 +31,44 @@ func main() {
 		runs     = flag.Int("runs", 30, "measurement repetitions per timing")
 		svmCap   = flag.Int("svmcap", 0, "cap on Table 2 SVM LOOCV set (0 = full)")
 		trainCap = flag.Int("traincap", 1500, "cap on SVM training set per speedup fold")
+		workers  = flag.Int("workers", 0, "worker-pool width for parallel stages (0 = GOMAXPROCS, 1 = serial)")
 		quiet    = flag.Bool("q", false, "suppress progress messages")
 		asJSON   = flag.Bool("json", false, "emit results as JSON instead of rendered text")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *workers > 0 {
+		par.SetLimit(*workers)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.Seed = *seed

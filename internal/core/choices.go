@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"metaopt/internal/features"
 	"metaopt/internal/heuristic"
 	"metaopt/internal/ir"
@@ -21,9 +23,11 @@ func HeuristicChoice(swpOn bool, m *machine.Desc) Choice {
 
 // Extractor memoizes feature extraction per loop: the dependence-graph
 // analyses behind the 38 features are far more expensive than a classifier
-// lookup, and the same loop is classified by several methods.
+// lookup, and the same loop is classified by several methods. It is safe
+// for concurrent use, so the parallel speedup folds share one cache.
 type Extractor struct {
 	Mach  *machine.Desc
+	mu    sync.Mutex
 	cache map[*ir.Loop][]float64
 }
 
@@ -32,13 +36,25 @@ func NewExtractor(m *machine.Desc) *Extractor {
 	return &Extractor{Mach: m, cache: map[*ir.Loop][]float64{}}
 }
 
-// Vector returns the loop's full 38-feature vector, cached.
+// Vector returns the loop's full 38-feature vector, cached. Extraction is
+// deterministic; when two workers race on a miss the first store wins and
+// the loser adopts it. Extraction runs outside the lock so a slow loop
+// does not serialize unrelated lookups.
 func (e *Extractor) Vector(l *ir.Loop) []float64 {
-	if v, ok := e.cache[l]; ok {
+	e.mu.Lock()
+	v, ok := e.cache[l]
+	e.mu.Unlock()
+	if ok {
 		return v
 	}
-	v := features.Extract(l, e.Mach)
-	e.cache[l] = v
+	v = features.Extract(l, e.Mach)
+	e.mu.Lock()
+	if prev, ok := e.cache[l]; ok {
+		v = prev
+	} else {
+		e.cache[l] = v
+	}
+	e.mu.Unlock()
 	return v
 }
 

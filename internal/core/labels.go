@@ -10,13 +10,12 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"metaopt/internal/features"
 	"metaopt/internal/ir"
 	"metaopt/internal/loopgen"
 	"metaopt/internal/ml"
+	"metaopt/internal/par"
 	"metaopt/internal/sim"
 	"metaopt/internal/transform"
 )
@@ -48,42 +47,25 @@ type Labels struct {
 // proportionally noisier measurements.
 //
 // Benchmarks are labeled concurrently — the paper's collection was "a
-// completely unsupervised process" run in parallel across machines — with
-// one compilation cache per worker, so results are bit-identical to a
-// serial pass (each benchmark's noise stream is seeded by its name).
+// completely unsupervised process" run in parallel across machines — over
+// the shared worker pool, every worker compiling into the Timer's
+// concurrency-safe sharded cache (so each (loop, unroll) pair is compiled
+// once for the whole run, not once per worker). Compilation is
+// deterministic and each benchmark's noise stream is seeded by its name,
+// so results are bit-identical to a serial pass.
 func CollectLabels(c *loopgen.Corpus, t *sim.Timer, seed int64) (*Labels, error) {
 	perBench := make([][]*LoopLabel, len(c.Benchmarks))
-	errs := make([]error, len(c.Benchmarks))
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(c.Benchmarks) {
-		workers = len(c.Benchmarks)
+	err := par.ForEach(len(c.Benchmarks), func(bi int) error {
+		var benchErr error
+		perBench[bi] = labelBenchmark(c.Benchmarks[bi], t, seed, &benchErr)
+		return benchErr
+	})
+	if err != nil {
+		return nil, err
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Each worker compiles into its own cache; compilation is
-			// deterministic so sharding does not change any measurement.
-			wt := sim.NewTimer(t.Cfg)
-			for bi := range next {
-				perBench[bi] = labelBenchmark(c.Benchmarks[bi], wt, seed, &errs[bi])
-			}
-		}()
-	}
-	for bi := range c.Benchmarks {
-		next <- bi
-	}
-	close(next)
-	wg.Wait()
 
 	lb := &Labels{ByLoop: map[*ir.Loop]*LoopLabel{}}
 	for bi := range c.Benchmarks {
-		if errs[bi] != nil {
-			return nil, errs[bi]
-		}
 		for _, ll := range perBench[bi] {
 			lb.ByLoop[ll.Loop] = ll
 			lb.Order = append(lb.Order, ll)

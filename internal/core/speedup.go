@@ -9,6 +9,7 @@ import (
 	"metaopt/internal/ml"
 	"metaopt/internal/ml/nn"
 	"metaopt/internal/ml/svm"
+	"metaopt/internal/par"
 	"metaopt/internal/sim"
 )
 
@@ -52,6 +53,12 @@ func DefaultSpeedupOptions() SpeedupOptions {
 // compare whole-program runtimes (loop cycles plus the benchmark's serial
 // fraction) against the baseline heuristic. The timer's configuration
 // decides whether software pipelining is on (Figure 5) or off (Figure 4).
+//
+// The leave-one-benchmark-out folds are independent, so they run across
+// the shared worker pool against the shared timer cache; every
+// measurement's rng is seeded by (benchmark, method), and rows are written
+// in benchmark-list order, so the summary is bit-identical to a serial
+// run.
 func Speedups(c *loopgen.Corpus, lb *Labels, d *ml.Dataset, featIdx []int,
 	t *sim.Timer, opt SpeedupOptions) (*SpeedupSummary, error) {
 
@@ -59,10 +66,11 @@ func Speedups(c *loopgen.Corpus, lb *Labels, d *ml.Dataset, featIdx []int,
 	m := t.Cfg.Mach
 	ex := NewExtractor(m)
 	base := HeuristicChoice(t.Cfg.SWP, m)
-	sum := &SpeedupSummary{}
-	gm := newGeoMeans()
+	benches := c.Spec2000()
+	rows := make([]SpeedupRow, len(benches))
 
-	for _, b := range c.Spec2000() {
+	err := par.ForEach(len(benches), func(bi int) error {
+		b := benches[bi]
 		train, _ := sel.WithoutBenchmark(b.Name)
 		svmTrain := train
 		if opt.TrainCap > 0 && train.Len() > opt.TrainCap {
@@ -70,43 +78,58 @@ func Speedups(c *loopgen.Corpus, lb *Labels, d *ml.Dataset, featIdx []int,
 		}
 		nnC, err := (&nn.Trainer{}).Train(train)
 		if err != nil {
-			return nil, fmt.Errorf("core: %s: NN: %w", b.Name, err)
+			return fmt.Errorf("core: %s: NN: %w", b.Name, err)
 		}
 		svmC, err := (&svm.LSSVM{}).Train(svmTrain)
 		if err != nil {
-			return nil, fmt.Errorf("core: %s: SVM: %w", b.Name, err)
+			return fmt.Errorf("core: %s: SVM: %w", b.Name, err)
 		}
 
-		choices := map[string]Choice{
-			"base":   base,
-			"nn":     ClassifierChoice(nnC, ex, featIdx),
-			"svm":    ClassifierChoice(svmC, ex, featIdx),
-			"oracle": OracleChoice(lb, base),
+		// Methods are evaluated in a fixed order (the baseline first — the
+		// serial fraction is anchored to it) so timing/debug output and any
+		// future shared-rng refactor stay deterministic.
+		methods := []struct {
+			name string
+			ch   Choice
+		}{
+			{"base", base},
+			{"nn", ClassifierChoice(nnC, ex, featIdx)},
+			{"svm", ClassifierChoice(svmC, ex, featIdx)},
+			{"oracle", OracleChoice(lb, base)},
 		}
-		times := map[string]float64{}
+		times := make(map[string]float64, len(methods))
 		var serial float64
-		for name, ch := range choices {
-			rng := rand.New(rand.NewSource(opt.Seed ^ int64(hashString(b.Name+name))))
+		for _, mth := range methods {
+			rng := rand.New(rand.NewSource(opt.Seed ^ int64(hashString(b.Name+mth.name))))
 			var total float64
 			for _, l := range b.Loops {
-				cyc, err := t.MeasureScaled(l, ch(l), rng, b.NoiseScale)
+				cyc, err := t.MeasureScaled(l, mth.ch(l), rng, b.NoiseScale)
 				if err != nil {
-					return nil, fmt.Errorf("core: %s/%s: %w", b.Name, l.Name, err)
+					return fmt.Errorf("core: %s/%s: %w", b.Name, l.Name, err)
 				}
 				total += float64(cyc)
 			}
-			if name == "base" {
+			if mth.name == "base" {
 				// The serial fraction is anchored to the baseline build.
 				serial = total * b.SerialFrac / (1 - b.SerialFrac)
 			}
-			times[name] = total
+			times[mth.name] = total
 		}
 		row := SpeedupRow{Benchmark: b.Name, FP: b.FP}
 		baseTime := times["base"] + serial
 		row.NN = baseTime/(times["nn"]+serial) - 1
 		row.SVM = baseTime/(times["svm"]+serial) - 1
 		row.Oracle = baseTime/(times["oracle"]+serial) - 1
-		sum.Rows = append(sum.Rows, row)
+		rows[bi] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sum := &SpeedupSummary{Rows: rows}
+	gm := newGeoMeans()
+	for _, row := range rows {
 		if row.NN > 0 {
 			sum.NNWins++
 		}

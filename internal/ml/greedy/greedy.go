@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"metaopt/internal/ml"
+	"metaopt/internal/par"
 )
 
 // Result of one selection round.
@@ -21,6 +22,11 @@ type Result struct {
 // scored by LOOCV error (the paper's near-neighbor variant searches for the
 // single closest *other* point, which is exactly LOO-1NN); others are
 // scored by plain training error.
+//
+// The candidate features within a round are scored independently across
+// the shared worker pool, each worker projecting into its own reused
+// buffer; the round's winner is the lowest-index minimum, exactly what the
+// serial scan picked.
 func Select(tr ml.Trainer, d *ml.Dataset, k int) ([]Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -32,19 +38,40 @@ func Select(tr ml.Trainer, d *ml.Dataset, k int) ([]Result, error) {
 	chosen := make([]int, 0, k)
 	used := make([]bool, dim)
 	var results []Result
+
+	workers := par.Workers(dim)
+	subs := make([]ml.Dataset, workers)
+	idxBufs := make([][]int, workers)
+	for w := range idxBufs {
+		idxBufs[w] = make([]int, 0, k)
+	}
+	cand := make([]int, 0, dim)
+	scores := make([]float64, dim)
+
 	for round := 0; round < k; round++ {
-		bestF, bestErr := -1, 2.0
+		cand = cand[:0]
 		for f := 0; f < dim; f++ {
-			if used[f] {
-				continue
+			if !used[f] {
+				cand = append(cand, f)
 			}
-			sub := d.Select(append(chosen[:len(chosen):len(chosen)], f))
+		}
+		err := par.ForEachWorker(len(cand), func(w, ci int) error {
+			idx := append(append(idxBufs[w][:0], chosen...), cand[ci])
+			sub := d.SelectInto(idx, &subs[w])
 			e, err := errorOf(tr, sub)
 			if err != nil {
-				return nil, fmt.Errorf("greedy: feature %d: %w", f, err)
+				return fmt.Errorf("greedy: feature %d: %w", cand[ci], err)
 			}
-			if e < bestErr {
-				bestF, bestErr = f, e
+			scores[ci] = e
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		bestF, bestErr := -1, 2.0
+		for ci, f := range cand {
+			if scores[ci] < bestErr {
+				bestF, bestErr = f, scores[ci]
 			}
 		}
 		if bestF < 0 {

@@ -1,0 +1,92 @@
+// Package par is the shared bounded worker pool behind every parallel
+// stage of the evaluation pipeline: label collection, leave-one-out folds,
+// greedy feature-selection scoring, and the per-benchmark speedup folds.
+// Work is indexed, results are written by index, and errors are reported in
+// index order, so a parallel pass is bit-identical to a serial one — the
+// pool changes wall-clock time, never output.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// limit overrides the pool width when positive; 0 means GOMAXPROCS.
+var limit atomic.Int32
+
+// Limit returns the configured pool width: GOMAXPROCS by default, or the
+// last SetLimit value.
+func Limit() int {
+	if n := limit.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetLimit overrides the pool width (1 forces every parallel stage to run
+// serially) and returns a function restoring the previous setting. It is
+// meant for tests, benchmarks, and command-line flags, not for concurrent
+// use while a parallel stage is in flight.
+func SetLimit(n int) (restore func()) {
+	prev := limit.Swap(int32(n))
+	return func() { limit.Store(prev) }
+}
+
+// Workers returns the number of workers a stage with n items will use.
+func Workers(n int) int {
+	w := Limit()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(i) for every i in [0, n) across the pool. fn must write
+// its result into a caller-owned slot at index i; ForEach returns the error
+// of the lowest failing index (the same error a serial loop would hit
+// first).
+func ForEach(n int, fn func(i int) error) error {
+	return ForEachWorker(n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with a worker id in [0, Workers(n)) passed to
+// fn, so callers can maintain per-worker scratch buffers (fold datasets,
+// projection slabs) without locking.
+func ForEachWorker(n int, fn func(worker, i int) error) error {
+	w := Workers(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < w; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(wk, i)
+			}
+		}(wk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, w := range []int{1, 2, 7} {
+		restore := SetLimit(w)
+		got := make([]int, 100)
+		if err := ForEach(len(got), func(i int) error {
+			got[i] = i + 1
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i+1 {
+				t.Fatalf("limit %d: index %d not visited (got %d)", w, i, v)
+			}
+		}
+		restore()
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	restore := SetLimit(4)
+	defer restore()
+	wantErr := errors.New("boom-3")
+	err := ForEach(10, func(i int) error {
+		if i == 3 || i == 7 {
+			return fmt.Errorf("boom-%d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != wantErr.Error() {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+}
+
+func TestForEachWorkerIDsAreBounded(t *testing.T) {
+	restore := SetLimit(3)
+	defer restore()
+	n := 50
+	var bad atomic.Int32
+	if err := ForEachWorker(n, func(w, i int) error {
+		if w < 0 || w >= Workers(n) {
+			bad.Add(1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() != 0 {
+		t.Fatalf("%d calls saw an out-of-range worker id", bad.Load())
+	}
+}
+
+func TestWorkersClamps(t *testing.T) {
+	restore := SetLimit(8)
+	defer restore()
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d, want 3", got)
+	}
+	if got := Workers(0); got != 1 {
+		t.Fatalf("Workers(0) = %d, want 1", got)
+	}
+	restore()
+	restore2 := SetLimit(1)
+	defer restore2()
+	if got := Workers(100); got != 1 {
+		t.Fatalf("Workers(100) at limit 1 = %d, want 1", got)
+	}
+}

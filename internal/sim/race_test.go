@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"metaopt/internal/ir"
+	"metaopt/internal/transform"
+)
+
+// TestTimerSharedCacheConcurrent hammers one Timer's sharded compile and
+// remainder caches from many goroutines (run under -race in CI) and checks
+// every concurrent answer against a serially-filled reference timer.
+func TestTimerSharedCacheConcurrent(t *testing.T) {
+	srcs := []string{
+		`kernel a lang=c {
+			param double s;
+			double x[], y[];
+			noalias;
+			for i = 0 .. 4096 { y[i] = y[i] + s * x[i]; }
+		}`,
+		`kernel b lang=c {
+			double x[], y[];
+			noalias;
+			for i = 0 .. 999 { y[i] = x[i] * x[i]; }
+		}`,
+		`kernel c lang=c {
+			double acc;
+			double x[];
+			for i = 0 .. 2047 { acc = acc + x[i]; }
+		}`,
+	}
+	var loops []*ir.Loop
+	for _, src := range srcs {
+		loops = append(loops, loop(t, src))
+	}
+
+	cfg := DefaultConfig()
+	cfg.Noise = 0
+	cfg.BiasNoise = 0
+	ref := NewTimer(cfg)
+	want := map[[2]int]int64{}
+	for li, l := range loops {
+		for u := 1; u <= transform.MaxFactor; u++ {
+			c, err := ref.Cycles(l, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[[2]int{li, u}] = c
+		}
+	}
+
+	shared := NewTimer(cfg)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for iter := 0; iter < 200; iter++ {
+				li := rng.Intn(len(loops))
+				u := 1 + rng.Intn(transform.MaxFactor)
+				c, err := shared.Cycles(loops[li], u)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if c != want[[2]int{li, u}] {
+					t.Errorf("goroutine %d: loop %d u=%d: got %d, want %d",
+						g, li, u, c, want[[2]int{li, u}])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -10,7 +10,8 @@ package sim
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"reflect"
+	"sync"
 
 	"metaopt/internal/analysis"
 	"metaopt/internal/ir"
@@ -81,11 +82,29 @@ type CompileStats struct {
 	Pipelined   bool
 }
 
+// cacheShards stripes the compile cache: concurrent workers hash to
+// different shards and rarely contend on the same lock.
+const cacheShards = 64
+
 // Timer compiles and times loops, caching compilations: label collection
-// re-times the same (loop, unroll) pairs many times.
+// re-times the same (loop, unroll) pairs many times. A Timer is safe for
+// concurrent use — the compile and remainder caches are sharded so the
+// whole evaluation pipeline can share one Timer (and one compilation of
+// the corpus) across the worker pool.
 type Timer struct {
-	Cfg   *Config
-	cache map[timerKey]*compiled
+	Cfg    *Config
+	shards [cacheShards]compileShard
+	rem    [cacheShards]remainderShard
+}
+
+type compileShard struct {
+	mu sync.Mutex
+	m  map[timerKey]*compiled
+}
+
+type remainderShard struct {
+	mu sync.Mutex
+	m  map[*ir.Loop]float64
 }
 
 type timerKey struct {
@@ -99,9 +118,21 @@ type compiled struct {
 	stats    CompileStats
 }
 
-// NewTimer returns a Timer for the given configuration.
+// NewTimer returns a Timer for the given configuration. Shard maps are
+// created lazily under their shard lock, so a short-lived Timer does not
+// pay for 2×64 empty maps up front.
 func NewTimer(cfg *Config) *Timer {
-	return &Timer{Cfg: cfg, cache: map[timerKey]*compiled{}}
+	return &Timer{Cfg: cfg}
+}
+
+// shardOf mixes the loop's identity and the unroll factor into a shard
+// index (SplitMix64 finalizer over the pointer bits).
+func shardOf(l *ir.Loop, u int) uint32 {
+	h := uint64(reflect.ValueOf(l).Pointer()) + uint64(u)*0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return uint32(h % cacheShards)
 }
 
 // Cycles returns the deterministic total cycles loop l consumes per program
@@ -123,21 +154,41 @@ func (t *Timer) Stats(l *ir.Loop, u int) (CompileStats, error) {
 	return c.stats, nil
 }
 
+// compile returns the cached compilation of (l, u), compiling on a miss.
+// Compilation is deterministic, so two workers racing on the same key
+// compute identical results; the first store wins and the loser adopts it,
+// keeping the cache single-valued. The compile itself runs outside the
+// shard lock — it may recurse into the remainder cache, whose key can land
+// on the same shard index.
 func (t *Timer) compile(l *ir.Loop, u int) (*compiled, error) {
 	key := timerKey{l, u, t.Cfg.SWP}
-	if c, ok := t.cache[key]; ok {
+	sh := &t.shards[shardOf(l, u)]
+	sh.mu.Lock()
+	c, ok := sh.m[key]
+	sh.mu.Unlock()
+	if ok {
 		return c, nil
 	}
-	c, err := compileLoop(l, u, t.Cfg)
+	c, err := t.compileLoop(l, u)
 	if err != nil {
 		return nil, err
 	}
-	t.cache[key] = c
+	sh.mu.Lock()
+	if prev, ok := sh.m[key]; ok {
+		c = prev
+	} else {
+		if sh.m == nil {
+			sh.m = map[timerKey]*compiled{}
+		}
+		sh.m[key] = c
+	}
+	sh.mu.Unlock()
 	return c, nil
 }
 
 // compileLoop builds the unrolled variant and prices one loop entry.
-func compileLoop(l *ir.Loop, u int, cfg *Config) (*compiled, error) {
+func (t *Timer) compileLoop(l *ir.Loop, u int) (*compiled, error) {
+	cfg := t.Cfg
 	unrolled, info, err := transform.Unroll(l, u)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -230,7 +281,7 @@ func compileLoop(l *ir.Loop, u int, cfg *Config) (*compiled, error) {
 		rem := trip % u
 		perEntry = float64(bodies)*bodyCycles + fillDrain + setup
 		if rem > 0 {
-			remCycles, err := rolledRemainder(l, cfg)
+			remCycles, err := t.rolledRemainder(l)
 			if err != nil {
 				return nil, err
 			}
@@ -249,16 +300,33 @@ func compileLoop(l *ir.Loop, u int, cfg *Config) (*compiled, error) {
 
 // rolledRemainder prices one iteration of the rolled loop (used for the
 // tail of a trip count not divisible by the unroll factor). Remainder
-// iterations always run unpipelined.
-func rolledRemainder(l *ir.Loop, cfg *Config) (float64, error) {
+// iterations always run unpipelined. The schedule is cached per loop: the
+// same rolled tail serves every unroll factor 2..8, so pricing it once
+// removes seven redundant unroll+analysis+schedule+regalloc passes per
+// loop.
+func (t *Timer) rolledRemainder(l *ir.Loop) (float64, error) {
+	sh := &t.rem[shardOf(l, 0)]
+	sh.mu.Lock()
+	v, ok := sh.m[l]
+	sh.mu.Unlock()
+	if ok {
+		return v, nil
+	}
 	rolled, _, err := transform.Unroll(l, 1)
 	if err != nil {
 		return 0, err
 	}
-	g := analysis.Build(rolled, cfg.Mach)
+	g := analysis.Build(rolled, t.Cfg.Mach)
 	s := sched.List(g)
 	ra := regalloc.Run(s)
-	return float64(s.Period + ra.SpillCycles), nil
+	v = float64(s.Period + ra.SpillCycles)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = map[*ir.Loop]float64{}
+	}
+	sh.m[l] = v
+	sh.mu.Unlock()
+	return v, nil
 }
 
 // pipelineMII estimates the modulo-scheduling lower bound for the unrolled
@@ -344,16 +412,53 @@ func (t *Timer) MeasureScaled(l *ir.Loop, u int, rng *rand.Rand, scale float64) 
 	if bias < 0.5 {
 		bias = 0.5
 	}
-	samples := make([]int64, runs)
-	for i := range samples {
+	var stack [64]int64
+	samples := stack[:0]
+	if runs > len(stack) {
+		samples = make([]int64, 0, runs)
+	}
+	for i := 0; i < runs; i++ {
 		f := bias * (1 + noise*rng.NormFloat64())
 		if f < 0.25 {
 			f = 0.25
 		}
-		samples[i] = int64(float64(base) * f)
+		samples = append(samples, int64(float64(base)*f))
 	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	return samples[runs/2], nil
+	return selectKth(samples, runs/2), nil
+}
+
+// selectKth returns the k-th smallest element (0-based) by in-place Hoare
+// quickselect — the median of 30 runs needs a selection, not the full
+// sort+closure allocation this hot path used to pay 8 factors × 2,500
+// loops × every measurement session.
+func selectKth(s []int64, k int) int64 {
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		p := s[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for s[i] < p {
+				i++
+			}
+			for s[j] > p {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return s[k]
+		}
+	}
+	return s[k]
 }
 
 // MeasureAll measures a loop at every unroll factor 1..MaxFactor and
