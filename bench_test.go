@@ -23,6 +23,7 @@ import (
 	"metaopt/internal/ml/nn"
 	"metaopt/internal/ml/svm"
 	"metaopt/internal/ml/tree"
+	"metaopt/internal/obs"
 	"metaopt/internal/par"
 	"metaopt/internal/sched"
 	"metaopt/internal/sim"
@@ -418,6 +419,50 @@ func BenchmarkLOOCVParallel(b *testing.B) {
 			if _, err := ml.LOOCV(tr, sel); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkLOOCVParallelNoObs is BenchmarkLOOCVParallel with telemetry
+// recording disabled — compare the two to measure instrumentation overhead
+// (the obs contract is < 2%; the per-item work here is a full CART
+// training, so the two timestamp reads and handful of atomic adds per fold
+// disappear into the noise).
+func BenchmarkLOOCVParallelNoObs(b *testing.B) {
+	_, d, fs := env(b)
+	sel := d.Select(fs.Union)
+	tr := &tree.Trainer{MaxDepth: 4}
+	restore := obs.SetEnabled(false)
+	defer restore()
+	runWorkers(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ml.LOOCV(tr, sel); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkObsPrimitives prices the individual telemetry operations that
+// sit on hot paths, so a regression in the instrumentation layer itself is
+// visible in the perf trajectory.
+func BenchmarkObsPrimitives(b *testing.B) {
+	c := obs.C("bench.counter")
+	h := obs.H("bench.hist", obs.ExpBounds(1_000, 4, 16))
+	b.Run("counter_add", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Add(1)
+		}
+	})
+	b.Run("histogram_observe", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Observe(int64(i))
+		}
+	})
+	b.Run("span_begin_end", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sp := obs.Begin("bench.span")
+			sp.End()
 		}
 	})
 }

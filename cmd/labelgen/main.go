@@ -8,7 +8,8 @@
 // Usage:
 //
 //	labelgen [-scale 1.0] [-seed 2005] [-runs 30] [-swp] \
-//	         [-out dataset.json] [-dump-kernels dir]
+//	         [-out dataset.json] [-dump-kernels dir] \
+//	         [-manifest out.json] [-debugaddr :0]
 package main
 
 import (
@@ -17,22 +18,34 @@ import (
 	"os"
 	"path/filepath"
 
+	"metaopt/internal/obs"
+	"metaopt/internal/par"
 	"metaopt/unroll"
 )
 
 func main() {
 	var (
-		scale  = flag.Float64("scale", 1.0, "corpus scale (1.0 = full ~3500 loops)")
-		seed   = flag.Int64("seed", 2005, "generation and measurement seed")
-		runs   = flag.Int("runs", 30, "measurement repetitions per timing")
-		swp    = flag.Bool("swp", false, "label with software pipelining enabled")
-		out    = flag.String("out", "dataset.json", "output dataset path")
-		format = flag.String("format", "json", "output format: json or csv")
-		dump   = flag.String("dump-kernels", "", "directory to write kernel sources into (optional)")
-		stats  = flag.Bool("stats", false, "print corpus composition statistics and exit")
+		scale     = flag.Float64("scale", 1.0, "corpus scale (1.0 = full ~3500 loops)")
+		seed      = flag.Int64("seed", 2005, "generation and measurement seed")
+		runs      = flag.Int("runs", 30, "measurement repetitions per timing")
+		swp       = flag.Bool("swp", false, "label with software pipelining enabled")
+		out       = flag.String("out", "dataset.json", "output dataset path")
+		format    = flag.String("format", "json", "output format: json or csv")
+		dump      = flag.String("dump-kernels", "", "directory to write kernel sources into (optional)")
+		stats     = flag.Bool("stats", false, "print corpus composition statistics and exit")
+		manifest  = flag.String("manifest", "", "write a machine-readable run manifest to this file")
+		debugAddr = flag.String("debugaddr", "", "serve live /debug/metrics and /debug/pprof on this address while running (\":0\" picks a port)")
 	)
 	flag.Parse()
 
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "labelgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/debug/metrics\n", addr)
+	}
 	if *stats {
 		if err := runStats(*scale, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "labelgen: %v\n", err)
@@ -44,10 +57,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "labelgen: %v\n", err)
 		os.Exit(1)
 	}
+	if *manifest != "" {
+		type manifestConfig struct {
+			Scale  float64 `json:"scale"`
+			Runs   int     `json:"runs"`
+			SWP    bool    `json:"swp"`
+			Format string  `json:"format"`
+		}
+		m := obs.BuildManifest("labelgen", os.Args[1:], *seed, par.Limit(),
+			manifestConfig{Scale: *scale, Runs: *runs, SWP: *swp, Format: *format})
+		if err := m.WriteFile(*manifest); err != nil {
+			fmt.Fprintf(os.Stderr, "labelgen: manifest: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote manifest to %s\n", *manifest)
+	}
 }
 
 func run(scale float64, seed int64, runs int, swp bool, out, format, dump string) error {
+	sp := obs.Begin("corpus.generate")
 	corpus, err := unroll.GenerateCorpus(seed, scale)
+	sp.End()
 	if err != nil {
 		return err
 	}

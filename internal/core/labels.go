@@ -15,9 +15,15 @@ import (
 	"metaopt/internal/ir"
 	"metaopt/internal/loopgen"
 	"metaopt/internal/ml"
+	"metaopt/internal/obs"
 	"metaopt/internal/par"
 	"metaopt/internal/sim"
 	"metaopt/internal/transform"
+)
+
+var (
+	mLoopsLabeled = obs.C("core.loops_labeled")
+	mLoopsKept    = obs.C("core.loops_kept")
 )
 
 // FilterRatio is the paper's corpus filter: a loop is kept for training
@@ -54,6 +60,8 @@ type Labels struct {
 // deterministic and each benchmark's noise stream is seeded by its name,
 // so results are bit-identical to a serial pass.
 func CollectLabels(c *loopgen.Corpus, t *sim.Timer, seed int64) (*Labels, error) {
+	sp := obs.Begin("labels.collect")
+	defer sp.End()
 	perBench := make([][]*LoopLabel, len(c.Benchmarks))
 	err := par.ForEach(len(c.Benchmarks), func(bi int) error {
 		var benchErr error
@@ -65,12 +73,18 @@ func CollectLabels(c *loopgen.Corpus, t *sim.Timer, seed int64) (*Labels, error)
 	}
 
 	lb := &Labels{ByLoop: map[*ir.Loop]*LoopLabel{}}
+	kept := 0
 	for bi := range c.Benchmarks {
 		for _, ll := range perBench[bi] {
 			lb.ByLoop[ll.Loop] = ll
 			lb.Order = append(lb.Order, ll)
+			if ll.Kept {
+				kept++
+			}
 		}
 	}
+	mLoopsLabeled.Add(int64(len(lb.Order)))
+	mLoopsKept.Add(int64(kept))
 	return lb, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"metaopt/internal/ml"
 	"metaopt/internal/ml/greedy"
 	"metaopt/internal/ml/tree"
+	"metaopt/internal/obs"
 	"metaopt/internal/par"
 	"metaopt/internal/sim"
 )
@@ -59,10 +60,18 @@ func runPipeline(t *testing.T, workers int) (*Labels, []int, []greedy.Result, *S
 // TestParallelBitIdenticalToSerial is the engine's core guarantee: a run
 // over the full worker pool produces byte-for-byte the same labels, LOOCV
 // predictions, greedy selections, and Figure 4 speedup rows as a forced
-// workers=1 run.
+// workers=1 run. Telemetry (internal/obs) is active throughout — the test
+// also asserts the run was actually instrumented, so the guarantee is
+// checked with telemetry enabled, not around it.
 func TestParallelBitIdenticalToSerial(t *testing.T) {
+	before := obs.Default.Snapshot().Counters
 	lb1, preds1, gr1, sum1 := runPipeline(t, 1)
 	lb8, preds8, gr8, sum8 := runPipeline(t, 8)
+	after := obs.Default.Snapshot().Counters
+	if after["sim.measurements"] <= before["sim.measurements"] ||
+		after["par.items_processed"] <= before["par.items_processed"] {
+		t.Fatalf("telemetry did not advance during the pipeline: before=%v after=%v", before, after)
+	}
 
 	if len(lb1.Order) != len(lb8.Order) {
 		t.Fatalf("label counts differ: %d vs %d", len(lb1.Order), len(lb8.Order))

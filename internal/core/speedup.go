@@ -9,9 +9,12 @@ import (
 	"metaopt/internal/ml"
 	"metaopt/internal/ml/nn"
 	"metaopt/internal/ml/svm"
+	"metaopt/internal/obs"
 	"metaopt/internal/par"
 	"metaopt/internal/sim"
 )
+
+var mSpeedupFolds = obs.C("core.speedup_folds")
 
 // SpeedupRow is one benchmark's outcome in Figure 4 or 5: the relative
 // improvement of each method over the baseline heuristic.
@@ -62,12 +65,15 @@ func DefaultSpeedupOptions() SpeedupOptions {
 func Speedups(c *loopgen.Corpus, lb *Labels, d *ml.Dataset, featIdx []int,
 	t *sim.Timer, opt SpeedupOptions) (*SpeedupSummary, error) {
 
+	sp := obs.Begin("speedups.folds")
+	defer sp.End()
 	sel := d.Select(featIdx)
 	m := t.Cfg.Mach
 	ex := NewExtractor(m)
 	base := HeuristicChoice(t.Cfg.SWP, m)
 	benches := c.Spec2000()
 	rows := make([]SpeedupRow, len(benches))
+	mSpeedupFolds.Add(int64(len(benches)))
 
 	err := par.ForEach(len(benches), func(bi int) error {
 		b := benches[bi]

@@ -12,6 +12,7 @@ import (
 	"metaopt/internal/core"
 	"metaopt/internal/loopgen"
 	"metaopt/internal/ml"
+	"metaopt/internal/obs"
 	"metaopt/internal/sim"
 )
 
@@ -61,7 +62,9 @@ func NewEnv(cfg Config) *Env {
 // Corpus generates (once) the 72-benchmark corpus.
 func (e *Env) Corpus() (*loopgen.Corpus, error) {
 	if e.corpus == nil {
+		sp := obs.Begin("env.corpus")
 		c, err := loopgen.Generate(loopgen.Options{Seed: e.Cfg.Seed, LoopsScale: e.Cfg.Scale})
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -120,10 +123,13 @@ func (e *Env) Dataset(swpOn bool) (*ml.Dataset, error) {
 		if err != nil {
 			return nil, err
 		}
+		sp := obs.Begin("env.dataset")
 		d := lb.Dataset(e.Timer(swpOn))
 		if err := d.Validate(); err != nil {
+			sp.End()
 			return nil, fmt.Errorf("experiments: dataset: %w", err)
 		}
+		sp.End()
 		*cached = d
 	}
 	return *cached, nil
@@ -138,6 +144,8 @@ func (e *Env) Features() (*core.FeatureSelection, error) {
 		if err != nil {
 			return nil, err
 		}
+		sp := obs.Begin("env.features")
+		defer sp.End()
 		opt := core.DefaultSelectOptions()
 		opt.Seed = e.Cfg.Seed
 		if e.Cfg.SVMSample > 0 {

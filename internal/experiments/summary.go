@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SummaryResult is the run overview: corpus composition, filter outcome,
+// and the selected feature union. Like every other experiment result it
+// renders as text and marshals cleanly to JSON.
+type SummaryResult struct {
+	Benchmarks int      `json:"benchmarks"`
+	Loops      int      `json:"loops"`
+	Examples   int      `json:"examples"` // usable and label-filtered training examples
+	Kept       int      `json:"kept"`     // loops surviving the floor + 1.05x filter
+	Labeled    int      `json:"labeled"`  // loops measured in total
+	Union      []string `json:"feature_union"`
+}
+
+// Summary assembles the run overview from the shared environment.
+func Summary(e *Env) (*SummaryResult, error) {
+	c, err := e.Corpus()
+	if err != nil {
+		return nil, err
+	}
+	lb, err := e.Labels(false)
+	if err != nil {
+		return nil, err
+	}
+	d, err := e.Dataset(false)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := e.Features()
+	if err != nil {
+		return nil, err
+	}
+	return &SummaryResult{
+		Benchmarks: len(c.Benchmarks),
+		Loops:      c.TotalLoops(),
+		Examples:   d.Len(),
+		Kept:       lb.KeptCount(),
+		Labeled:    len(lb.Order),
+		Union:      UnionNames(fs),
+	}, nil
+}
+
+// Render formats the overview as the historical three-line summary.
+func (r *SummaryResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Corpus: %d benchmarks, %d loops; %d usable and label-filtered training examples\n",
+		r.Benchmarks, r.Loops, r.Examples)
+	fmt.Fprintf(&sb, "Kept/total after the 50k-cycle floor and 1.05x filter: %d/%d\n",
+		r.Kept, r.Labeled)
+	fmt.Fprintf(&sb, "Selected feature union (%d): %s\n",
+		len(r.Union), strings.Join(r.Union, ", "))
+	return sb.String()
+}

@@ -8,7 +8,13 @@ import (
 	"fmt"
 
 	"metaopt/internal/ml"
+	"metaopt/internal/obs"
 	"metaopt/internal/par"
+)
+
+var (
+	mRounds     = obs.C("greedy.rounds")
+	mCandidates = obs.C("greedy.candidates_scored")
 )
 
 // Result of one selection round.
@@ -49,12 +55,15 @@ func Select(tr ml.Trainer, d *ml.Dataset, k int) ([]Result, error) {
 	scores := make([]float64, dim)
 
 	for round := 0; round < k; round++ {
+		sp := obs.Begin("greedy.round")
 		cand = cand[:0]
 		for f := 0; f < dim; f++ {
 			if !used[f] {
 				cand = append(cand, f)
 			}
 		}
+		mRounds.Inc()
+		mCandidates.Add(int64(len(cand)))
 		err := par.ForEachWorker(len(cand), func(w, ci int) error {
 			idx := append(append(idxBufs[w][:0], chosen...), cand[ci])
 			sub := d.SelectInto(idx, &subs[w])
@@ -65,6 +74,7 @@ func Select(tr ml.Trainer, d *ml.Dataset, k int) ([]Result, error) {
 			scores[ci] = e
 			return nil
 		})
+		sp.End()
 		if err != nil {
 			return nil, err
 		}

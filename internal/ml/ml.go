@@ -9,8 +9,11 @@ import (
 	"math"
 	"strings"
 
+	"metaopt/internal/obs"
 	"metaopt/internal/par"
 )
+
+var mLOOCVFolds = obs.C("ml.loocv_folds")
 
 // NumClasses is the number of labels: unroll factors 1..8.
 const NumClasses = 8
@@ -225,6 +228,9 @@ type LOOCVer interface {
 // predictions are written by fold index, making the output bit-identical
 // to a serial pass.
 func LOOCV(tr Trainer, d *Dataset) ([]int, error) {
+	sp := obs.Begin("loocv")
+	defer sp.End()
+	mLOOCVFolds.Add(int64(d.Len()))
 	if fast, ok := tr.(LOOCVer); ok {
 		return fast.LOOCV(d)
 	}

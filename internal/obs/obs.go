@@ -1,0 +1,304 @@
+// Package obs is the pipeline's telemetry layer: named atomic counters,
+// gauges, and fixed-bucket histograms in a registry, lightweight phase/span
+// tracing with Chrome trace-event export, per-stage worker-pool accounting,
+// run manifests, and a live debug HTTP endpoint.
+//
+// The package is zero-dependency (standard library only) and safe for
+// concurrent use. Hot-path operations — Counter.Add, Gauge.Set,
+// Histogram.Observe — are allocation-free atomic updates, so instrumenting
+// the simulator's compile cache or the worker pool's item loop does not
+// perturb results or measurably slow them down. Instrumentation never
+// touches rng streams or work ordering, so the parallel engine's
+// bit-identical-to-serial guarantee holds with telemetry enabled.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled gates all recording. Telemetry is on by default; benchmarks
+// disable it to measure instrumentation overhead.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// Enabled reports whether telemetry recording is active.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled turns recording on or off and returns a function restoring the
+// previous setting. Meant for benchmarks and tests, not for toggling while
+// metrics are being read.
+func SetEnabled(on bool) (restore func()) {
+	prev := enabled.Swap(on)
+	return func() { enabled.Store(prev) }
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Allocation-free; a no-op while telemetry is disabled.
+func (c *Counter) Add(n int64) {
+	if enabled.Load() {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is an atomic last-value metric.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(n int64) {
+	if enabled.Load() {
+		g.v.Store(n)
+	}
+}
+
+// Value returns the last set value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Histogram counts observations into fixed buckets. Bounds are inclusive
+// upper limits; one implicit overflow bucket catches everything above the
+// last bound. Observations are atomic adds — no locks, no allocation.
+type Histogram struct {
+	name   string
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1, last = overflow
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	// Buckets are few (≤ ~32); linear scan beats binary search on the
+	// short, cache-resident bounds slice.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Name returns the registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Quantile returns an upper-bound estimate of the q-quantile (0..1): the
+// bound of the bucket where the q-th observation falls.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen > target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.sum.Load() // overflow bucket: no bound; report a ceiling
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// ExpBounds builds n exponentially spaced bucket bounds starting at start
+// and multiplying by factor — the usual shape for latency histograms.
+func ExpBounds(start int64, factor float64, n int) []int64 {
+	bounds := make([]int64, n)
+	v := float64(start)
+	for i := range bounds {
+		bounds[i] = int64(v)
+		v *= factor
+	}
+	return bounds
+}
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry. Most code uses the package-level Default registry through
+// C, G, and H.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry every instrumentation site uses.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use. Call sites
+// resolve their counters once (package-level vars), so the hot path is a
+// single atomic add with no map lookup.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use (later bounds are ignored — the first registration wins).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		b := make([]int64, len(bounds))
+		copy(b, bounds)
+		h = &Histogram{name: name, bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// C returns a counter from the Default registry.
+func C(name string) *Counter { return Default.Counter(name) }
+
+// G returns a gauge from the Default registry.
+func G(name string) *Gauge { return Default.Gauge(name) }
+
+// H returns a histogram from the Default registry.
+func H(name string, bounds []int64) *Histogram { return Default.Histogram(name, bounds) }
+
+// Reset zeroes every metric in the registry. Metric identities survive —
+// package-level *Counter vars keep working — only the values clear. Tests
+// and back-to-back in-process runs use this between runs.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.sum.Store(0)
+		h.count.Store(0)
+	}
+}
+
+// BucketCount is one histogram bucket in a snapshot: the count of
+// observations at or below the bound (Le == 0 on the final bucket marks
+// overflow).
+type BucketCount struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time histogram reading.
+type HistSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time reading of a whole registry, ready for JSON.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot reads every metric. Values are read without stopping writers, so
+// a snapshot taken mid-run is approximate across metrics but exact per
+// metric.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistSnapshot{Count: h.Count(), Sum: h.Sum()}
+		for i := range h.counts {
+			var le int64
+			if i < len(h.bounds) {
+				le = h.bounds[i]
+			}
+			if n := h.counts[i].Load(); n > 0 {
+				hs.Buckets = append(hs.Buckets, BucketCount{Le: le, Count: n})
+			}
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// sortedKeys returns map keys in lexical order, for stable rendering.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

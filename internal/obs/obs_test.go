@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+
+	g := r.Gauge("g")
+	g.Set(42)
+	if got := g.Value(); got != 42 {
+		t.Fatalf("gauge = %d, want 42", got)
+	}
+
+	h := r.Histogram("h", []int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 99, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 1+10+11+99+5000 {
+		t.Fatalf("hist count=%d sum=%d", h.Count(), h.Sum())
+	}
+
+	snap := r.Snapshot()
+	if snap.Counters["c"] != 5 || snap.Gauges["g"] != 42 {
+		t.Fatalf("snapshot mismatch: %+v", snap)
+	}
+	hs := snap.Histograms["h"]
+	// 1 and 10 land in le=10; 11 and 99 in le=100; 5000 in overflow (le=0).
+	want := []BucketCount{{Le: 10, Count: 2}, {Le: 100, Count: 2}, {Le: 0, Count: 1}}
+	if fmt.Sprint(hs.Buckets) != fmt.Sprint(want) {
+		t.Fatalf("buckets = %+v, want %+v", hs.Buckets, want)
+	}
+
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("reset did not zero the metrics")
+	}
+	if r.Counter("c") != c {
+		t.Fatal("reset destroyed metric identity")
+	}
+}
+
+func TestSetEnabledGatesRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("gated")
+	restore := SetEnabled(false)
+	c.Add(10)
+	r.Histogram("gh", []int64{1}).Observe(5)
+	if sp := NewTrace().Begin("x"); sp != nil {
+		t.Fatal("Begin should return a nil no-op span while disabled")
+	}
+	restore()
+	if c.Value() != 0 {
+		t.Fatalf("disabled counter advanced to %d", c.Value())
+	}
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("counter did not resume after re-enable")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTrace()
+	outer := tr.Begin("outer")
+	if got := tr.CurrentName(); got != "outer" {
+		t.Fatalf("current = %q, want outer", got)
+	}
+	inner := tr.Begin("inner")
+	if got := tr.CurrentName(); got != "inner" {
+		t.Fatalf("current = %q, want inner", got)
+	}
+	inner.End()
+	if got := tr.CurrentName(); got != "outer" {
+		t.Fatalf("current after inner end = %q, want outer", got)
+	}
+	outer.End()
+	if got := tr.CurrentName(); got != "" {
+		t.Fatalf("current after outer end = %q, want empty", got)
+	}
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["inner"].Parent != byName["outer"].ID {
+		t.Fatalf("inner parent = %d, want outer id %d", byName["inner"].Parent, byName["outer"].ID)
+	}
+	if byName["outer"].Parent != 0 {
+		t.Fatalf("outer parent = %d, want root (0)", byName["outer"].Parent)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTrace()
+	a := tr.Begin("phase-a")
+	time.Sleep(time.Millisecond)
+	a.End()
+	b := tr.Begin("phase-b")
+	b.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	for _, e := range events {
+		if e["ph"] != "X" || e["name"] == "" {
+			t.Fatalf("malformed event: %v", e)
+		}
+	}
+}
+
+// TestObsConcurrent hammers every obs primitive from many goroutines at
+// once; it exists to run under -race in CI.
+func TestObsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTrace()
+	c := r.Counter("conc.counter")
+	g := r.Gauge("conc.gauge")
+	h := r.Histogram("conc.hist", ExpBounds(1, 2, 10))
+
+	const workers = 16
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(int64(i % 700))
+				if i%100 == 0 {
+					sp := tr.Begin("conc.span")
+					sp.End()
+					r.Counter("conc.dynamic").Inc() // registry map under contention
+					_ = r.Snapshot()
+					RecordStage(StageStats{Name: "conc", Items: 1, Workers: 1})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+	if got := len(tr.Spans()); got != workers*iters/100 {
+		t.Fatalf("spans = %d, want %d", got, workers*iters/100)
+	}
+}
+
+func TestRecordStageUtilization(t *testing.T) {
+	// Clear any stages left over from other tests in the package.
+	Reset()
+	RecordStage(StageStats{
+		Name:      "stage",
+		Items:     10,
+		Workers:   2,
+		Wall:      100 * time.Millisecond,
+		Busy:      []time.Duration{90 * time.Millisecond, 70 * time.Millisecond},
+		BusyTotal: 160 * time.Millisecond,
+	})
+	st := Stages()
+	if len(st) != 1 {
+		t.Fatalf("got %d stages, want 1", len(st))
+	}
+	if got, want := st[0].Utilization, 0.8; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("utilization = %v, want %v", got, want)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	Reset()
+	C("manifest.test_counter").Add(7)
+	sp := Begin("manifest.phase")
+	sp.End()
+
+	m := BuildManifest("test", []string{"-x"}, 99, 4, map[string]int{"scale": 1})
+	if m.Counters["manifest.test_counter"] != 7 {
+		t.Fatalf("manifest counter = %d, want 7", m.Counters["manifest.test_counter"])
+	}
+	if m.Seed != 99 || m.Workers != 4 || m.Tool != "test" {
+		t.Fatalf("manifest header wrong: %+v", m)
+	}
+	found := false
+	for _, p := range m.Phases {
+		if p.Name == "manifest.phase" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("manifest is missing the recorded phase span")
+	}
+
+	path := t.TempDir() + "/m.json"
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("manifest does not round-trip: %v", err)
+	}
+	if back.Counters["manifest.test_counter"] != 7 {
+		t.Fatalf("round-tripped counter = %d", back.Counters["manifest.test_counter"])
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	Reset()
+	C("debug.test_counter").Add(3)
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["debug.test_counter"] != 3 {
+		t.Fatalf("debug endpoint counter = %d, want 3", snap.Counters["debug.test_counter"])
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	Reset()
+	C("summary.counter").Add(2)
+	sp := Begin("summary.phase")
+	sp.End()
+	var buf bytes.Buffer
+	WriteSummary(&buf)
+	out := buf.String()
+	for _, want := range []string{"telemetry", "summary.phase", "summary.counter"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

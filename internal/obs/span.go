@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxSpans bounds a trace so a benchmark looping over an instrumented stage
+// cannot grow memory without limit; spans past the cap are counted, not
+// stored.
+const maxSpans = 1 << 16
+
+// SpanRecord is one finished span: a named interval on the run timeline,
+// nested under its parent (0 = the trace root).
+type SpanRecord struct {
+	ID     int64         `json:"id"`
+	Parent int64         `json:"parent,omitempty"`
+	Name   string        `json:"name"`
+	Start  time.Duration `json:"start_ns"` // offset from trace start
+	Dur    time.Duration `json:"dur_ns"`
+}
+
+// Span is an in-flight interval. End it exactly once. A nil *Span is a
+// valid no-op (Begin returns nil while telemetry is disabled).
+type Span struct {
+	tr    *Trace
+	id    int64
+	name  string
+	start time.Time
+	prev  *Span // innermost span when this one began
+}
+
+// Trace collects spans for one run, all relative to a common start time.
+// Begin/End may be called from any goroutine; the "current span" used for
+// implicit parenting is kept best-effort under concurrency (a span begun on
+// a worker goroutine parents to whatever phase is current, which is the
+// phase that spawned the worker).
+type Trace struct {
+	start   time.Time
+	nextID  atomic.Int64
+	current atomic.Pointer[Span]
+	dropped atomic.Int64
+
+	mu   sync.Mutex
+	done []SpanRecord
+}
+
+// NewTrace starts an empty trace anchored at now.
+func NewTrace() *Trace { return &Trace{start: time.Now()} }
+
+// DefaultTrace is the process-wide trace instrumentation sites append to.
+var DefaultTrace = NewTrace()
+
+// Begin opens a span named name as a child of the innermost open span (or
+// of the root when none is open) and makes it current. Returns nil — a
+// no-op span — while telemetry is disabled.
+func (t *Trace) Begin(name string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	s := &Span{
+		tr:    t,
+		id:    t.nextID.Add(1),
+		name:  name,
+		start: time.Now(),
+		prev:  t.current.Load(),
+	}
+	t.current.Store(s)
+	return s
+}
+
+// End closes the span, records it, and restores its parent as current. Safe
+// on a nil receiver.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	t := s.tr
+	// Restore the parent only if this span is still the innermost one;
+	// under racing workers the current pointer belongs to whoever set it
+	// last, and stealing it back would corrupt their nesting.
+	t.current.CompareAndSwap(s, s.prev)
+	var parent int64
+	if s.prev != nil {
+		parent = s.prev.id
+	}
+	rec := SpanRecord{
+		ID:     s.id,
+		Parent: parent,
+		Name:   s.name,
+		Start:  s.start.Sub(t.start),
+		Dur:    end.Sub(s.start),
+	}
+	t.mu.Lock()
+	if len(t.done) < maxSpans {
+		t.done = append(t.done, rec)
+	} else {
+		t.dropped.Add(1)
+	}
+	t.mu.Unlock()
+}
+
+// CurrentName returns the name of the innermost open span, or "" when none
+// is open. The worker pool uses it to label stage statistics with the phase
+// that launched the stage.
+func (t *Trace) CurrentName() string {
+	if s := t.current.Load(); s != nil {
+		return s.name
+	}
+	return ""
+}
+
+// Spans returns the finished spans in completion order.
+func (t *Trace) Spans() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.done))
+	copy(out, t.done)
+	return out
+}
+
+// Dropped returns how many spans were discarded after the trace filled up.
+func (t *Trace) Dropped() int64 { return t.dropped.Load() }
+
+// Reset clears all recorded spans and re-anchors the trace at now.
+func (t *Trace) Reset() {
+	t.mu.Lock()
+	t.done = t.done[:0]
+	t.mu.Unlock()
+	t.current.Store(nil)
+	t.dropped.Store(0)
+	t.start = time.Now()
+}
+
+// Begin opens a span on the default trace.
+func Begin(name string) *Span { return DefaultTrace.Begin(name) }
+
+// CurrentName returns the innermost open span name on the default trace.
+func CurrentName() string { return DefaultTrace.CurrentName() }
+
+// StageStats is the worker pool's accounting for one parallel stage: how
+// many items ran, over how many workers, how busy each worker was, and the
+// resulting utilization (busy time over workers × wall time).
+type StageStats struct {
+	Name        string          `json:"name"` // owning phase, or "" when none was open
+	Items       int             `json:"items"`
+	Workers     int             `json:"workers"`
+	Wall        time.Duration   `json:"wall_ns"`
+	Busy        []time.Duration `json:"busy_ns"` // per worker
+	BusyTotal   time.Duration   `json:"busy_total_ns"`
+	Utilization float64         `json:"utilization"` // 0..1
+}
+
+// maxStages bounds the stage log the same way maxSpans bounds the trace.
+const maxStages = 4096
+
+var (
+	stagesMu      sync.Mutex
+	stages        []StageStats
+	stagesDropped atomic.Int64
+)
+
+// RecordStage appends one stage's statistics to the run log.
+func RecordStage(s StageStats) {
+	if !enabled.Load() {
+		return
+	}
+	if s.Workers > 0 && s.Wall > 0 {
+		s.Utilization = float64(s.BusyTotal) / (float64(s.Workers) * float64(s.Wall))
+	}
+	stagesMu.Lock()
+	if len(stages) < maxStages {
+		stages = append(stages, s)
+	} else {
+		stagesDropped.Add(1)
+	}
+	stagesMu.Unlock()
+}
+
+// Stages returns the recorded stage statistics in order.
+func Stages() []StageStats {
+	stagesMu.Lock()
+	defer stagesMu.Unlock()
+	out := make([]StageStats, len(stages))
+	copy(out, stages)
+	return out
+}
+
+// Reset clears the default registry, the default trace, and the stage log —
+// a fresh telemetry slate for a new in-process run.
+func Reset() {
+	Default.Reset()
+	DefaultTrace.Reset()
+	stagesMu.Lock()
+	stages = stages[:0]
+	stagesMu.Unlock()
+	stagesDropped.Store(0)
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// chromeEvent is one Chrome trace-event ("X" = complete event). Load the
+// exported file in chrome://tracing or https://ui.perfetto.dev.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// WriteChromeTrace exports the finished spans as a Chrome trace-event JSON
+// array. Spans that overlap in time (candidate scoring begun on worker
+// goroutines) land on separate rows; nesting on a row follows time
+// containment, which chrome://tracing renders as a flame graph.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	// Greedy row assignment: each span goes on the first row whose last
+	// span has already ended (or contains it), so overlapping siblings
+	// don't draw on top of each other.
+	var rowEnd []time.Duration
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		row := -1
+		for r, end := range rowEnd {
+			if s.Start >= end || s.Start+s.Dur <= end {
+				row = r
+				break
+			}
+		}
+		if row < 0 {
+			row = len(rowEnd)
+			rowEnd = append(rowEnd, 0)
+		}
+		if e := s.Start + s.Dur; e > rowEnd[row] {
+			rowEnd[row] = e
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Start) / float64(time.Microsecond),
+			Dur:  float64(s.Dur) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  row + 1,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// WriteSummary renders the end-of-run telemetry digest: the phase tree with
+// wall times, every counter and gauge, histogram quantiles, and per-stage
+// worker utilization. This is what cmd/experiments prints to stderr in
+// place of the old ad-hoc "[step took 1.2s]" lines.
+func WriteSummary(w io.Writer) {
+	fmt.Fprintln(w, "── telemetry ──")
+	writePhases(w, DefaultTrace)
+	writeStages(w)
+	writeMetrics(w, Default.Snapshot())
+}
+
+func writePhases(w io.Writer, t *Trace) {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return
+	}
+	children := map[int64][]SpanRecord{}
+	for _, s := range spans {
+		children[s.Parent] = append(children[s.Parent], s)
+	}
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool { return kids[i].Start < kids[j].Start })
+	}
+	fmt.Fprintln(w, "phases:")
+	var walk func(parent int64, depth int)
+	walk = func(parent int64, depth int) {
+		for _, s := range children[parent] {
+			fmt.Fprintf(w, "  %s%-*s %10v\n", strings.Repeat("  ", depth),
+				36-2*depth, s.Name, s.Dur.Round(time.Millisecond))
+			walk(s.ID, depth+1)
+		}
+	}
+	walk(0, 0)
+	if n := t.Dropped(); n > 0 {
+		fmt.Fprintf(w, "  (%d spans dropped past the %d-span cap)\n", n, maxSpans)
+	}
+}
+
+func writeStages(w io.Writer) {
+	st := Stages()
+	if len(st) == 0 {
+		return
+	}
+	// Aggregate stages by phase name: greedy rounds and repeated folds
+	// collapse into one line each.
+	type agg struct {
+		items, runs, workers int
+		wall, busy           time.Duration
+	}
+	byName := map[string]*agg{}
+	var order []string
+	for _, s := range st {
+		name := s.Name
+		if name == "" {
+			name = "(unphased)"
+		}
+		a, ok := byName[name]
+		if !ok {
+			a = &agg{}
+			byName[name] = a
+			order = append(order, name)
+		}
+		a.items += s.Items
+		a.runs++
+		if s.Workers > a.workers {
+			a.workers = s.Workers
+		}
+		a.wall += s.Wall
+		a.busy += s.BusyTotal
+	}
+	fmt.Fprintln(w, "worker-pool stages:")
+	for _, name := range order {
+		a := byName[name]
+		util := 0.0
+		if a.workers > 0 && a.wall > 0 {
+			util = float64(a.busy) / (float64(a.workers) * float64(a.wall))
+		}
+		fmt.Fprintf(w, "  %-36s items=%-6d workers=%-3d wall=%-10v util=%4.0f%%\n",
+			name, a.items, a.workers, a.wall.Round(time.Millisecond), 100*util)
+	}
+	if n := stagesDropped.Load(); n > 0 {
+		fmt.Fprintf(w, "  (%d stages dropped past the %d-stage cap)\n", n, maxStages)
+	}
+}
+
+func writeMetrics(w io.Writer, s *Snapshot) {
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(w, "  %-36s %d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(w, "  %-36s %d\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintln(w, "histograms:")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			mean := int64(0)
+			if h.Count > 0 {
+				mean = h.Sum / h.Count
+			}
+			fmt.Fprintf(w, "  %-36s count=%-8d mean=%d\n", name, h.Count, mean)
+		}
+	}
+}

@@ -10,6 +10,20 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"metaopt/internal/obs"
+)
+
+// Pool telemetry: every stage (one ForEachWorker call) records how many
+// items it processed over how many workers and how busy each worker was;
+// per-item latency feeds a shared histogram. All of it is counter/timestamp
+// work outside the items themselves, so output stays bit-identical.
+var (
+	mItems     = obs.C("par.items_processed")
+	mStages    = obs.C("par.stages")
+	mPoolWidth = obs.G("par.pool_width")
+	hItemNS    = obs.H("par.item_ns", obs.ExpBounds(1_000, 4, 16)) // 1µs .. ~4.3s
 )
 
 // limit overrides the pool width when positive; 0 means GOMAXPROCS.
@@ -58,12 +72,18 @@ func ForEach(n int, fn func(i int) error) error {
 // projection slabs) without locking.
 func ForEachWorker(n int, fn func(worker, i int) error) error {
 	w := Workers(n)
+	st := beginStage(n, w)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(0, i); err != nil {
+			t0 := time.Now()
+			err := fn(0, i)
+			st.item(0, time.Since(t0))
+			if err != nil {
+				st.end()
 				return err
 			}
 		}
+		st.end()
 		return nil
 	}
 	errs := make([]error, n)
@@ -78,15 +98,73 @@ func ForEachWorker(n int, fn func(worker, i int) error) error {
 				if i >= n {
 					return
 				}
+				t0 := time.Now()
 				errs[i] = fn(wk, i)
+				st.item(wk, time.Since(t0))
 			}
 		}(wk)
 	}
 	wg.Wait()
+	st.end()
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// stage accumulates telemetry for one ForEachWorker call. Each worker owns
+// its busy slot, so no synchronization is needed beyond the pool's own
+// WaitGroup; the shared histogram and counters are atomic.
+type stage struct {
+	name    string
+	items   int
+	workers int
+	start   time.Time
+	busy    []time.Duration
+	on      bool
+}
+
+func beginStage(n, w int) *stage {
+	if !obs.Enabled() {
+		return &stage{}
+	}
+	mStages.Inc()
+	mPoolWidth.Set(int64(w))
+	return &stage{
+		name:    obs.CurrentName(),
+		items:   n,
+		workers: w,
+		start:   time.Now(),
+		busy:    make([]time.Duration, w),
+		on:      true,
+	}
+}
+
+func (s *stage) item(wk int, d time.Duration) {
+	if !s.on {
+		return
+	}
+	s.busy[wk] += d
+	mItems.Inc()
+	hItemNS.Observe(d.Nanoseconds())
+}
+
+func (s *stage) end() {
+	if !s.on {
+		return
+	}
+	var total time.Duration
+	for _, b := range s.busy {
+		total += b
+	}
+	obs.RecordStage(obs.StageStats{
+		Name:      s.name,
+		Items:     s.items,
+		Workers:   s.workers,
+		Wall:      time.Since(s.start),
+		Busy:      s.busy,
+		BusyTotal: total,
+	})
 }

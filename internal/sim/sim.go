@@ -16,10 +16,29 @@ import (
 	"metaopt/internal/analysis"
 	"metaopt/internal/ir"
 	"metaopt/internal/machine"
+	"metaopt/internal/obs"
 	"metaopt/internal/regalloc"
 	"metaopt/internal/sched"
 	"metaopt/internal/swp"
 	"metaopt/internal/transform"
+)
+
+// Cache and measurement telemetry. Hit/miss accounting is deterministic
+// even with racing workers: a miss is counted only by the worker whose
+// store wins, so misses equals the number of distinct keys compiled and
+// hits equals lookups minus misses. A worker that compiled redundantly
+// (lost the store race and adopted the winner's result) counts as a hit
+// plus a race — the races counter is the only scheduling-dependent value.
+var (
+	mCompileHits   = obs.C("sim.compile_cache.hits")
+	mCompileMisses = obs.C("sim.compile_cache.misses")
+	mCompileRaces  = obs.C("sim.compile_cache.races")
+	mRemHits       = obs.C("sim.remainder_cache.hits")
+	mRemMisses     = obs.C("sim.remainder_cache.misses")
+	mRemRaces      = obs.C("sim.remainder_cache.races")
+	mSchedules     = obs.C("sim.schedules_built")
+	mMeasurements  = obs.C("sim.measurements")
+	mCycles        = obs.C("sim.cycles_simulated")
 )
 
 // Config selects the compilation mode and measurement behaviour.
@@ -167,6 +186,7 @@ func (t *Timer) compile(l *ir.Loop, u int) (*compiled, error) {
 	c, ok := sh.m[key]
 	sh.mu.Unlock()
 	if ok {
+		mCompileHits.Inc()
 		return c, nil
 	}
 	c, err := t.compileLoop(l, u)
@@ -176,13 +196,19 @@ func (t *Timer) compile(l *ir.Loop, u int) (*compiled, error) {
 	sh.mu.Lock()
 	if prev, ok := sh.m[key]; ok {
 		c = prev
-	} else {
-		if sh.m == nil {
-			sh.m = map[timerKey]*compiled{}
-		}
-		sh.m[key] = c
+		sh.mu.Unlock()
+		// Lost the store race: the key was compiled exactly once for
+		// accounting purposes, so this call is a (redundant) hit.
+		mCompileHits.Inc()
+		mCompileRaces.Inc()
+		return c, nil
 	}
+	if sh.m == nil {
+		sh.m = map[timerKey]*compiled{}
+	}
+	sh.m[key] = c
 	sh.mu.Unlock()
+	mCompileMisses.Inc()
 	return c, nil
 }
 
@@ -202,6 +228,7 @@ func (t *Timer) compileLoop(l *ir.Loop, u int) (*compiled, error) {
 	var fillDrain float64  // per-entry pipeline fill/drain
 	stats := CompileStats{Unroll: u, BodyOps: len(unrolled.Body)}
 
+	mSchedules.Inc()
 	if usePipeline {
 		mii := pipelineMII(l, g, u, m)
 		r, err := swp.Schedule(g, mii)
@@ -310,6 +337,7 @@ func (t *Timer) rolledRemainder(l *ir.Loop) (float64, error) {
 	v, ok := sh.m[l]
 	sh.mu.Unlock()
 	if ok {
+		mRemHits.Inc()
 		return v, nil
 	}
 	rolled, _, err := transform.Unroll(l, 1)
@@ -319,13 +347,22 @@ func (t *Timer) rolledRemainder(l *ir.Loop) (float64, error) {
 	g := analysis.Build(rolled, t.Cfg.Mach)
 	s := sched.List(g)
 	ra := regalloc.Run(s)
+	mSchedules.Inc()
 	v = float64(s.Period + ra.SpillCycles)
 	sh.mu.Lock()
+	if _, ok := sh.m[l]; ok {
+		v = sh.m[l]
+		sh.mu.Unlock()
+		mRemHits.Inc()
+		mRemRaces.Inc()
+		return v, nil
+	}
 	if sh.m == nil {
 		sh.m = map[*ir.Loop]float64{}
 	}
 	sh.m[l] = v
 	sh.mu.Unlock()
+	mRemMisses.Inc()
 	return v, nil
 }
 
@@ -401,9 +438,11 @@ func (t *Timer) MeasureScaled(l *ir.Loop, u int, rng *rand.Rand, scale float64) 
 	if err != nil {
 		return 0, err
 	}
+	mMeasurements.Inc()
 	runs := t.Cfg.Runs
 	noise := t.Cfg.Noise * scale
 	if runs < 1 || (noise == 0 && t.Cfg.BiasNoise == 0) {
+		mCycles.Add(base)
 		return base, nil
 	}
 	// The whole measurement session shares one systematic bias; the
@@ -424,7 +463,9 @@ func (t *Timer) MeasureScaled(l *ir.Loop, u int, rng *rand.Rand, scale float64) 
 		}
 		samples = append(samples, int64(float64(base)*f))
 	}
-	return selectKth(samples, runs/2), nil
+	med := selectKth(samples, runs/2)
+	mCycles.Add(med)
+	return med, nil
 }
 
 // selectKth returns the k-th smallest element (0-based) by in-place Hoare
