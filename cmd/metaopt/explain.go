@@ -8,8 +8,9 @@ import (
 	"metaopt/unroll"
 )
 
-// obtainPredictor loads a saved predictor, or trains one from a dataset
-// file, or — as a last resort — labels a small fresh corpus and trains.
+// obtainPredictor loads a saved artifact (the fast path that never
+// retrains), or — deprecated — trains one from a dataset file, or, as a
+// last resort, labels a small fresh corpus and trains.
 func obtainPredictor(modelPath, dataPath string, alg unroll.Algorithm, m *unroll.Machine, seed int64) (*unroll.Predictor, error) {
 	if modelPath != "" {
 		f, err := os.Open(modelPath)
@@ -19,27 +20,12 @@ func obtainPredictor(modelPath, dataPath string, alg unroll.Algorithm, m *unroll
 		defer f.Close()
 		return unroll.LoadPredictor(f)
 	}
-	var ds *unroll.Dataset
 	if dataPath != "" {
-		f, err := os.Open(dataPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		ds, err = unroll.LoadDataset(f)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		fmt.Fprintln(os.Stderr, "metaopt: no -data or -model given; generating and labeling a small corpus (use cmd/labelgen for the full one)")
-		c, err := unroll.GenerateCorpus(seed, 0.15)
-		if err != nil {
-			return nil, err
-		}
-		ds, err = unroll.CollectDataset(c, unroll.CollectOptions{Machine: m, Seed: seed, Runs: 10})
-		if err != nil {
-			return nil, err
-		}
+		fmt.Fprintln(os.Stderr, "metaopt: warning: -data retrains the model on every invocation (deprecated); train once with 'metaopt train -data ... -o model.json' and pass -model")
+	}
+	ds, err := loadOrCollectDataset(dataPath, m, seed, 0.15, 10)
+	if err != nil {
+		return nil, err
 	}
 	feats, err := unroll.SelectFeatures(ds, seed)
 	if err != nil {

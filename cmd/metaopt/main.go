@@ -1,21 +1,29 @@
 // Command metaopt is the user-facing CLI: it compiles LoopLang kernels,
 // prints their feature vectors, sweeps unroll factors on the machine model,
-// and predicts factors with a trained classifier.
+// trains predictor artifacts, and predicts factors with them.
 //
 // Usage:
 //
 //	metaopt features <file.loop>
 //	metaopt sweep [-swp] [-mach itanium2|embedded2] <file.loop>
-//	metaopt predict [-data dataset.json] [-alg nn|svm|svm-ecoc|smo|regress] <file.loop>
+//	metaopt train -data dataset.json [-alg nn|svm|...] -o model.json
+//	metaopt predict [-model model.json | -remote URL] <file.loop>
 //	metaopt heuristic [-swp] <file.loop>
+//
+// Train once, predict many: the train subcommand persists a versioned
+// artifact that predict, explain, and the unrolld service load without
+// retraining.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"metaopt/unroll"
+	"metaopt/unroll/client"
 )
 
 func main() {
@@ -31,6 +39,8 @@ func main() {
 		err = cmdFeatures(args)
 	case "sweep":
 		err = cmdSweep(args)
+	case "train":
+		err = cmdTrain(args)
 	case "predict":
 		err = cmdPredict(args)
 	case "heuristic":
@@ -60,7 +70,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   metaopt features <file.loop>                 print the 38-feature vector of each kernel
   metaopt sweep [-swp] [-mach M] <file.loop>   time every unroll factor on the machine model
-  metaopt predict [-data D] [-alg A] <file>    predict unroll factors with a trained classifier
+  metaopt train [-data D] [-alg A] -o M        fit a predictor once and save the artifact
+  metaopt predict [-model M | -remote URL] <file>  predict unroll factors (no retraining)
   metaopt heuristic [-swp] <file.loop>         the hand-written baseline's choices
   metaopt schedule [-u N] [-swp] <file.loop>   show the scheduled loop body (bundle table / kernel)
   metaopt dot [-u N] <file.loop>               dependence graph in Graphviz format
@@ -161,10 +172,11 @@ func cmdSweep(args []string) error {
 
 func cmdPredict(args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ExitOnError)
-	data := fs.String("data", "", "training dataset JSON (from labelgen); empty = generate a small corpus")
-	model := fs.String("model", "", "load a trained predictor instead of training")
+	data := fs.String("data", "", "deprecated: retrain from this dataset per invocation (use 'metaopt train' + -model)")
+	model := fs.String("model", "", "predictor artifact from 'metaopt train'")
+	remote := fs.String("remote", "", "query a running unrolld service at this base URL")
 	save := fs.String("save", "", "save the trained predictor to this path")
-	alg := fs.String("alg", "svm", "algorithm: nn, svm, svm-ecoc, smo, regress, tree, boosted-tree")
+	alg := fs.String("alg", "svm", "algorithm when retraining: nn, svm, svm-ecoc, smo, regress, tree, boosted-tree")
 	mach := fs.String("mach", "itanium2", "machine model: itanium2, embedded2, wide8")
 	seed := fs.Int64("seed", 1, "seed for corpus generation and training")
 	if err := fs.Parse(args); err != nil {
@@ -172,6 +184,12 @@ func cmdPredict(args []string) error {
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("predict: want one input file")
+	}
+	if *remote != "" {
+		if *model != "" || *data != "" {
+			return fmt.Errorf("predict: -remote is exclusive of -model and -data")
+		}
+		return predictRemote(*remote, *mach, fs.Arg(0))
 	}
 	m, err := machByName(*mach)
 	if err != nil {
@@ -201,12 +219,46 @@ func cmdPredict(args []string) error {
 		return err
 	}
 	for _, l := range loops {
-		u := p.Predict(l)
+		u, err := p.PredictCtx(context.Background(), l)
+		if err != nil {
+			return fmt.Errorf("predict %s: %w", l.Name, err)
+		}
 		line := fmt.Sprintf("loop %-16s -> unroll %d", l.Name, u)
 		if n, agree, ok := p.Confidence(l); ok {
 			line += fmt.Sprintf("   (%d neighbors, %.0f%% agreement)", n, 100*agree)
 		}
 		fmt.Println(line)
+	}
+	return nil
+}
+
+// predictRemote extracts each kernel's feature vector locally and asks a
+// running unrolld service for the factors in one batch round trip. The
+// -mach flag must match the machine the served model was trained for.
+func predictRemote(base, mach, path string) error {
+	m, err := machByName(mach)
+	if err != nil {
+		return err
+	}
+	loops, err := loadLoops(path)
+	if err != nil {
+		return err
+	}
+	reqs := make([]client.PredictRequest, len(loops))
+	for i, l := range loops {
+		reqs[i] = client.PredictRequest{Features: unroll.Features(l, m)}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	resp, err := client.New(base).PredictBatch(ctx, reqs)
+	if err != nil {
+		return err
+	}
+	for i, res := range resp.Results {
+		if res.Error != "" {
+			return fmt.Errorf("predict %s: service: %s", loops[i].Name, res.Error)
+		}
+		fmt.Printf("loop %-16s -> unroll %d   (model %.12s…)\n", loops[i].Name, res.Factor, resp.Fingerprint)
 	}
 	return nil
 }

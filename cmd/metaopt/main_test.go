@@ -1,9 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
+
+	"metaopt/internal/serve"
+	"metaopt/unroll"
 )
 
 func TestMachByName(t *testing.T) {
@@ -58,6 +65,125 @@ func TestObtainPredictorModelPathErrors(t *testing.T) {
 	}
 	if _, err := obtainPredictor("", "/nonexistent/data.json", "nn", nil, 1); err == nil {
 		t.Error("expected error for missing dataset file")
+	}
+}
+
+// testDatasetFile collects a tiny labeled dataset and saves it as JSON.
+func testDatasetFile(t *testing.T) string {
+	t.Helper()
+	c, err := unroll.GenerateCorpus(5, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := unroll.CollectDataset(c, unroll.CollectOptions{Seed: 1, Runs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dataset.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeLoopFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "k.loop")
+	src := `kernel k lang=c { double a[], b[]; noalias; for i = 0 .. 1024 { a[i] = a[i] + b[i]; } }`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTrainFlagValidation(t *testing.T) {
+	if err := cmdTrain(nil); err == nil || !strings.Contains(err.Error(), "-o") {
+		t.Errorf("train without -o: %v", err)
+	}
+	if err := cmdTrain([]string{"-o", "x.json", "-data", "/nonexistent.json"}); err == nil {
+		t.Error("expected error for missing dataset")
+	}
+	if err := cmdTrain([]string{"-o", "x.json", "stray-operand"}); err == nil {
+		t.Error("expected error for stray operand")
+	}
+}
+
+// Train once, predict many: the artifact round-trips through the
+// versioned format and predict -model never retrains.
+func TestTrainPredictModelRoundTrip(t *testing.T) {
+	data := testDatasetFile(t)
+	model := filepath.Join(t.TempDir(), "model.json")
+	if err := cmdTrain([]string{"-data", data, "-alg", "nn", "-select=false", "-o", model}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	blob, err := os.ReadFile(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(blob, []byte(`"version"`)) || !bytes.Contains(blob, []byte(`"fingerprint"`)) {
+		t.Error("artifact is missing version/fingerprint fields")
+	}
+	loopFile := writeLoopFile(t)
+	if err := cmdPredict([]string{"-model", model, loopFile}); err != nil {
+		t.Fatalf("predict -model: %v", err)
+	}
+
+	// An artifact claiming a future format version is rejected with an
+	// actionable error, not silently misread.
+	future := bytes.Replace(blob, []byte(`"version": 1`), []byte(`"version": 99`), 1)
+	if bytes.Equal(future, blob) {
+		t.Fatal("version field not found for bumping")
+	}
+	futurePath := filepath.Join(t.TempDir(), "future.json")
+	if err := os.WriteFile(futurePath, future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = cmdPredict([]string{"-model", futurePath, loopFile})
+	if err == nil || !strings.Contains(err.Error(), "v99") {
+		t.Errorf("future artifact: %v", err)
+	}
+}
+
+// predict -remote queries a running unrolld service.
+func TestPredictRemote(t *testing.T) {
+	c, err := unroll.GenerateCorpus(5, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := unroll.CollectDataset(c, unroll.CollectOptions{Seed: 1, Runs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := unroll.Train(ds, unroll.TrainOptions{Algorithm: unroll.NearNeighbor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{Model: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	loopFile := writeLoopFile(t)
+	if err := cmdPredict([]string{"-remote", "http://" + addr, loopFile}); err != nil {
+		t.Fatalf("predict -remote: %v", err)
+	}
+	if err := cmdPredict([]string{"-remote", "http://" + addr, "-model", "x", loopFile}); err == nil {
+		t.Error("expected -remote/-model conflict error")
 	}
 }
 

@@ -1,0 +1,106 @@
+// Command unrolld serves unroll-factor predictions over HTTP: it loads a
+// versioned predictor artifact once at startup (train one with
+// 'metaopt train') and answers prediction queries until drained.
+//
+// Usage:
+//
+//	metaopt train -o model.json
+//	unrolld -model model.json -addr :8080
+//
+// Endpoints:
+//
+//	POST /v1/predict        {"source": "kernel ..."} or {"features": [...]}
+//	POST /v1/predict/batch  {"loops": [{...}, ...]}
+//	POST /v1/admin/reload   {"path": "new-model.json"} (empty = re-read -model)
+//	GET  /v1/model          identity of the served artifact
+//	GET  /healthz, /readyz  liveness and readiness
+//
+// SIGTERM or SIGINT triggers a graceful drain: readiness flips to 503, new
+// predictions are refused, admitted ones complete, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"metaopt/internal/obs"
+	"metaopt/internal/serve"
+	"metaopt/unroll"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	model := flag.String("model", "", "predictor artifact from 'metaopt train' (required)")
+	queue := flag.Int("queue", 256, "admission queue depth; overflow answers 503")
+	workers := flag.Int("workers", 0, "micro-batching workers (0 = GOMAXPROCS)")
+	maxBatch := flag.Int("max-batch", 32, "max loops per model dispatch")
+	cache := flag.Int("cache", 4096, "prediction cache entries (negative disables)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget")
+	debugAddr := flag.String("debugaddr", "", "serve /debug/metrics and pprof on this address")
+	flag.Parse()
+
+	if err := run(*addr, *model, *queue, *workers, *maxBatch, *cache, *timeout, *drainTimeout, *debugAddr); err != nil {
+		fmt.Fprintf(os.Stderr, "unrolld: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, model string, queue, workers, maxBatch, cache int, timeout, drainTimeout time.Duration, debugAddr string) error {
+	if model == "" {
+		return fmt.Errorf("-model is required: train an artifact with 'metaopt train -o model.json'")
+	}
+	f, err := os.Open(model)
+	if err != nil {
+		return err
+	}
+	pred, err := unroll.LoadPredictor(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	srv, err := serve.New(serve.Config{
+		Model:          pred,
+		ModelPath:      model,
+		QueueDepth:     queue,
+		Workers:        workers,
+		MaxBatch:       maxBatch,
+		CacheSize:      cache,
+		RequestTimeout: timeout,
+	})
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("unrolld: serving %s model (format v%d, fingerprint %.12s…) on %s",
+		pred.Algorithm(), pred.Version(), pred.Fingerprint(), bound)
+	if debugAddr != "" {
+		dbg, err := obs.ServeDebug(debugAddr)
+		if err != nil {
+			return err
+		}
+		log.Printf("unrolld: debug endpoint on %s", dbg)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	got := <-sig
+	log.Printf("unrolld: %s received, draining (budget %s)", got, drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	log.Printf("unrolld: drain complete")
+	return nil
+}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a fixed-capacity least-recently-used prediction cache. Keys are
+// canonical loop hashes (which embed the model fingerprint, so a reload
+// naturally misses) and values are predicted factors.
+type lru struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recent
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key    string
+	factor int
+}
+
+// newLRU returns a cache holding up to max entries; max <= 0 disables
+// caching (every get misses, every put is dropped).
+func newLRU(max int) *lru {
+	return &lru{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (c *lru) get(key string) (int, bool) {
+	if c.max <= 0 {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return 0, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).factor, true
+}
+
+func (c *lru) put(key string, factor int) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruEntry).factor = factor
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, factor: factor})
+	if c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

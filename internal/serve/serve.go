@@ -1,0 +1,625 @@
+// Package serve is the online prediction service behind cmd/unrolld: an
+// HTTP/JSON server that loads a versioned predictor artifact once and
+// answers unroll-factor queries for sustained concurrent traffic.
+//
+// The data path is engineered for load rather than convenience:
+//
+//   - a bounded admission queue applies backpressure — when it is full the
+//     server answers 503 with a Retry-After hint instead of queueing
+//     unboundedly;
+//   - per-request deadlines propagate through context.Context from the
+//     HTTP handler into the predictor;
+//   - queued requests are micro-batched through Predictor.PredictBatch, so
+//     a worker drains several waiting requests per model dispatch;
+//   - an LRU cache keyed by the canonicalized loop hash (which embeds the
+//     model fingerprint) short-circuits repeated queries;
+//   - POST /v1/admin/reload swaps the model atomically with zero dropped
+//     requests — in-flight batches finish on the snapshot they started
+//     with;
+//   - Shutdown drains: new work is refused with 503, everything already
+//     admitted completes, then the HTTP server closes.
+//
+// Every stage is wired into internal/obs: request/item counters, a latency
+// histogram, a queue-depth gauge, cache hit/miss counters, and micro-batch
+// spans, all visible on the -debugaddr endpoint alongside pprof.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"metaopt/internal/obs"
+	"metaopt/unroll"
+	"metaopt/unroll/client"
+)
+
+// Config sizes the service.
+type Config struct {
+	Model     *unroll.Predictor // initial model (required)
+	ModelPath string            // artifact path, for reloads with no explicit path
+
+	QueueDepth     int           // admission queue capacity (default 256)
+	Workers        int           // micro-batching workers (default GOMAXPROCS)
+	MaxBatch       int           // max items per model dispatch (default 32)
+	CacheSize      int           // LRU entries; 0 = default 4096, negative disables
+	RequestTimeout time.Duration // per-request deadline (default 5s)
+}
+
+func (c *Config) fill() error {
+	if c.Model == nil {
+		return errors.New("serve: Config.Model is required")
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	return nil
+}
+
+// Telemetry. Resolved once; the hot path is atomic adds.
+var (
+	mReqs       = obs.C("serve.requests")
+	mBatchReqs  = obs.C("serve.requests.batch")
+	mItems      = obs.C("serve.predict.items")
+	mErrors     = obs.C("serve.errors")
+	mRejects    = obs.C("serve.queue.rejects")
+	mDeadlines  = obs.C("serve.deadline_exceeded")
+	mCacheHits  = obs.C("serve.cache.hits")
+	mCacheMiss  = obs.C("serve.cache.misses")
+	mReloads    = obs.C("serve.model.reloads")
+	mQueueDepth = obs.G("serve.queue.depth")
+	hLatencyUS  = obs.H("serve.latency_us", obs.ExpBounds(50, 2, 16))
+	hBatchItems = obs.H("serve.batch.items", obs.ExpBounds(1, 2, 8))
+)
+
+// modelState is one immutable loaded model; reload swaps the pointer.
+type modelState struct {
+	pred     *unroll.Predictor
+	path     string
+	loadedAt time.Time
+}
+
+// item is one loop awaiting prediction.
+type item struct {
+	loop  *unroll.Loop
+	feats []float64
+	key   string // cache key; "" = uncacheable
+
+	factor int
+	err    error
+}
+
+// job is one admitted request: a slot in the admission queue carrying one
+// item (single predict) or many (batch endpoint). The worker fills the
+// items and the model snapshot, then closes done.
+type job struct {
+	ctx   context.Context
+	items []*item
+	st    *modelState
+	done  chan struct{}
+}
+
+// Server is the prediction service. Create with New, expose with Start or
+// Handler, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	model atomic.Pointer[modelState]
+	cache *lru
+
+	qmu      sync.RWMutex // guards queue against close-during-enqueue
+	queue    chan *job
+	draining atomic.Bool
+	workers  sync.WaitGroup
+
+	reloadMu sync.Mutex
+	httpSrv  *http.Server
+
+	// preBatch, when non-nil, runs before every micro-batch dispatch.
+	// Tests use it to hold the workers and saturate the queue.
+	preBatch func()
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: newLRU(cfg.CacheSize),
+		queue: make(chan *job, cfg.QueueDepth),
+	}
+	s.model.Store(&modelState{pred: cfg.Model, path: cfg.ModelPath, loadedAt: time.Now()})
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Start listens on addr (":0" picks a free port), serves in the
+// background, and returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: listen: %w", err)
+	}
+	s.httpSrv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go s.httpSrv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Handler returns the service's HTTP mux, for embedding and tests.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/predict/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
+	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return mux
+}
+
+// Shutdown drains the service: new requests are refused with 503, every
+// admitted request completes, then the HTTP server (if Start was used)
+// closes. It returns nil only after a complete drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		// No enqueuer can be mid-send: enqueue holds qmu.RLock and
+		// rechecks draining; taking the write lock fences them out.
+		s.qmu.Lock()
+		close(s.queue)
+		s.qmu.Unlock()
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+	if s.httpSrv != nil {
+		return s.httpSrv.Shutdown(ctx)
+	}
+	return nil
+}
+
+// Reload loads the artifact at path (or the startup path when empty) and
+// atomically swaps it in. In-flight batches finish on the old snapshot;
+// no request is dropped.
+func (s *Server) Reload(path string) (previous, current *modelState, err error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	old := s.model.Load()
+	if path == "" {
+		path = old.path
+	}
+	if path == "" {
+		return nil, nil, errors.New("serve: no artifact path: server was started from an in-memory model and the reload request named no path")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: reload: %w", err)
+	}
+	defer f.Close()
+	pred, err := unroll.LoadPredictor(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: reload %s: %w", path, err)
+	}
+	st := &modelState{pred: pred, path: path, loadedAt: time.Now()}
+	s.model.Store(st)
+	mReloads.Inc()
+	return old, st, nil
+}
+
+// enqueue admits a job, or reports failure when the queue is full or the
+// server is draining.
+func (s *Server) enqueue(j *job) bool {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.draining.Load() {
+		return false
+	}
+	select {
+	case s.queue <- j:
+		mQueueDepth.Set(int64(len(s.queue)))
+		return true
+	default:
+		return false
+	}
+}
+
+// worker drains the admission queue, gathering up to MaxBatch items per
+// model dispatch.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		jobs := []*job{j}
+		n := len(j.items)
+		for n < s.cfg.MaxBatch {
+			var extra *job
+			select {
+			case extra = <-s.queue:
+			default:
+			}
+			if extra == nil {
+				break
+			}
+			jobs = append(jobs, extra)
+			n += len(extra.items)
+		}
+		mQueueDepth.Set(int64(len(s.queue)))
+		s.runBatch(jobs)
+	}
+}
+
+// batchContext builds the context a merged micro-batch computes under: the
+// latest deadline across the member requests, so the batch call is bounded
+// but no member is cut short by a neighbor's tighter deadline. (Members
+// whose own deadline passes are answered 504 by their handler regardless.)
+func batchContext(jobs []*job) (context.Context, context.CancelFunc) {
+	var latest time.Time
+	for _, j := range jobs {
+		d, ok := j.ctx.Deadline()
+		if !ok {
+			return context.Background(), func() {}
+		}
+		if d.After(latest) {
+			latest = d
+		}
+	}
+	return context.WithDeadline(context.Background(), latest)
+}
+
+// runBatch predicts every live item across the gathered jobs in one
+// PredictBatch dispatch, falling back to per-item prediction if the batch
+// call fails so one bad loop cannot poison its neighbors.
+func (s *Server) runBatch(jobs []*job) {
+	if s.preBatch != nil {
+		s.preBatch()
+	}
+	sp := obs.Begin("serve.microbatch")
+	defer sp.End()
+
+	st := s.model.Load()
+	pred := st.pred
+	var loops []*unroll.Loop
+	var loopItems []*item
+	live := jobs[:0]
+	for _, j := range jobs {
+		j.st = st
+		if err := j.ctx.Err(); err != nil {
+			for _, it := range j.items {
+				it.err = err
+			}
+			close(j.done)
+			continue
+		}
+		live = append(live, j)
+		for _, it := range j.items {
+			if it.feats != nil {
+				it.factor, it.err = pred.PredictFeatures(it.feats)
+			} else {
+				loops = append(loops, it.loop)
+				loopItems = append(loopItems, it)
+			}
+		}
+	}
+	if len(loops) > 0 {
+		hBatchItems.Observe(int64(len(loops)))
+		ctx, cancel := batchContext(live)
+		factors, err := pred.PredictBatch(ctx, loops)
+		if err == nil {
+			for i, it := range loopItems {
+				it.factor = factors[i]
+			}
+		} else {
+			for _, it := range loopItems {
+				it.factor, it.err = pred.PredictCtx(ctx, it.loop)
+			}
+		}
+		cancel()
+	}
+	for _, j := range live {
+		for _, it := range j.items {
+			if it.err == nil {
+				mItems.Inc()
+				if it.key != "" {
+					s.cache.put(it.key, it.factor)
+				}
+			}
+		}
+		close(j.done)
+	}
+}
+
+// cacheKey canonicalizes a query for the LRU: the model fingerprint plus
+// either the parsed loop's IR rendering (so formatting differences in the
+// source don't split cache lines) or the raw feature vector.
+func cacheKey(fingerprint, kind string, payload []byte) string {
+	h := sha256.New()
+	h.Write([]byte(fingerprint))
+	h.Write([]byte{0})
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write(payload)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func featureBytes(v []float64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(f))
+	}
+	return b
+}
+
+// newItem validates one request entry and prepares it for the queue.
+// The returned status is the HTTP code to answer when err != nil.
+func newItem(st *modelState, req client.PredictRequest) (it *item, status int, err error) {
+	switch {
+	case req.Source == "" && req.Features == nil:
+		return nil, http.StatusBadRequest, errors.New("one of source or features is required")
+	case req.Source != "" && req.Features != nil:
+		return nil, http.StatusBadRequest, errors.New("source and features are mutually exclusive")
+	case req.Features != nil:
+		return &item{
+			feats: req.Features,
+			key:   cacheKey(st.pred.Fingerprint(), "feat", featureBytes(req.Features)),
+		}, 0, nil
+	}
+	loop, err := unroll.ParseKernel(req.Source)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	return &item{
+		loop: loop,
+		key:  cacheKey(st.pred.Fingerprint(), "loop", []byte(loop.String())),
+	}, 0, nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { hLatencyUS.Observe(time.Since(start).Microseconds()) }()
+	mReqs.Inc()
+
+	var req client.PredictRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	st := s.model.Load()
+	it, status, err := newItem(st, req)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	if factor, ok := s.cache.get(it.key); ok {
+		mCacheHits.Inc()
+		writeJSON(w, http.StatusOK, predictResponse(st, it, factor, true))
+		return
+	}
+	mCacheMiss.Inc()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	j := &job{ctx: ctx, items: []*item{it}, done: make(chan struct{})}
+	if !s.enqueue(j) {
+		rejectOverloaded(w, s.draining.Load())
+		return
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		mDeadlines.Inc()
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the prediction completed")
+		return
+	}
+	if it.err != nil {
+		writeError(w, statusFor(it.err), it.err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse(j.st, it, it.factor, false))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { hLatencyUS.Observe(time.Since(start).Microseconds()) }()
+	mReqs.Inc()
+	mBatchReqs.Inc()
+
+	var req client.BatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Loops) == 0 {
+		writeError(w, http.StatusBadRequest, "batch request has no loops")
+		return
+	}
+	if len(req.Loops) > 1024 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d loops exceeds the 1024-loop limit", len(req.Loops)))
+		return
+	}
+	st := s.model.Load()
+	results := make([]client.BatchResult, len(req.Loops))
+	items := make([]*item, len(req.Loops)) // nil where already resolved
+	var pending []*item
+	for i, lr := range req.Loops {
+		it, _, err := newItem(st, lr)
+		if err != nil {
+			results[i] = client.BatchResult{Error: err.Error()}
+			continue
+		}
+		if factor, ok := s.cache.get(it.key); ok {
+			mCacheHits.Inc()
+			results[i] = batchResult(it, factor, true, nil)
+			continue
+		}
+		mCacheMiss.Inc()
+		items[i] = it
+		pending = append(pending, it)
+	}
+	respSt := st
+	if len(pending) > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		j := &job{ctx: ctx, items: pending, done: make(chan struct{})}
+		if !s.enqueue(j) {
+			rejectOverloaded(w, s.draining.Load())
+			return
+		}
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			mDeadlines.Inc()
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the batch completed")
+			return
+		}
+		respSt = j.st
+		for i, it := range items {
+			if it != nil {
+				results[i] = batchResult(it, it.factor, false, it.err)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, client.BatchResponse{
+		Results:      results,
+		ModelVersion: respSt.pred.Version(),
+		Fingerprint:  respSt.pred.Fingerprint(),
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req client.ReloadRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	old, cur, err := s.Reload(req.Path)
+	if err != nil {
+		mErrors.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, client.ReloadResponse{
+		Fingerprint:  cur.pred.Fingerprint(),
+		Previous:     old.pred.Fingerprint(),
+		ModelVersion: cur.pred.Version(),
+	})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+	st := s.model.Load()
+	writeJSON(w, http.StatusOK, client.ModelInfo{
+		Algorithm:    string(st.pred.Algorithm()),
+		ModelVersion: st.pred.Version(),
+		Fingerprint:  st.pred.Fingerprint(),
+		Path:         st.path,
+	})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func predictResponse(st *modelState, it *item, factor int, cached bool) client.PredictResponse {
+	resp := client.PredictResponse{
+		Factor:       factor,
+		Cached:       cached,
+		ModelVersion: st.pred.Version(),
+		Fingerprint:  st.pred.Fingerprint(),
+	}
+	if it.loop != nil {
+		resp.Loop = it.loop.Name
+	}
+	return resp
+}
+
+func batchResult(it *item, factor int, cached bool, err error) client.BatchResult {
+	res := client.BatchResult{Factor: factor, Cached: cached}
+	if it.loop != nil {
+		res.Loop = it.loop.Name
+	}
+	if err != nil {
+		res = client.BatchResult{Error: err.Error()}
+		if it.loop != nil {
+			res.Loop = it.loop.Name
+		}
+	}
+	return res
+}
+
+// statusFor maps a prediction error to an HTTP status.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// rejectOverloaded answers a shed request: 503 plus a Retry-After hint.
+func rejectOverloaded(w http.ResponseWriter, draining bool) {
+	mRejects.Inc()
+	w.Header().Set("Retry-After", "1")
+	msg := "admission queue full; retry with backoff"
+	if draining {
+		msg = "server is draining for shutdown"
+	}
+	writeError(w, http.StatusServiceUnavailable, msg)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, 8<<20)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	if status >= 500 {
+		mErrors.Inc()
+	}
+	writeJSON(w, status, client.ErrorResponse{Error: msg})
+}

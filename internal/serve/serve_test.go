@@ -1,0 +1,507 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"metaopt/unroll"
+	"metaopt/unroll/client"
+)
+
+// testKernels are the query loops every test predicts; varied enough that
+// different models disagree on some of them.
+var testKernels = []string{
+	`kernel daxpy lang=c { param double a; double x[], y[]; noalias; for i = 0 .. 4096 { y[i] = y[i] + a * x[i]; } }`,
+	`kernel dot lang=fortran { double a[], b[]; double s; for i = 0 .. 1024 { s = s + a[i]*b[i]; } }`,
+	`kernel scale lang=c { double x[]; noalias; for i = 0 .. 256 { x[i] = x[i] * 2.0; } }`,
+	`kernel copy lang=c { double a[], b[]; noalias; for i = 0 .. 512 { a[i] = b[i]; } }`,
+	`kernel saxpy2 lang=fortran { param double a; double x[], y[], z[]; for i = 0 .. 2048 { z[i] = y[i] + a * x[i]; } }`,
+	`kernel gather lang=c { double a[]; int k[]; for i = 0 .. 64 { a[k[i]] = a[k[i]] + 1.0; } }`,
+	`kernel stencil lang=c { double a[], b[]; noalias; for i = 1 .. 511 { b[i] = a[i-1] + a[i] + a[i+1]; } }`,
+	`kernel square lang=c { double x[], y[]; noalias; for i = 0 .. 128 { y[i] = x[i] * x[i]; } }`,
+}
+
+var (
+	datasetOnce sync.Once
+	dataset     *unroll.Dataset
+	datasetErr  error
+)
+
+// testDataset collects one small labeled corpus shared by every test.
+func testDataset(t *testing.T) *unroll.Dataset {
+	t.Helper()
+	datasetOnce.Do(func() {
+		c, err := unroll.GenerateCorpus(7, 0.05)
+		if err != nil {
+			datasetErr = err
+			return
+		}
+		dataset, datasetErr = unroll.CollectDataset(c, unroll.CollectOptions{Seed: 1, Runs: 3})
+	})
+	if datasetErr != nil {
+		t.Fatal(datasetErr)
+	}
+	return dataset
+}
+
+func trainPredictor(t *testing.T, alg unroll.Algorithm) *unroll.Predictor {
+	t.Helper()
+	p, err := unroll.Train(testDataset(t), unroll.TrainOptions{Algorithm: alg, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func parseKernel(t *testing.T, src string) *unroll.Loop {
+	t.Helper()
+	l, err := unroll.ParseKernel(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// newTestServer boots a server on an ephemeral port and returns it with a
+// client pointed at it. The server is drained at test end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *client.Client) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, client.New("http://" + addr)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestServeConcurrentBitIdentical holds the worker pool until 96 requests
+// (64 singles + 32 full batches) are simultaneously in flight, then
+// releases them and checks every response against a direct library call.
+func TestServeConcurrentBitIdentical(t *testing.T) {
+	pred := trainPredictor(t, unroll.NearNeighbor)
+	expected := make([]int, len(testKernels))
+	for i, src := range testKernels {
+		u, err := pred.PredictCtx(context.Background(), parseKernel(t, src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected[i] = u
+	}
+
+	s, c := newTestServer(t, Config{
+		Model:          pred,
+		QueueDepth:     256,
+		Workers:        1,
+		MaxBatch:       8,
+		CacheSize:      -1, // every request must compute
+		RequestTimeout: 30 * time.Second,
+	})
+	gate := make(chan struct{})
+	s.preBatch = func() { <-gate }
+
+	const singles, batches = 64, 32
+	reqsBefore := mReqs.Value()
+	var wg sync.WaitGroup
+	var mismatches, failures atomic.Int64
+	for g := 0; g < singles; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			k := g % len(testKernels)
+			resp, err := c.Predict(context.Background(), client.PredictRequest{Source: testKernels[k]})
+			if err != nil {
+				t.Errorf("single %d: %v", g, err)
+				failures.Add(1)
+				return
+			}
+			if resp.Factor != expected[k] {
+				t.Errorf("single %d: factor %d, library says %d", g, resp.Factor, expected[k])
+				mismatches.Add(1)
+			}
+			if resp.Fingerprint != pred.Fingerprint() {
+				t.Errorf("single %d: fingerprint %q", g, resp.Fingerprint)
+			}
+		}(g)
+	}
+	for g := 0; g < batches; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			reqs := make([]client.PredictRequest, len(testKernels))
+			for i, src := range testKernels {
+				reqs[i] = client.PredictRequest{Source: src}
+			}
+			resp, err := c.PredictBatch(context.Background(), reqs)
+			if err != nil {
+				t.Errorf("batch %d: %v", g, err)
+				failures.Add(1)
+				return
+			}
+			for i, res := range resp.Results {
+				if res.Error != "" {
+					t.Errorf("batch %d loop %d: %s", g, i, res.Error)
+					failures.Add(1)
+				} else if res.Factor != expected[i] {
+					t.Errorf("batch %d loop %d: factor %d, library says %d", g, i, res.Factor, expected[i])
+					mismatches.Add(1)
+				}
+			}
+		}(g)
+	}
+
+	// With the worker gated, every accepted request stays in flight: once
+	// the counter shows all 96 arrived, they are concurrently open.
+	waitFor(t, "96 in-flight requests", func() bool {
+		return mReqs.Value()-reqsBefore >= singles+batches
+	})
+	close(gate)
+	wg.Wait()
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d requests failed", n)
+	}
+	if n := mismatches.Load(); n > 0 {
+		t.Fatalf("%d predictions differ from direct library calls", n)
+	}
+}
+
+// TestServeBackpressureConcurrent saturates a queue of depth 1 behind one
+// held worker and checks the third request is shed with 503 + Retry-After.
+func TestServeBackpressureConcurrent(t *testing.T) {
+	pred := trainPredictor(t, unroll.NearNeighbor)
+	s, c := newTestServer(t, Config{
+		Model:          pred,
+		QueueDepth:     1,
+		Workers:        1,
+		MaxBatch:       1,
+		CacheSize:      -1,
+		RequestTimeout: 30 * time.Second,
+	})
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	s.preBatch = func() {
+		entered <- struct{}{}
+		<-gate
+	}
+
+	results := make(chan error, 2)
+	send := func() {
+		_, err := c.Predict(context.Background(), client.PredictRequest{Source: testKernels[0]})
+		results <- err
+	}
+	go send() // A: picked up by the worker, which blocks
+	<-entered
+	go send() // B: sits in the queue
+	waitFor(t, "queue to fill", func() bool { return len(s.queue) == 1 })
+
+	// C: queue full — must be shed, not queued.
+	_, err := c.Predict(context.Background(), client.PredictRequest{Source: testKernels[1]})
+	if !client.IsOverloaded(err) {
+		t.Fatalf("expected 503 under saturation, got %v", err)
+	}
+	if ae := err.(*client.APIError); ae.RetryAfter <= 0 {
+		t.Errorf("503 without Retry-After hint: %+v", ae)
+	}
+
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("admitted request failed: %v", err)
+		}
+	}
+}
+
+// TestServeDrainConcurrent starts a drain with one request held and 15
+// queued: all 16 must complete, later requests must be refused, and
+// Shutdown must return only after the queue is empty.
+func TestServeDrainConcurrent(t *testing.T) {
+	pred := trainPredictor(t, unroll.NearNeighbor)
+	s, c := newTestServer(t, Config{
+		Model:          pred,
+		QueueDepth:     64,
+		Workers:        1,
+		MaxBatch:       4,
+		CacheSize:      -1,
+		RequestTimeout: 30 * time.Second,
+	})
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 64)
+	s.preBatch = func() {
+		entered <- struct{}{}
+		<-gate
+	}
+
+	const n = 16
+	reqsBefore := mReqs.Value()
+	results := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			_, err := c.Predict(context.Background(),
+				client.PredictRequest{Source: testKernels[i%len(testKernels)]})
+			results <- err
+		}(i)
+	}
+	<-entered
+	waitFor(t, "all requests admitted", func() bool { return mReqs.Value()-reqsBefore >= n })
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	waitFor(t, "drain to start", s.draining.Load)
+
+	// Readiness flips and new work is refused while draining.
+	if err := c.Readyz(context.Background()); !client.IsOverloaded(err) {
+		t.Errorf("readyz during drain: %v", err)
+	}
+	if _, err := c.Predict(context.Background(), client.PredictRequest{Source: testKernels[0]}); !client.IsOverloaded(err) {
+		t.Errorf("predict during drain: %v", err)
+	}
+
+	close(gate)
+	for i := 0; i < n; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("request failed during graceful drain: %v", err)
+		}
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if len(s.queue) != 0 {
+		t.Errorf("queue not drained: %d jobs left", len(s.queue))
+	}
+}
+
+// TestServeReloadConcurrent swaps the model under concurrent traffic: no
+// request may fail, and once the swap lands fresh predictions must come
+// from the new model (including past the cache, which keys on the
+// fingerprint).
+func TestServeReloadConcurrent(t *testing.T) {
+	nnPred := trainPredictor(t, unroll.NearNeighbor)
+	treePred := trainPredictor(t, unroll.DecisionTree)
+	if nnPred.Fingerprint() == treePred.Fingerprint() {
+		t.Fatal("test models share a fingerprint")
+	}
+	path := filepath.Join(t.TempDir(), "tree.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := treePred.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, c := newTestServer(t, Config{Model: nnPred, RequestTimeout: 30 * time.Second})
+	ctx := context.Background()
+
+	// Prime the cache under the old model.
+	first, err := c.Predict(ctx, client.PredictRequest{Source: testKernels[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := c.Predict(ctx, client.PredictRequest{Source: testKernels[(g+i)%len(testKernels)]})
+				if err != nil {
+					t.Errorf("traffic during reload failed: %v", err)
+					failures.Add(1)
+					return
+				}
+				if resp.Factor < 1 || resp.Factor > unroll.MaxFactor {
+					t.Errorf("factor %d out of range", resp.Factor)
+					failures.Add(1)
+					return
+				}
+			}
+		}(g)
+	}
+
+	rl, err := c.Reload(ctx, path)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if rl.Previous != nnPred.Fingerprint() || rl.Fingerprint != treePred.Fingerprint() {
+		t.Errorf("reload fingerprints: %+v", rl)
+	}
+	close(stop)
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatal("requests failed across the swap")
+	}
+
+	info, err := c.Model(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Fingerprint != treePred.Fingerprint() {
+		t.Errorf("served model after reload: %+v", info)
+	}
+	// The old model's cache entry must not answer for the new model.
+	want, err := treePred.PredictCtx(ctx, parseKernel(t, testKernels[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Predict(ctx, client.PredictRequest{Source: testKernels[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Factor != want {
+		t.Errorf("post-reload factor %d, new model says %d (old model said %d)", resp.Factor, want, first.Factor)
+	}
+	if resp.Fingerprint != treePred.Fingerprint() {
+		t.Errorf("post-reload fingerprint %q", resp.Fingerprint)
+	}
+
+	// A missing artifact must fail the reload and keep the current model.
+	if _, err := c.Reload(ctx, filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("expected reload error for missing artifact")
+	}
+	if info, err := c.Model(ctx); err != nil || info.Fingerprint != treePred.Fingerprint() {
+		t.Errorf("model changed after failed reload: %+v, %v", info, err)
+	}
+}
+
+func TestServeCacheHits(t *testing.T) {
+	pred := trainPredictor(t, unroll.NearNeighbor)
+	_, c := newTestServer(t, Config{Model: pred, RequestTimeout: 30 * time.Second})
+	ctx := context.Background()
+
+	first, err := c.Predict(ctx, client.PredictRequest{Source: testKernels[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first query claims a cache hit")
+	}
+	second, err := c.Predict(ctx, client.PredictRequest{Source: testKernels[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || second.Factor != first.Factor {
+		t.Errorf("second query: cached=%v factor=%d vs %d", second.Cached, second.Factor, first.Factor)
+	}
+	// Whitespace-only source changes hash to the same canonical loop.
+	reformatted := "\n" + testKernels[2] + "\n"
+	third, err := c.Predict(ctx, client.PredictRequest{Source: reformatted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.Cached {
+		t.Error("canonicalization missed: reformatted source was a cache miss")
+	}
+}
+
+func TestServeFeatureVectorParity(t *testing.T) {
+	pred := trainPredictor(t, unroll.NearNeighbor)
+	_, c := newTestServer(t, Config{Model: pred, RequestTimeout: 30 * time.Second})
+	ctx := context.Background()
+	for _, src := range testKernels[:3] {
+		l := parseKernel(t, src)
+		want, err := pred.PredictFeatures(unroll.Features(l, unroll.Itanium2()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := c.Predict(ctx, client.PredictRequest{Features: unroll.Features(l, unroll.Itanium2())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Factor != want {
+			t.Errorf("%s: feature-vector factor %d, library says %d", l.Name, resp.Factor, want)
+		}
+	}
+}
+
+func TestServeRejectsBadRequests(t *testing.T) {
+	pred := trainPredictor(t, unroll.NearNeighbor)
+	_, c := newTestServer(t, Config{Model: pred})
+	ctx := context.Background()
+
+	cases := []client.PredictRequest{
+		{}, // neither source nor features
+		{Source: testKernels[0], Features: []float64{1}}, // both
+		{Source: "kernel {"},                             // parse error
+	}
+	for i, req := range cases {
+		_, err := c.Predict(ctx, req)
+		ae, ok := err.(*client.APIError)
+		if !ok || ae.Status != http.StatusBadRequest {
+			t.Errorf("case %d: want 400, got %v", i, err)
+		}
+	}
+	// A wrong-length feature vector is a prediction-layer failure.
+	if _, err := c.Predict(ctx, client.PredictRequest{Features: []float64{1, 2, 3}}); err == nil {
+		t.Error("expected error for short feature vector")
+	}
+	// Batch: per-item errors don't fail the healthy items.
+	resp, err := c.PredictBatch(ctx, []client.PredictRequest{
+		{Source: testKernels[0]},
+		{Source: "kernel {"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Error != "" || resp.Results[0].Factor < 1 {
+		t.Errorf("healthy batch item: %+v", resp.Results[0])
+	}
+	if resp.Results[1].Error == "" {
+		t.Error("broken batch item reported no error")
+	}
+}
+
+func TestServeHealthReady(t *testing.T) {
+	pred := trainPredictor(t, unroll.NearNeighbor)
+	_, c := newTestServer(t, Config{Model: pred})
+	ctx := context.Background()
+	if err := c.Healthz(ctx); err != nil {
+		t.Errorf("healthz: %v", err)
+	}
+	if err := c.Readyz(ctx); err != nil {
+		t.Errorf("readyz: %v", err)
+	}
+	info, err := c.Model(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Fingerprint != pred.Fingerprint() || info.ModelVersion != unroll.PersistVersion {
+		t.Errorf("model info: %+v", info)
+	}
+}

@@ -1,0 +1,72 @@
+// Package client is the Go client for the unrolld prediction service and
+// the home of its wire types. The server (internal/serve) and this client
+// marshal the same structs, so the two cannot drift.
+package client
+
+// PredictRequest asks for the unroll factor of one loop: either LoopLang
+// source containing exactly one kernel, or a pre-extracted feature vector
+// (the full 38-element vector or one already projected onto the served
+// model's feature subset). Exactly one of the two must be set.
+type PredictRequest struct {
+	Source   string    `json:"source,omitempty"`
+	Features []float64 `json:"features,omitempty"`
+}
+
+// PredictResponse is the answer to POST /v1/predict.
+type PredictResponse struct {
+	Factor int    `json:"factor"`
+	Loop   string `json:"loop,omitempty"` // kernel name, for source requests
+	Cached bool   `json:"cached,omitempty"`
+	// Model identity the prediction came from, so build farms can tie
+	// compile-time decisions to a model artifact.
+	ModelVersion int    `json:"model_version"`
+	Fingerprint  string `json:"fingerprint"`
+}
+
+// BatchRequest is the body of POST /v1/predict/batch.
+type BatchRequest struct {
+	Loops []PredictRequest `json:"loops"`
+}
+
+// BatchResult is one loop's outcome inside a batch response. Factor is
+// meaningful only when Error is empty.
+type BatchResult struct {
+	Factor int    `json:"factor,omitempty"`
+	Loop   string `json:"loop,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// BatchResponse answers a batch request, index-aligned with the request.
+type BatchResponse struct {
+	Results      []BatchResult `json:"results"`
+	ModelVersion int           `json:"model_version"`
+	Fingerprint  string        `json:"fingerprint"`
+}
+
+// ReloadRequest is the body of POST /v1/admin/reload. An empty path
+// reloads the artifact the server was started with.
+type ReloadRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+// ReloadResponse reports the model swap.
+type ReloadResponse struct {
+	Fingerprint  string `json:"fingerprint"`
+	Previous     string `json:"previous"`
+	ModelVersion int    `json:"model_version"`
+}
+
+// ModelInfo answers GET /v1/model: the identity of the currently served
+// artifact.
+type ModelInfo struct {
+	Algorithm    string `json:"algorithm,omitempty"`
+	ModelVersion int    `json:"model_version"`
+	Fingerprint  string `json:"fingerprint"`
+	Path         string `json:"path,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

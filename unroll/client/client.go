@@ -1,0 +1,161 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// APIError is a non-2xx answer from the service. For 503s RetryAfter
+// carries the server's backoff hint.
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("unrolld: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// IsOverloaded reports whether an error is the service shedding load
+// (backpressure or drain); callers should back off and retry.
+func IsOverloaded(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Status == http.StatusServiceUnavailable
+}
+
+// Client talks to one unrolld server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client (pooling,
+// timeouts, instrumentation).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the server at base, e.g. "http://127.0.0.1:8080".
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Predict asks for one loop's unroll factor.
+func (c *Client) Predict(ctx context.Context, req PredictRequest) (*PredictResponse, error) {
+	var out PredictResponse
+	if err := c.post(ctx, "/v1/predict", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PredictSource is Predict for a LoopLang kernel source.
+func (c *Client) PredictSource(ctx context.Context, src string) (int, error) {
+	resp, err := c.Predict(ctx, PredictRequest{Source: src})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Factor, nil
+}
+
+// PredictBatch asks for many loops in one round trip. The response is
+// index-aligned with reqs; per-loop failures come back in
+// BatchResult.Error rather than failing the call.
+func (c *Client) PredictBatch(ctx context.Context, reqs []PredictRequest) (*BatchResponse, error) {
+	var out BatchResponse
+	if err := c.post(ctx, "/v1/predict/batch", BatchRequest{Loops: reqs}, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(reqs) {
+		return nil, fmt.Errorf("unrolld: batch returned %d results for %d loops", len(out.Results), len(reqs))
+	}
+	return &out, nil
+}
+
+// Reload asks the server to swap in the artifact at path (or re-read its
+// startup artifact when path is empty).
+func (c *Client) Reload(ctx context.Context, path string) (*ReloadResponse, error) {
+	var out ReloadResponse
+	if err := c.post(ctx, "/v1/admin/reload", ReloadRequest{Path: path}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Model fetches the identity of the currently served artifact.
+func (c *Client) Model(ctx context.Context) (*ModelInfo, error) {
+	var out ModelInfo
+	if err := c.get(ctx, "/v1/model", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz reports liveness.
+func (c *Client) Healthz(ctx context.Context) error { return c.get(ctx, "/healthz", nil) }
+
+// Readyz reports readiness (model loaded, not draining).
+func (c *Client) Readyz(ctx context.Context) error { return c.get(ctx, "/readyz", nil) }
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		ae := &APIError{Status: resp.StatusCode}
+		var body ErrorResponse
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.Error != "" {
+			ae.Message = body.Error
+		} else {
+			ae.Message = http.StatusText(resp.StatusCode)
+		}
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return ae
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,10 +1,26 @@
 package unroll_test
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 
 	"metaopt/unroll"
 )
+
+// exampleDataset labels a small generated corpus for the training
+// examples below.
+func exampleDataset() *unroll.Dataset {
+	c, err := unroll.GenerateCorpus(5, 0.05)
+	if err != nil {
+		panic(err)
+	}
+	d, err := unroll.CollectDataset(c, unroll.CollectOptions{Seed: 1, Runs: 3})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
 
 // The quickstart path: parse a kernel, inspect it, and sweep unroll factors
 // on the machine model.
@@ -72,6 +88,55 @@ kernel scale lang=c {
 	fmt.Printf("rolled %d ops -> unrolled-by-4 %d ops\n", loop.NumOps(), unrolled.NumOps())
 	// Output:
 	// rolled 6 ops -> unrolled-by-4 15 ops
+}
+
+// Serving-style usage: one trained predictor answering many loops per
+// call, with the context bounding the batch.
+func ExamplePredictor_PredictBatch() {
+	pred, err := unroll.Train(exampleDataset(), unroll.TrainOptions{Algorithm: unroll.NearNeighbor})
+	if err != nil {
+		panic(err)
+	}
+	loops, err := unroll.ParseFile(`
+kernel daxpy lang=c { param double a; double x[], y[]; noalias; for i = 0 .. 4096 { y[i] = y[i] + a * x[i]; } }
+kernel dot lang=fortran { double a[], b[]; double s; for i = 0 .. 1024 { s = s + a[i]*b[i]; } }`)
+	if err != nil {
+		panic(err)
+	}
+	factors, err := pred.PredictBatch(context.Background(), loops)
+	if err != nil {
+		panic(err)
+	}
+	ok := true
+	for _, u := range factors {
+		ok = ok && u >= 1 && u <= unroll.MaxFactor
+	}
+	fmt.Printf("%d loops -> %d factors, all within [1,%d]: %v\n",
+		len(loops), len(factors), unroll.MaxFactor, ok)
+	// Output:
+	// 2 loops -> 2 factors, all within [1,8]: true
+}
+
+// Artifacts carry a format version and a content fingerprint: both
+// survive the Save/LoadPredictor round trip, and loading rejects
+// artifacts written by a newer format.
+func ExampleLoadPredictor() {
+	pred, err := unroll.Train(exampleDataset(), unroll.TrainOptions{Algorithm: unroll.LSSVM})
+	if err != nil {
+		panic(err)
+	}
+	var artifact bytes.Buffer
+	if err := pred.Save(&artifact); err != nil {
+		panic(err)
+	}
+	loaded, err := unroll.LoadPredictor(&artifact)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("format v%d, fingerprint stable across round trip: %v\n",
+		loaded.Version(), loaded.Fingerprint() == pred.Fingerprint())
+	// Output:
+	// format v1, fingerprint stable across round trip: true
 }
 
 func ExampleHeuristic() {

@@ -1,6 +1,9 @@
 package unroll
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -13,57 +16,110 @@ import (
 	"metaopt/internal/ml/tree"
 )
 
+// PersistVersion is the predictor artifact format this build writes.
+// LoadPredictor accepts any version up to it (0 means a legacy blob saved
+// before the format was versioned) and rejects anything newer.
+const PersistVersion = 1
+
 // predictorEnvelope wraps a serialized model with everything needed to
-// reconstruct the predictor: the algorithm, the machine, and the feature
-// subset it was trained on.
+// reconstruct the predictor: the format version, a content fingerprint,
+// the algorithm, the machine, and the feature subset it was trained on.
 type predictorEnvelope struct {
-	Algorithm Algorithm       `json:"algorithm"`
-	Machine   string          `json:"machine"`
-	Features  []int           `json:"features,omitempty"`
-	Model     json.RawMessage `json:"model"`
+	Version     int             `json:"version,omitempty"`
+	Fingerprint string          `json:"fingerprint,omitempty"`
+	Algorithm   Algorithm       `json:"algorithm"`
+	Machine     string          `json:"machine"`
+	Features    []int           `json:"features,omitempty"`
+	Model       json.RawMessage `json:"model"`
+}
+
+// savedAlgorithm maps a classifier back to the algorithm tag written into
+// the envelope. ECOC models deserialize through the same svm.Model type,
+// so they save as LSSVM.
+func savedAlgorithm(c ml.Classifier) (Algorithm, error) {
+	switch c.(type) {
+	case *nn.Classifier:
+		return NearNeighbor, nil
+	case *svm.Model:
+		return LSSVM, nil
+	case *svm.RegModel:
+		return Regress, nil
+	case *tree.Tree:
+		return DecisionTree, nil
+	case *tree.Ensemble:
+		return BoostedTree, nil
+	case json.Marshaler:
+		return SMOSVM, nil
+	}
+	return "", fmt.Errorf("unroll: predictor type %T is not serializable", c)
+}
+
+// fingerprintOf hashes the envelope fields that define the model's
+// behavior. The model JSON is compacted first — Save's indenting encoder
+// reformats the nested raw message, so hashing the canonical form keeps
+// the fingerprint verifiable on load and stable across round trips.
+func fingerprintOf(alg Algorithm, mach string, feats []int, model []byte) string {
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, model); err != nil {
+		compact.Reset()
+		compact.Write(model)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%v\x00", alg, mach, feats)
+	h.Write(compact.Bytes())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// computeFingerprint serializes the classifier and hashes the predictor's
+// identity, as Save would record it.
+func (p *Predictor) computeFingerprint() (string, error) {
+	alg, err := savedAlgorithm(p.c)
+	if err != nil {
+		return "", err
+	}
+	raw, err := json.Marshal(p.c)
+	if err != nil {
+		return "", err
+	}
+	return fingerprintOf(alg, p.mach.Name, p.feats, raw), nil
 }
 
 // Save serializes a trained predictor so a compiler can load it at startup
 // — the paper's point that "the learned classifier can easily be
-// incorporated into a compiler".
+// incorporated into a compiler". The artifact records the persist format
+// version and a content fingerprint alongside the model.
 func (p *Predictor) Save(w io.Writer) error {
-	var alg Algorithm
-	switch p.c.(type) {
-	case *nn.Classifier:
-		alg = NearNeighbor
-	case *svm.Model:
-		alg = LSSVM
-	case *svm.RegModel:
-		alg = Regress
-	case *tree.Tree:
-		alg = DecisionTree
-	case *tree.Ensemble:
-		alg = BoostedTree
-	case json.Marshaler:
-		alg = SMOSVM
-	default:
-		return fmt.Errorf("unroll: predictor type %T is not serializable", p.c)
+	alg, err := savedAlgorithm(p.c)
+	if err != nil {
+		return err
 	}
 	raw, err := json.Marshal(p.c)
 	if err != nil {
 		return err
 	}
 	env := predictorEnvelope{
-		Algorithm: alg,
-		Machine:   p.mach.Name,
-		Features:  p.feats,
-		Model:     raw,
+		Version:     PersistVersion,
+		Fingerprint: fingerprintOf(alg, p.mach.Name, p.feats, raw),
+		Algorithm:   alg,
+		Machine:     p.mach.Name,
+		Features:    p.feats,
+		Model:       raw,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(env)
 }
 
-// LoadPredictor restores a predictor saved by Save.
+// LoadPredictor restores a predictor saved by Save. It rejects artifacts
+// written by a newer format version, validates the recorded fingerprint
+// when one is present, and still loads legacy (unversioned) blobs.
 func LoadPredictor(r io.Reader) (*Predictor, error) {
 	var env predictorEnvelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
 		return nil, fmt.Errorf("unroll: load predictor: %w", err)
+	}
+	if env.Version > PersistVersion {
+		return nil, fmt.Errorf("unroll: predictor artifact uses format v%d but this build understands up to v%d; upgrade metaopt or re-save the model with this build's 'metaopt train'", env.Version, PersistVersion)
 	}
 	var m *Machine
 	switch env.Machine {
@@ -75,6 +131,11 @@ func LoadPredictor(r io.Reader) (*Predictor, error) {
 		m = Wide()
 	default:
 		return nil, fmt.Errorf("unroll: unknown machine %q", env.Machine)
+	}
+	for _, j := range env.Features {
+		if j < 0 || j >= NumFeatures {
+			return nil, fmt.Errorf("unroll: load predictor: feature index %d out of range [0,%d)", j, NumFeatures)
+		}
 	}
 	var c ml.Classifier
 	switch env.Algorithm {
@@ -96,7 +157,11 @@ func LoadPredictor(r io.Reader) (*Predictor, error) {
 	if err := json.Unmarshal(env.Model, c); err != nil {
 		return nil, fmt.Errorf("unroll: load predictor: %w", err)
 	}
-	return &Predictor{c: c, mach: m, feats: env.Features}, nil
+	fp := fingerprintOf(env.Algorithm, m.Name, env.Features, env.Model)
+	if env.Fingerprint != "" && env.Fingerprint != fp {
+		return nil, fmt.Errorf("unroll: load predictor: fingerprint mismatch (artifact records %.12s…, contents hash to %.12s…): artifact corrupted or hand-edited", env.Fingerprint, fp)
+	}
+	return &Predictor{c: c, mach: m, feats: env.Features, version: env.Version, fingerprint: fp}, nil
 }
 
 // Explanation describes why a near-neighbor predictor chose a factor.
@@ -136,6 +201,22 @@ func (p *Predictor) project(full []float64) []float64 {
 		v[k] = full[j]
 	}
 	return v
+}
+
+// projectChecked is project with bounds checking, for the error-returning
+// prediction paths: a corrupt feature subset reports instead of panicking.
+func (p *Predictor) projectChecked(full []float64) ([]float64, error) {
+	if p.feats == nil {
+		return full, nil
+	}
+	v := make([]float64, len(p.feats))
+	for k, j := range p.feats {
+		if j < 0 || j >= len(full) {
+			return nil, fmt.Errorf("unroll: predictor selects feature %d but the vector has %d", j, len(full))
+		}
+		v[k] = full[j]
+	}
+	return v, nil
 }
 
 // Render formats an explanation for terminal output.

@@ -1,8 +1,10 @@
 package unroll
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -13,6 +15,7 @@ import (
 	"metaopt/internal/ml/nn"
 	"metaopt/internal/ml/svm"
 	"metaopt/internal/ml/tree"
+	"metaopt/internal/obs"
 	"metaopt/internal/sim"
 )
 
@@ -130,9 +133,11 @@ type TrainOptions struct {
 
 // Predictor maps loops to unroll factors.
 type Predictor struct {
-	c     ml.Classifier
-	mach  *Machine
-	feats []int
+	c           ml.Classifier
+	mach        *Machine
+	feats       []int
+	version     int    // persist format version the predictor carries
+	fingerprint string // content hash of the serialized model
 }
 
 // Train fits a predictor on a dataset.
@@ -153,7 +158,11 @@ func Train(d *Dataset, opt TrainOptions) (*Predictor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Predictor{c: c, mach: m, feats: opt.Features}, nil
+	p := &Predictor{c: c, mach: m, feats: opt.Features, version: PersistVersion}
+	if fp, err := p.computeFingerprint(); err == nil {
+		p.fingerprint = fp
+	}
+	return p, nil
 }
 
 // TrainDefault trains the paper's best configuration: an LS-SVM on the
@@ -166,9 +175,115 @@ func TrainDefault(d *Dataset) (*Predictor, error) {
 	return Train(d, TrainOptions{Algorithm: LSSVM, Features: feats})
 }
 
+// ErrNilLoop is returned by the predicting methods for a nil loop.
+var ErrNilLoop = errors.New("unroll: nil loop")
+
+// predictFallbacks counts legacy Predict calls that hit the error path and
+// fell back to factor 1.
+var predictFallbacks = obs.C("unroll.predict.fallback")
+
+// Version reports the persist-format version the predictor carries:
+// PersistVersion for freshly trained predictors, the artifact's recorded
+// version for loaded ones (0 for legacy unversioned blobs).
+func (p *Predictor) Version() int { return p.version }
+
+// Fingerprint is a stable content hash of the serialized model, machine,
+// and feature subset — the predictor's identity for artifact tracking,
+// cache keying, and serving. It survives a Save/LoadPredictor round trip.
+func (p *Predictor) Fingerprint() string { return p.fingerprint }
+
+// Algorithm reports the algorithm tag the predictor would be saved under
+// ("" if the classifier is not serializable).
+func (p *Predictor) Algorithm() Algorithm {
+	alg, err := savedAlgorithm(p.c)
+	if err != nil {
+		return ""
+	}
+	return alg
+}
+
+// PredictCtx returns the chosen unroll factor for a loop. Unlike the
+// legacy Predict it reports failures — a nil or structurally invalid loop,
+// a predictor whose feature subset does not fit the extracted vector, or a
+// done context — instead of silently falling back.
+func (p *Predictor) PredictCtx(ctx context.Context, l *Loop) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	v, err := p.featuresOf(l)
+	if err != nil {
+		return 0, err
+	}
+	return p.predictVector(v), nil
+}
+
+// PredictBatch predicts the unroll factor of every loop in order. The
+// context is checked between loops, so a deadline or cancellation aborts
+// the remainder of a large batch promptly. Any failure aborts the whole
+// batch; callers who need per-loop errors call PredictCtx per loop.
+func (p *Predictor) PredictBatch(ctx context.Context, loops []*Loop) ([]int, error) {
+	out := make([]int, len(loops))
+	for i, l := range loops {
+		u, err := p.PredictCtx(ctx, l)
+		if err != nil {
+			return nil, fmt.Errorf("unroll: batch loop %d of %d: %w", i, len(loops), err)
+		}
+		out[i] = u
+	}
+	return out, nil
+}
+
+// PredictFeatures predicts from a pre-extracted feature vector: either the
+// full NumFeatures-element vector (projected onto the predictor's subset)
+// or a vector already projected to the subset's length.
+func (p *Predictor) PredictFeatures(v []float64) (int, error) {
+	if p.feats != nil && len(v) == len(p.feats) {
+		return p.predictVector(v), nil
+	}
+	if len(v) == NumFeatures {
+		pv, err := p.projectChecked(v)
+		if err != nil {
+			return 0, err
+		}
+		return p.predictVector(pv), nil
+	}
+	want := fmt.Sprintf("%d", NumFeatures)
+	if p.feats != nil {
+		want = fmt.Sprintf("%d or %d", NumFeatures, len(p.feats))
+	}
+	return 0, fmt.Errorf("unroll: feature vector has %d elements, want %s", len(v), want)
+}
+
 // Predict returns the chosen unroll factor for a loop.
+//
+// This is the legacy error-free interface: on any failure PredictCtx would
+// report (nil or invalid loop, corrupt feature subset) it falls back to
+// factor 1 — the identity choice — and counts the event on the
+// "unroll.predict.fallback" telemetry counter. New code should call
+// PredictCtx and handle the error.
 func (p *Predictor) Predict(l *Loop) int {
-	u := p.c.Predict(p.project(Features(l, p.mach)))
+	u, err := p.PredictCtx(context.Background(), l)
+	if err != nil {
+		predictFallbacks.Inc()
+		return 1
+	}
+	return u
+}
+
+// featuresOf validates a loop and extracts its (projected) feature vector.
+func (p *Predictor) featuresOf(l *Loop) ([]float64, error) {
+	if l == nil {
+		return nil, ErrNilLoop
+	}
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("unroll: invalid loop %q: %w", l.Name, err)
+	}
+	return p.projectChecked(Features(l, p.mach))
+}
+
+// predictVector runs the classifier and clamps its answer to [1,MaxFactor].
+func (p *Predictor) predictVector(v []float64) int {
+	u := p.c.Predict(v)
 	if u < 1 {
 		u = 1
 	}
