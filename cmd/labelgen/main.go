@@ -5,10 +5,15 @@
 // dataset as JSON — the equivalent of the raw loop data the authors
 // released. Optionally it also dumps every kernel's LoopLang source.
 //
+// Long runs survive interruption: -checkpoint snapshots progress
+// atomically every few benchmarks, and -resume continues from the snapshot
+// with output bit-identical to an uninterrupted run.
+//
 // Usage:
 //
 //	labelgen [-scale 1.0] [-seed 2005] [-runs 30] [-swp] \
 //	         [-out dataset.json] [-dump-kernels dir] \
+//	         [-checkpoint labels.ckpt] [-resume] [-checkpoint-every 8] \
 //	         [-manifest out.json] [-debugaddr :0]
 package main
 
@@ -18,6 +23,8 @@ import (
 	"os"
 	"path/filepath"
 
+	"metaopt/internal/atomicio"
+	"metaopt/internal/faults"
 	"metaopt/internal/obs"
 	"metaopt/internal/par"
 	"metaopt/unroll"
@@ -33,11 +40,22 @@ func main() {
 		format    = flag.String("format", "json", "output format: json or csv")
 		dump      = flag.String("dump-kernels", "", "directory to write kernel sources into (optional)")
 		stats     = flag.Bool("stats", false, "print corpus composition statistics and exit")
+		ckpt      = flag.String("checkpoint", "", "snapshot labeling progress to this file (atomic writes)")
+		resume    = flag.Bool("resume", false, "continue from -checkpoint if it exists; output is bit-identical to an uninterrupted run")
+		ckptEvery = flag.Int("checkpoint-every", 8, "benchmarks between checkpoint snapshots")
 		manifest  = flag.String("manifest", "", "write a machine-readable run manifest to this file")
 		debugAddr = flag.String("debugaddr", "", "serve live /debug/metrics and /debug/pprof on this address while running (\":0\" picks a port)")
 	)
 	flag.Parse()
 
+	if err := faults.InstallFromEnv(); err != nil {
+		fmt.Fprintf(os.Stderr, "labelgen: %v\n", err)
+		os.Exit(1)
+	}
+	if *resume && *ckpt == "" {
+		fmt.Fprintln(os.Stderr, "labelgen: -resume needs -checkpoint")
+		os.Exit(1)
+	}
 	if *debugAddr != "" {
 		addr, err := obs.ServeDebug(*debugAddr)
 		if err != nil {
@@ -53,7 +71,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*scale, *seed, *runs, *swp, *out, *format, *dump); err != nil {
+	if err := run(*scale, *seed, *runs, *swp, *out, *format, *dump, *ckpt, *resume, *ckptEvery); err != nil {
 		fmt.Fprintf(os.Stderr, "labelgen: %v\n", err)
 		os.Exit(1)
 	}
@@ -74,7 +92,7 @@ func main() {
 	}
 }
 
-func run(scale float64, seed int64, runs int, swp bool, out, format, dump string) error {
+func run(scale float64, seed int64, runs int, swp bool, out, format, dump, ckpt string, resume bool, ckptEvery int) error {
 	sp := obs.Begin("corpus.generate")
 	corpus, err := unroll.GenerateCorpus(seed, scale)
 	sp.End()
@@ -93,22 +111,30 @@ func run(scale float64, seed int64, runs int, swp bool, out, format, dump string
 		}
 	}
 
-	ds, err := unroll.CollectDataset(corpus, unroll.CollectOptions{Seed: seed, Runs: runs, SWP: swp})
+	opt := unroll.CollectOptions{Seed: seed, Runs: runs, SWP: swp}
+	var ds *unroll.Dataset
+	if ckpt != "" {
+		if resume {
+			fmt.Fprintf(os.Stderr, "resuming from %s if present\n", ckpt)
+		}
+		ds, err = unroll.CollectDatasetCheckpointed(corpus, opt,
+			unroll.CheckpointOptions{Path: ckpt, Resume: resume, Every: ckptEvery})
+	} else {
+		ds, err = unroll.CollectDataset(corpus, opt)
+	}
 	if err != nil {
+		if ckpt != "" {
+			fmt.Fprintf(os.Stderr, "labeling interrupted; progress is checkpointed in %s (rerun with -resume)\n", ckpt)
+		}
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "labeled %d training examples (after the 50k-cycle floor and 1.05x filter)\n", ds.Len())
 
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
 	switch format {
 	case "json":
-		err = ds.Save(f)
+		err = atomicio.WriteFile(out, ds.Save)
 	case "csv":
-		err = ds.SaveCSV(f)
+		err = atomicio.WriteFile(out, ds.SaveCSV)
 	default:
 		err = fmt.Errorf("unknown format %q", format)
 	}

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"metaopt/internal/faults"
 	"metaopt/internal/obs"
 	"metaopt/internal/serve"
 	"metaopt/unroll"
@@ -43,25 +44,25 @@ func main() {
 	cache := flag.Int("cache", 4096, "prediction cache entries (negative disables)")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget")
+	panicThreshold := flag.Int("panic-threshold", 0, "consecutive worker panics before readiness flips to 503 (0 = default)")
 	debugAddr := flag.String("debugaddr", "", "serve /debug/metrics and pprof on this address")
 	flag.Parse()
 
-	if err := run(*addr, *model, *queue, *workers, *maxBatch, *cache, *timeout, *drainTimeout, *debugAddr); err != nil {
+	if err := faults.InstallFromEnv(); err != nil {
+		fmt.Fprintf(os.Stderr, "unrolld: %v\n", err)
+		os.Exit(1)
+	}
+	if err := run(*addr, *model, *queue, *workers, *maxBatch, *cache, *panicThreshold, *timeout, *drainTimeout, *debugAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "unrolld: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, model string, queue, workers, maxBatch, cache int, timeout, drainTimeout time.Duration, debugAddr string) error {
+func run(addr, model string, queue, workers, maxBatch, cache, panicThreshold int, timeout, drainTimeout time.Duration, debugAddr string) error {
 	if model == "" {
 		return fmt.Errorf("-model is required: train an artifact with 'metaopt train -o model.json'")
 	}
-	f, err := os.Open(model)
-	if err != nil {
-		return err
-	}
-	pred, err := unroll.LoadPredictor(f)
-	f.Close()
+	pred, err := unroll.LoadPredictorFile(model)
 	if err != nil {
 		return err
 	}
@@ -73,6 +74,7 @@ func run(addr, model string, queue, workers, maxBatch, cache int, timeout, drain
 		Workers:        workers,
 		MaxBatch:       maxBatch,
 		CacheSize:      cache,
+		PanicThreshold: panicThreshold,
 		RequestTimeout: timeout,
 	})
 	if err != nil {

@@ -1,0 +1,59 @@
+// Package atomicio writes files crash-safely: content goes to a temp file
+// in the destination directory, is fsynced, and is renamed over the target
+// in one atomic step. A reader never observes a half-written file — it sees
+// either the old content or the new, which is what lets model artifacts and
+// labeling checkpoints survive a kill at any instant.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"metaopt/internal/faults"
+)
+
+// WriteSite is the fault-injection site armed inside every atomic write.
+// A KindTorn spec here simulates a crash mid-write: the temp file gets a
+// prefix of the content and the rename never happens.
+const WriteSite = "persist.write"
+
+// WriteFile writes the output of write to path atomically. On any error —
+// including a torn write injected at WriteSite — the temp file is removed
+// and a previous file at path is left untouched.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(faults.WrapWriter(WriteSite, tmp)); err != nil {
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	// Data must be durable before the rename makes it visible; otherwise a
+	// crash can leave a correctly-named file with missing tail blocks.
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: sync %s: %w", tmp.Name(), err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: close %s: %w", tmp.Name(), err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	// Persist the directory entry too, so the rename itself survives a
+	// crash. Some filesystems reject fsync on directories; that is fine —
+	// the write is already atomic, just not yet durable.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"metaopt/internal/faults"
+)
+
+func write(s string) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := io.WriteString(w, s)
+		return err
+	}
+}
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "artifact.json")
+	if err := WriteFile(path, write("old content")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, write("new content")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new content" {
+		t.Errorf("read back %q", got)
+	}
+}
+
+func TestWriteFileTornWriteLeavesOldContent(t *testing.T) {
+	defer faults.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.json")
+	if err := WriteFile(path, write("precious original")); err != nil {
+		t.Fatal(err)
+	}
+
+	faults.MustInstall(faults.Spec{Site: WriteSite, Kind: faults.KindTorn, Bytes: 4, Count: 1})
+	err := WriteFile(path, write("replacement that tears mid-write"))
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("torn write: %v, want ErrInjected", err)
+	}
+
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "precious original" {
+		t.Errorf("torn write corrupted the target: %q", got)
+	}
+	// No stray temp file left behind.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s leaked after failed write", e.Name())
+		}
+	}
+}
+
+func TestWriteFileWriterErrorPropagates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x")
+	boom := errors.New("boom")
+	if err := WriteFile(path, func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("failed write created the target")
+	}
+}

@@ -16,7 +16,6 @@ import (
 	"metaopt/internal/loopgen"
 	"metaopt/internal/ml"
 	"metaopt/internal/obs"
-	"metaopt/internal/par"
 	"metaopt/internal/sim"
 	"metaopt/internal/transform"
 )
@@ -59,33 +58,10 @@ type Labels struct {
 // once for the whole run, not once per worker). Compilation is
 // deterministic and each benchmark's noise stream is seeded by its name,
 // so results are bit-identical to a serial pass.
+// Interrupted runs can be checkpointed and resumed bit-identically; see
+// CollectLabelsResumable.
 func CollectLabels(c *loopgen.Corpus, t *sim.Timer, seed int64) (*Labels, error) {
-	sp := obs.Begin("labels.collect")
-	defer sp.End()
-	perBench := make([][]*LoopLabel, len(c.Benchmarks))
-	err := par.ForEach(len(c.Benchmarks), func(bi int) error {
-		var benchErr error
-		perBench[bi] = labelBenchmark(c.Benchmarks[bi], t, seed, &benchErr)
-		return benchErr
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	lb := &Labels{ByLoop: map[*ir.Loop]*LoopLabel{}}
-	kept := 0
-	for bi := range c.Benchmarks {
-		for _, ll := range perBench[bi] {
-			lb.ByLoop[ll.Loop] = ll
-			lb.Order = append(lb.Order, ll)
-			if ll.Kept {
-				kept++
-			}
-		}
-	}
-	mLoopsLabeled.Add(int64(len(lb.Order)))
-	mLoopsKept.Add(int64(kept))
-	return lb, nil
+	return CollectLabelsResumable(c, t, seed, nil)
 }
 
 func labelBenchmark(b *loopgen.Benchmark, t *sim.Timer, seed int64, errOut *error) []*LoopLabel {

@@ -1,0 +1,353 @@
+// Package faults is the pipeline's controlled-failure layer: a
+// deterministic, seeded fault injector that the serving engine, the worker
+// pool, the artifact store, and the HTTP client consult at named sites, plus
+// the PanicError type those subsystems use to contain real panics.
+//
+// Production binaries pay one atomic load per site while no faults are
+// armed. Chaos tests arm faults two ways:
+//
+//   - in-process, via Install / Reset (unit and -race tests);
+//   - across a process boundary, via the FAULTS environment variable
+//     (InstallFromEnv, called by cmd/unrolld and cmd/labelgen), so chaos
+//     harnesses can drive the real binaries.
+//
+// A spec names a site and a fault kind, and fires deterministically: on the
+// Nth eligible call, at a seeded Bernoulli rate, or on every call, with an
+// optional cap on total fires. The injectable kinds are panic, error,
+// latency, and torn I/O (a Writer that fails after a byte budget and a
+// ReadCloser that truncates early), which between them simulate the crash,
+// overload, slow-peer, and partial-write failures the fault-tolerance layer
+// must contain.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind selects what an armed fault does when it fires.
+type Kind string
+
+// Injectable fault kinds.
+const (
+	// KindPanic panics with an InjectedPanic value.
+	KindPanic Kind = "panic"
+	// KindError returns an error wrapping ErrInjected.
+	KindError Kind = "error"
+	// KindLatency sleeps for Spec.Latency, then proceeds normally.
+	KindLatency Kind = "latency"
+	// KindTorn arms the I/O wrappers: a Writer fails (and stops writing)
+	// after Spec.Bytes bytes, a ReadCloser truncates after Spec.Bytes.
+	// At a plain Check site it behaves like KindError.
+	KindTorn Kind = "torn"
+)
+
+// ErrInjected is the sentinel every injected error wraps; tests assert
+// errors.Is(err, ErrInjected) to tell injected failures from real ones.
+var ErrInjected = errors.New("injected fault")
+
+// InjectedPanic is the value a KindPanic fault panics with, so recovery
+// layers (and tests) can tell an injected panic from a genuine one.
+type InjectedPanic struct {
+	Site string
+	Call int // 1-based call number at the site that fired
+}
+
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("faults: injected panic at %s (call %d)", p.Site, p.Call)
+}
+
+// Spec arms one fault at one site. Trigger selection, most specific wins:
+// Nth > 0 fires on exactly the Nth eligible call; else Rate > 0 fires on a
+// seeded coin flip per call; else every call fires. Count caps total fires
+// (0 = unlimited).
+type Spec struct {
+	Site    string        // instrumentation site, e.g. "serve.predict"
+	Kind    Kind          // what to do when the fault fires
+	Nth     int           // fire on the Nth call at the site (1-based)
+	Rate    float64       // per-call fire probability (used when Nth == 0)
+	Count   int           // max fires; 0 = unlimited
+	Seed    int64         // seeds the Rate coin; same seed, same schedule
+	Latency time.Duration // KindLatency sleep
+	Bytes   int64         // KindTorn byte budget before the wrapper fails
+}
+
+// armed is one installed spec plus its call/fire bookkeeping.
+type armed struct {
+	spec  Spec
+	calls int
+	fires int
+	rng   *rand.Rand
+}
+
+// fire decides whether this call triggers, updating bookkeeping. The caller
+// holds the injector lock.
+func (a *armed) fire() (call int, ok bool) {
+	a.calls++
+	if a.spec.Count > 0 && a.fires >= a.spec.Count {
+		return a.calls, false
+	}
+	switch {
+	case a.spec.Nth > 0:
+		ok = a.calls == a.spec.Nth
+	case a.spec.Rate > 0:
+		ok = a.rng.Float64() < a.spec.Rate
+	default:
+		ok = true
+	}
+	if ok {
+		a.fires++
+	}
+	return a.calls, ok
+}
+
+// Injector holds armed faults. The zero value is ready to use; most code
+// shares the package-level default through Check, Install, and the
+// wrappers.
+type Injector struct {
+	armedCount atomic.Int64 // fast-path gate: 0 = nothing armed anywhere
+	mu         sync.Mutex
+	sites      map[string][]*armed
+}
+
+// Install arms a spec. Multiple specs may share a site; each keeps its own
+// call count and trigger state.
+func (in *Injector) Install(s Spec) error {
+	if s.Site == "" {
+		return errors.New("faults: spec has no site")
+	}
+	if err := validKind(s.Kind); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.sites == nil {
+		in.sites = map[string][]*armed{}
+	}
+	in.sites[s.Site] = append(in.sites[s.Site], &armed{
+		spec: s,
+		rng:  rand.New(rand.NewSource(s.Seed)),
+	})
+	in.armedCount.Add(1)
+	return nil
+}
+
+// Reset disarms every fault.
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sites = nil
+	in.armedCount.Store(0)
+}
+
+// Enabled reports whether any fault is armed; a single atomic load, so
+// instrumentation sites cost nothing in production.
+func (in *Injector) Enabled() bool { return in.armedCount.Load() > 0 }
+
+// Check consults the injector at a site. It returns an injected error,
+// panics with an InjectedPanic, sleeps and returns nil, or — the production
+// path — returns nil immediately.
+func (in *Injector) Check(site string) error {
+	if !in.Enabled() {
+		return nil
+	}
+	kind, call, latency, _, ok := in.match(site)
+	if !ok {
+		return nil
+	}
+	switch kind {
+	case KindPanic:
+		panic(InjectedPanic{Site: site, Call: call})
+	case KindLatency:
+		time.Sleep(latency)
+		return nil
+	default: // KindError, KindTorn
+		return fmt.Errorf("faults: %w at %s (call %d)", ErrInjected, site, call)
+	}
+}
+
+// match runs the trigger logic for one call at a site. The first firing
+// spec wins.
+func (in *Injector) match(site string) (kind Kind, call int, latency time.Duration, bytes int64, ok bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, a := range in.sites[site] {
+		if c, fired := a.fire(); fired {
+			return a.spec.Kind, c, a.spec.Latency, a.spec.Bytes, true
+		}
+	}
+	return "", 0, 0, 0, false
+}
+
+// Fires reports how many times faults at a site have fired.
+func (in *Injector) Fires(site string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, a := range in.sites[site] {
+		n += a.fires
+	}
+	return n
+}
+
+// Default is the process-wide injector every instrumentation site consults.
+var Default = &Injector{}
+
+// Enabled reports whether any fault is armed in the default injector.
+func Enabled() bool { return Default.Enabled() }
+
+// Check consults the default injector at a site.
+func Check(site string) error { return Default.Check(site) }
+
+// Install arms a spec in the default injector.
+func Install(s Spec) error { return Default.Install(s) }
+
+// MustInstall is Install for tests; it panics on a malformed spec.
+func MustInstall(s Spec) {
+	if err := Install(s); err != nil {
+		panic(err)
+	}
+}
+
+// Reset disarms the default injector.
+func Reset() { Default.Reset() }
+
+// Fires reports the default injector's fire count at a site.
+func Fires(site string) int { return Default.Fires(site) }
+
+func validKind(k Kind) error {
+	switch k {
+	case KindPanic, KindError, KindLatency, KindTorn:
+		return nil
+	}
+	return fmt.Errorf("faults: unknown kind %q (want panic, error, latency, or torn)", k)
+}
+
+// EnvVar is the environment variable InstallFromEnv reads.
+const EnvVar = "FAULTS"
+
+// ParseSpecs parses a FAULTS environment spec: semicolon-separated entries
+// of the form
+//
+//	site=kind[,key=value...]
+//
+// with keys nth, rate, count, seed, latency (a time.Duration), and bytes.
+// For example:
+//
+//	FAULTS="serve.predict=panic,nth=3;persist.write=torn,bytes=100,count=1"
+func ParseSpecs(s string) ([]Spec, error) {
+	var specs []Spec
+	for _, entry := range strings.Split(s, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		site, rest, ok := strings.Cut(entry, "=")
+		if !ok || site == "" {
+			return nil, fmt.Errorf("faults: malformed entry %q (want site=kind[,key=value...])", entry)
+		}
+		fields := strings.Split(rest, ",")
+		spec := Spec{Site: strings.TrimSpace(site), Kind: Kind(strings.TrimSpace(fields[0]))}
+		if err := validKind(spec.Kind); err != nil {
+			return nil, err
+		}
+		for _, f := range fields[1:] {
+			key, val, ok := strings.Cut(strings.TrimSpace(f), "=")
+			if !ok {
+				return nil, fmt.Errorf("faults: malformed option %q in entry %q", f, entry)
+			}
+			var err error
+			switch key {
+			case "nth":
+				spec.Nth, err = strconv.Atoi(val)
+			case "rate":
+				spec.Rate, err = strconv.ParseFloat(val, 64)
+			case "count":
+				spec.Count, err = strconv.Atoi(val)
+			case "seed":
+				spec.Seed, err = strconv.ParseInt(val, 10, 64)
+			case "latency":
+				spec.Latency, err = time.ParseDuration(val)
+			case "bytes":
+				spec.Bytes, err = strconv.ParseInt(val, 10, 64)
+			default:
+				return nil, fmt.Errorf("faults: unknown option %q in entry %q", key, entry)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad %s in entry %q: %v", key, entry, err)
+			}
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// InstallFromEnv arms the default injector from the FAULTS environment
+// variable, so chaos harnesses can inject faults into the real binaries.
+// It is a no-op when FAULTS is unset or empty.
+func InstallFromEnv() error {
+	v := os.Getenv(EnvVar)
+	if v == "" {
+		return nil
+	}
+	specs, err := ParseSpecs(v)
+	if err != nil {
+		return err
+	}
+	for _, s := range specs {
+		if err := Install(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sites returns the sites with armed faults, sorted, for diagnostics.
+func (in *Injector) Sites() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]string, 0, len(in.sites))
+	for s := range in.sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PanicError is a panic converted to an error by a containment layer (the
+// par pool, the serve workers): the recovered value plus the stack captured
+// at the recovery point. It unwraps to ErrInjected when the panic was an
+// injected one, so chaos tests can tell their own faults from real bugs.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// NewPanicError wraps a recovered panic value, capturing the current
+// goroutine's stack. Call it from inside the deferred recover handler so
+// the stack shows the panic's unwinding frames.
+func NewPanicError(value any) *PanicError {
+	return &PanicError{Value: value, Stack: debug.Stack()}
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Unwrap lets errors.Is(err, ErrInjected) see through recovered injected
+// panics.
+func (e *PanicError) Unwrap() error {
+	if _, ok := e.Value.(InjectedPanic); ok {
+		return ErrInjected
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckDisabledIsNil(t *testing.T) {
+	var in Injector
+	if in.Enabled() {
+		t.Fatal("zero injector claims to be enabled")
+	}
+	for i := 0; i < 3; i++ {
+		if err := in.Check("anything"); err != nil {
+			t.Fatalf("disarmed check returned %v", err)
+		}
+	}
+}
+
+func TestNthTrigger(t *testing.T) {
+	var in Injector
+	if err := in.Install(Spec{Site: "s", Kind: KindError, Nth: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for call := 1; call <= 5; call++ {
+		err := in.Check("s")
+		if call == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("call 3: want injected error, got %v", err)
+			}
+		} else if err != nil {
+			t.Fatalf("call %d: unexpected %v", call, err)
+		}
+	}
+	if got := in.Fires("s"); got != 1 {
+		t.Fatalf("fires = %d, want 1", got)
+	}
+}
+
+func TestRateTriggerDeterministic(t *testing.T) {
+	fire := func() []bool {
+		var in Injector
+		in.Install(Spec{Site: "s", Kind: KindError, Rate: 0.5, Seed: 7})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Check("s") != nil
+		}
+		return out
+	}
+	a, b := fire(), fire()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedule at call %d", i)
+		}
+	}
+	hits := 0
+	for _, h := range a {
+		if h {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("rate 0.5 fired %d/%d times", hits, len(a))
+	}
+}
+
+func TestCountCapsFires(t *testing.T) {
+	var in Injector
+	in.Install(Spec{Site: "s", Kind: KindError, Count: 2})
+	errs := 0
+	for i := 0; i < 10; i++ {
+		if in.Check("s") != nil {
+			errs++
+		}
+	}
+	if errs != 2 {
+		t.Fatalf("count=2 spec fired %d times", errs)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	var in Injector
+	in.Install(Spec{Site: "s", Kind: KindPanic, Nth: 1})
+	defer func() {
+		r := recover()
+		ip, ok := r.(InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want InjectedPanic", r, r)
+		}
+		if ip.Site != "s" || ip.Call != 1 {
+			t.Fatalf("InjectedPanic = %+v", ip)
+		}
+		pe := NewPanicError(r)
+		if !errors.Is(pe, ErrInjected) {
+			t.Error("PanicError over an injected panic should unwrap to ErrInjected")
+		}
+		if !strings.Contains(pe.Error(), "injected panic at s") {
+			t.Errorf("PanicError message: %s", pe.Error())
+		}
+	}()
+	in.Check("s")
+	t.Fatal("unreachable: panic fault did not panic")
+}
+
+func TestLatencyKind(t *testing.T) {
+	var in Injector
+	in.Install(Spec{Site: "s", Kind: KindLatency, Nth: 1, Latency: 20 * time.Millisecond})
+	start := time.Now()
+	if err := in.Check("s"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("latency fault slept only %v", d)
+	}
+}
+
+func TestTornWriter(t *testing.T) {
+	var in Injector
+	in.Install(Spec{Site: "w", Kind: KindTorn, Nth: 1, Bytes: 5})
+	var buf bytes.Buffer
+	w := in.WrapWriter("w", &buf)
+	n, err := w.Write([]byte("hello world"))
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	if buf.String() != "hello" {
+		t.Fatalf("torn prefix = %q", buf.String())
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after budget: %v", err)
+	}
+	// Second wrap at the site: the Nth=1 spec is spent, pass-through.
+	var buf2 bytes.Buffer
+	w2 := in.WrapWriter("w", &buf2)
+	if _, err := w2.Write([]byte("fine")); err != nil || buf2.String() != "fine" {
+		t.Fatalf("pass-through wrap failed: %v %q", err, buf2.String())
+	}
+}
+
+func TestTornReader(t *testing.T) {
+	var in Injector
+	in.Install(Spec{Site: "r", Kind: KindTorn, Nth: 1, Bytes: 4})
+	r := in.WrapReader("r", io.NopCloser(strings.NewReader("abcdefgh")))
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("truncated read err = %v", err)
+	}
+	if string(got) != "abcd" {
+		t.Fatalf("truncated prefix = %q", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	specs, err := ParseSpecs("serve.predict=panic,nth=3; persist.write=torn,bytes=100,count=1;client.request=error,rate=0.25,seed=9;slow=latency,latency=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("parsed %d specs", len(specs))
+	}
+	want := []Spec{
+		{Site: "serve.predict", Kind: KindPanic, Nth: 3},
+		{Site: "persist.write", Kind: KindTorn, Bytes: 100, Count: 1},
+		{Site: "client.request", Kind: KindError, Rate: 0.25, Seed: 9},
+		{Site: "slow", Kind: KindLatency, Latency: 50 * time.Millisecond},
+	}
+	for i, s := range specs {
+		if s != want[i] {
+			t.Errorf("spec %d = %+v, want %+v", i, s, want[i])
+		}
+	}
+	for _, bad := range []string{"noequals", "s=unknownkind", "s=error,nth=x", "s=error,mystery=1"} {
+		if _, err := ParseSpecs(bad); err == nil {
+			t.Errorf("ParseSpecs(%q) accepted", bad)
+		}
+	}
+	// Unknown kinds are rejected at install, malformed ones at parse.
+	var in Injector
+	if err := in.Install(Spec{Site: "s", Kind: "bogus"}); err == nil {
+		t.Error("Install accepted unknown kind")
+	}
+	if err := in.Install(Spec{Kind: KindError}); err == nil {
+		t.Error("Install accepted empty site")
+	}
+}
+
+func TestInstallFromEnv(t *testing.T) {
+	t.Setenv(EnvVar, "env.site=error,nth=1")
+	defer Reset()
+	if err := InstallFromEnv(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Check("env.site"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("env-armed site did not fire: %v", err)
+	}
+	if sites := Default.Sites(); len(sites) != 1 || sites[0] != "env.site" {
+		t.Fatalf("Sites() = %v", sites)
+	}
+	Reset()
+	t.Setenv(EnvVar, "bad spec")
+	if err := InstallFromEnv(); err == nil {
+		t.Fatal("malformed FAULTS accepted")
+	}
+	t.Setenv(EnvVar, "")
+	if err := InstallFromEnv(); err != nil {
+		t.Fatalf("empty FAULTS: %v", err)
+	}
+}
+
+func TestPanicErrorRealPanicIsNotInjected(t *testing.T) {
+	pe := NewPanicError("real bug")
+	if errors.Is(pe, ErrInjected) {
+		t.Fatal("real panic unwrapped to ErrInjected")
+	}
+	if !strings.Contains(pe.Error(), "real bug") {
+		t.Errorf("message: %s", pe.Error())
+	}
+}

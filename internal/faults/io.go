@@ -1,0 +1,91 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+)
+
+// WrapWriter consults the injector once and, if a torn fault fires at the
+// site, returns a writer that accepts Bytes bytes and then fails every
+// subsequent write — a torn write: the prefix lands, the tail never does.
+// When nothing fires the original writer is returned untouched, so the
+// production path adds one atomic load and no wrapping.
+func WrapWriter(site string, w io.Writer) io.Writer { return Default.WrapWriter(site, w) }
+
+// WrapWriter is the injector-scoped form of the package-level WrapWriter.
+func (in *Injector) WrapWriter(site string, w io.Writer) io.Writer {
+	if !in.Enabled() {
+		return w
+	}
+	kind, call, _, bytes, ok := in.match(site)
+	if !ok || kind != KindTorn {
+		return w
+	}
+	return &tornWriter{w: w, site: site, call: call, budget: bytes}
+}
+
+type tornWriter struct {
+	w      io.Writer
+	site   string
+	call   int
+	budget int64
+}
+
+func (t *tornWriter) Write(p []byte) (int, error) {
+	if t.budget <= 0 {
+		return 0, t.err()
+	}
+	if int64(len(p)) <= t.budget {
+		n, err := t.w.Write(p)
+		t.budget -= int64(n)
+		return n, err
+	}
+	n, err := t.w.Write(p[:t.budget])
+	t.budget -= int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, t.err()
+}
+
+func (t *tornWriter) err() error {
+	return fmt.Errorf("faults: %w at %s (call %d): torn write after budget exhausted", ErrInjected, t.site, t.call)
+}
+
+// WrapReader consults the injector once and, if a torn fault fires at the
+// site, returns a reader that yields Bytes bytes and then reports an
+// unexpected EOF — a truncated read, as from a half-written file.
+func WrapReader(site string, r io.ReadCloser) io.ReadCloser { return Default.WrapReader(site, r) }
+
+// WrapReader is the injector-scoped form of the package-level WrapReader.
+func (in *Injector) WrapReader(site string, r io.ReadCloser) io.ReadCloser {
+	if !in.Enabled() {
+		return r
+	}
+	kind, call, _, bytes, ok := in.match(site)
+	if !ok || kind != KindTorn {
+		return r
+	}
+	return &tornReader{r: r, site: site, call: call, budget: bytes}
+}
+
+type tornReader struct {
+	r      io.ReadCloser
+	site   string
+	call   int
+	budget int64
+}
+
+func (t *tornReader) Read(p []byte) (int, error) {
+	if t.budget <= 0 {
+		return 0, fmt.Errorf("faults: %w at %s (call %d): truncated read", ErrInjected, t.site, t.call)
+	}
+	if int64(len(p)) > t.budget {
+		p = p[:t.budget]
+	}
+	n, err := t.r.Read(p)
+	t.budget -= int64(n)
+	return n, err
+}
+
+func (t *tornReader) Close() error { return t.r.Close() }

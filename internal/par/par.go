@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"metaopt/internal/faults"
 	"metaopt/internal/obs"
 )
 
@@ -22,6 +23,7 @@ import (
 var (
 	mItems     = obs.C("par.items_processed")
 	mStages    = obs.C("par.stages")
+	mPanics    = obs.C("par.panics")
 	mPoolWidth = obs.G("par.pool_width")
 	hItemNS    = obs.H("par.item_ns", obs.ExpBounds(1_000, 4, 16)) // 1µs .. ~4.3s
 )
@@ -70,13 +72,19 @@ func ForEach(n int, fn func(i int) error) error {
 // ForEachWorker is ForEach with a worker id in [0, Workers(n)) passed to
 // fn, so callers can maintain per-worker scratch buffers (fold datasets,
 // projection slabs) without locking.
+//
+// A panic in fn fails only that item: the worker recovers it into a
+// *faults.PanicError carrying the panic value and stack, counts it on
+// "par.panics", and keeps draining. The pool itself never dies, and error
+// reporting stays index-ordered, so a panicking item surfaces exactly like
+// an erroring one.
 func ForEachWorker(n int, fn func(worker, i int) error) error {
 	w := Workers(n)
 	st := beginStage(n, w)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
 			t0 := time.Now()
-			err := fn(0, i)
+			err := safeCall(fn, 0, i)
 			st.item(0, time.Since(t0))
 			if err != nil {
 				st.end()
@@ -99,7 +107,7 @@ func ForEachWorker(n int, fn func(worker, i int) error) error {
 					return
 				}
 				t0 := time.Now()
-				errs[i] = fn(wk, i)
+				errs[i] = safeCall(fn, wk, i)
 				st.item(wk, time.Since(t0))
 			}
 		}(wk)
@@ -112,6 +120,22 @@ func ForEachWorker(n int, fn func(worker, i int) error) error {
 		}
 	}
 	return nil
+}
+
+// safeCall runs one item with panic containment: a panic (real or injected
+// at the "par.item" fault site) becomes a *faults.PanicError instead of
+// tearing down the pool.
+func safeCall(fn func(worker, i int) error, wk, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			mPanics.Inc()
+			err = faults.NewPanicError(r)
+		}
+	}()
+	if err := faults.Check("par.item"); err != nil {
+		return err
+	}
+	return fn(wk, i)
 }
 
 // stage accumulates telemetry for one ForEachWorker call. Each worker owns

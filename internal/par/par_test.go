@@ -3,8 +3,11 @@ package par
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
+
+	"metaopt/internal/faults"
 )
 
 func TestForEachCoversAllIndices(t *testing.T) {
@@ -56,6 +59,90 @@ func TestForEachWorkerIDsAreBounded(t *testing.T) {
 	}
 	if bad.Load() != 0 {
 		t.Fatalf("%d calls saw an out-of-range worker id", bad.Load())
+	}
+}
+
+// TestForEachPanicIsolation: a panicking item fails only itself, not the
+// pool. The stage reports the panic as an indexed error — serial mode stops
+// there exactly like a serial loop, parallel mode still drains the rest —
+// and the pool survives for the next stage.
+func TestForEachPanicIsolation(t *testing.T) {
+	for _, tc := range []struct {
+		limit       int
+		wantVisited int32
+	}{
+		{limit: 1, wantVisited: 5},  // serial: stops at the failing index
+		{limit: 4, wantVisited: 19}, // parallel: workers drain everything
+	} {
+		restore := SetLimit(tc.limit)
+		panicsBefore := mPanics.Value()
+		var visited atomic.Int32
+		err := ForEach(20, func(i int) error {
+			if i == 5 {
+				panic(fmt.Sprintf("item %d exploded", i))
+			}
+			visited.Add(1)
+			return nil
+		})
+		w := tc.limit
+		var pe *faults.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("limit %d: err = %v, want *faults.PanicError", w, err)
+		}
+		if !strings.Contains(pe.Error(), "item 5 exploded") || !strings.Contains(pe.Error(), "goroutine") {
+			t.Errorf("limit %d: PanicError missing value or stack:\n%s", w, pe.Error())
+		}
+		if got := visited.Load(); got != tc.wantVisited {
+			t.Errorf("limit %d: %d healthy items ran, want %d", w, got, tc.wantVisited)
+		}
+		if mPanics.Value() != panicsBefore+1 {
+			t.Errorf("limit %d: par.panics moved %d, want 1", w, mPanics.Value()-panicsBefore)
+		}
+		// The pool is still fully usable after a panic.
+		if err := ForEach(8, func(int) error { return nil }); err != nil {
+			t.Fatalf("limit %d: pool unusable after panic: %v", w, err)
+		}
+		restore()
+	}
+}
+
+// TestForEachPanicLowestIndexWins: panics report in index order exactly
+// like errors, preserving the bit-identical-to-serial contract.
+func TestForEachPanicLowestIndexWins(t *testing.T) {
+	restore := SetLimit(4)
+	defer restore()
+	err := ForEach(10, func(i int) error {
+		if i == 2 {
+			panic("first")
+		}
+		if i == 8 {
+			panic("second")
+		}
+		return nil
+	})
+	var pe *faults.PanicError
+	if !errors.As(err, &pe) || pe.Value != "first" {
+		t.Fatalf("err = %v, want panic %q from index 2", err, "first")
+	}
+}
+
+// TestForEachInjectedFault: the "par.item" fault site feeds both error and
+// panic kinds through the same containment path.
+func TestForEachInjectedFault(t *testing.T) {
+	restore := SetLimit(2)
+	defer restore()
+	faults.MustInstall(faults.Spec{Site: "par.item", Kind: faults.KindError, Nth: 3})
+	defer faults.Reset()
+	err := ForEach(6, func(int) error { return nil })
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	faults.Reset()
+	faults.MustInstall(faults.Spec{Site: "par.item", Kind: faults.KindPanic, Nth: 2})
+	err = ForEach(6, func(int) error { return nil })
+	var pe *faults.PanicError
+	if !errors.As(err, &pe) || !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, want injected PanicError", err)
 	}
 }
 

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"metaopt/unroll"
+	"metaopt/unroll/client"
+)
+
+// The wire-protocol fuzzers throw arbitrary bytes at the JSON boundary of
+// the real handler stack (decode → validate → enqueue → worker → respond)
+// and assert the protocol invariants: every answer is well-formed JSON of
+// the declared shape, carries a sane status, and nothing panics the server.
+
+var (
+	fuzzOnce    sync.Once
+	fuzzHandler http.Handler
+	fuzzErr     error
+)
+
+// fuzzServe builds one shared in-process server for all fuzz iterations;
+// per-iteration servers would leak a worker pool each.
+func fuzzServe(t *testing.T) http.Handler {
+	fuzzOnce.Do(func() {
+		c, err := unroll.GenerateCorpus(7, 0.05)
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		d, err := unroll.CollectDataset(c, unroll.CollectOptions{Seed: 1, Runs: 3})
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		pred, err := unroll.Train(d, unroll.TrainOptions{Algorithm: unroll.NearNeighbor, Seed: 3})
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		s, err := New(Config{Model: pred, RequestTimeout: 10 * time.Second})
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		fuzzHandler = s.Handler()
+	})
+	if fuzzErr != nil {
+		t.Fatalf("fuzz server setup: %v", fuzzErr)
+	}
+	return fuzzHandler
+}
+
+// checkWireResponse asserts the invariants every answer must hold, whatever
+// the input was.
+func checkWireResponse(t *testing.T, rec *httptest.ResponseRecorder) {
+	t.Helper()
+	code := rec.Code
+	if code < 200 || code > 599 {
+		t.Fatalf("status %d out of range", code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q, want application/json", ct)
+	}
+	if code != http.StatusOK {
+		var er client.ErrorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+			t.Fatalf("status %d with non-JSON error body %q: %v", code, rec.Body.Bytes(), err)
+		}
+		if er.Error == "" {
+			t.Fatalf("status %d with empty error message", code)
+		}
+	}
+}
+
+func wireSeeds() [][]byte {
+	seeds := [][]byte{
+		[]byte(`{}`),
+		[]byte(`{"source": ""}`),
+		[]byte(`{"source": "kernel k lang=c { double x[]; for i = 0 .. 8 { x[i] = x[i]; } }"}`),
+		[]byte(`{"features": [1, 2, 3]}`),
+		[]byte(`{"features": null, "source": null}`),
+		[]byte(`{"source": "kernel`),
+		[]byte(`not json at all`),
+		[]byte(`[{"source": "x"}]`),
+		[]byte(`{"features": [1e308, -1e308, 0.0]}`),
+		[]byte(``),
+	}
+	for _, k := range testKernels {
+		raw, _ := json.Marshal(client.PredictRequest{Source: k})
+		seeds = append(seeds, raw)
+	}
+	full := make([]float64, unroll.NumFeatures)
+	raw, _ := json.Marshal(client.PredictRequest{Features: full})
+	return append(seeds, raw)
+}
+
+func FuzzPredictWire(f *testing.F) {
+	for _, s := range wireSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		h := fuzzServe(t)
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		checkWireResponse(t, rec)
+		if rec.Code == http.StatusOK {
+			var pr client.PredictResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil {
+				t.Fatalf("200 with undecodable body %q: %v", rec.Body.Bytes(), err)
+			}
+			if pr.Factor < 1 || pr.Factor > unroll.MaxFactor {
+				t.Fatalf("200 with factor %d outside [1,%d]", pr.Factor, unroll.MaxFactor)
+			}
+		}
+	})
+}
+
+func FuzzBatchWire(f *testing.F) {
+	f.Add([]byte(`{"loops": []}`))
+	f.Add([]byte(`{"loops": null}`))
+	f.Add([]byte(`{"loops": [{}]}`))
+	for _, s := range wireSeeds() {
+		f.Add([]byte(`{"loops": [` + string(s) + `]}`))
+	}
+	two, _ := json.Marshal(client.BatchRequest{Loops: []client.PredictRequest{
+		{Source: testKernels[0]}, {Features: make([]float64, unroll.NumFeatures)},
+	}})
+	f.Add(two)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		h := fuzzServe(t)
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict/batch", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		checkWireResponse(t, rec)
+		if rec.Code != http.StatusOK {
+			return
+		}
+		var br client.BatchResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &br); err != nil {
+			t.Fatalf("200 with undecodable batch body: %v", err)
+		}
+		// Count the request's loops: the response must be index-aligned.
+		var in client.BatchRequest
+		if err := json.Unmarshal(body, &in); err == nil && len(br.Results) != len(in.Loops) {
+			t.Fatalf("batch answered %d results for %d loops", len(br.Results), len(in.Loops))
+		}
+		for i, res := range br.Results {
+			if res.Error == "" && (res.Factor < 1 || res.Factor > unroll.MaxFactor) {
+				t.Fatalf("result %d: factor %d outside [1,%d]", i, res.Factor, unroll.MaxFactor)
+			}
+		}
+	})
+}

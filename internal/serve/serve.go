@@ -32,15 +32,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"net"
 	"net/http"
-	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"metaopt/internal/faults"
 	"metaopt/internal/obs"
 	"metaopt/unroll"
 	"metaopt/unroll/client"
@@ -56,6 +57,13 @@ type Config struct {
 	MaxBatch       int           // max items per model dispatch (default 32)
 	CacheSize      int           // LRU entries; 0 = default 4096, negative disables
 	RequestTimeout time.Duration // per-request deadline (default 5s)
+
+	// PanicThreshold flips readiness to 503 after this many consecutive
+	// worker panics (default 8): a model that panics on every request —
+	// e.g. a corrupt reload candidate — takes the instance out of rotation
+	// instead of crash-flapping. Any successful prediction or reload
+	// resets the streak.
+	PanicThreshold int
 }
 
 func (c *Config) fill() error {
@@ -77,6 +85,9 @@ func (c *Config) fill() error {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 5 * time.Second
 	}
+	if c.PanicThreshold <= 0 {
+		c.PanicThreshold = 8
+	}
 	return nil
 }
 
@@ -91,10 +102,25 @@ var (
 	mCacheHits  = obs.C("serve.cache.hits")
 	mCacheMiss  = obs.C("serve.cache.misses")
 	mReloads    = obs.C("serve.model.reloads")
+	mPanics     = obs.C("serve.worker_panics")
+	mNonFinite  = obs.C("serve.nonfinite_features")
 	mQueueDepth = obs.G("serve.queue.depth")
+	mUnready    = obs.G("serve.unready_panic_streak")
 	hLatencyUS  = obs.H("serve.latency_us", obs.ExpBounds(50, 2, 16))
 	hBatchItems = obs.H("serve.batch.items", obs.ExpBounds(1, 2, 8))
 )
+
+// Request IDs tie a 500 answer to the server-side log line carrying the
+// recovered panic's stack. The prefix pins the process, the counter the
+// request.
+var (
+	reqIDPrefix = fmt.Sprintf("%08x", time.Now().UnixNano()&0xffffffff)
+	reqIDSeq    atomic.Int64
+)
+
+func nextRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqIDPrefix, reqIDSeq.Add(1))
+}
 
 // modelState is one immutable loaded model; reload swaps the pointer.
 type modelState struct {
@@ -121,7 +147,12 @@ type job struct {
 	items []*item
 	st    *modelState
 	done  chan struct{}
+	once  sync.Once
 }
+
+// finish releases the waiting handler. Idempotent, so the panic-recovery
+// sweep can finish a batch some of whose jobs already completed.
+func (j *job) finish() { j.once.Do(func() { close(j.done) }) }
 
 // Server is the prediction service. Create with New, expose with Start or
 // Handler, stop with Shutdown.
@@ -134,6 +165,11 @@ type Server struct {
 	queue    chan *job
 	draining atomic.Bool
 	workers  sync.WaitGroup
+
+	// panicStreak counts consecutive worker panics; any successful
+	// prediction or a reload resets it. At cfg.PanicThreshold the server
+	// reports itself unready.
+	panicStreak atomic.Int64
 
 	reloadMu sync.Mutex
 	httpSrv  *http.Server
@@ -227,18 +263,17 @@ func (s *Server) Reload(path string) (previous, current *modelState, err error) 
 	if path == "" {
 		return nil, nil, errors.New("serve: no artifact path: server was started from an in-memory model and the reload request named no path")
 	}
-	f, err := os.Open(path)
+	pred, err := unroll.LoadPredictorFile(path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("serve: reload: %w", err)
-	}
-	defer f.Close()
-	pred, err := unroll.LoadPredictor(f)
-	if err != nil {
-		return nil, nil, fmt.Errorf("serve: reload %s: %w", path, err)
 	}
 	st := &modelState{pred: pred, path: path, loadedAt: time.Now()}
 	s.model.Store(st)
 	mReloads.Inc()
+	// A fresh model gets a fresh chance: the panic streak belongs to the
+	// model that earned it, so a reload clears the unready latch.
+	s.panicStreak.Store(0)
+	mUnready.Set(0)
 	return old, st, nil
 }
 
@@ -260,7 +295,8 @@ func (s *Server) enqueue(j *job) bool {
 }
 
 // worker drains the admission queue, gathering up to MaxBatch items per
-// model dispatch.
+// model dispatch. A panic anywhere in a dispatch is contained by
+// safeRunBatch, so the worker — and with it the pool — never dies.
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for j := range s.queue {
@@ -279,8 +315,93 @@ func (s *Server) worker() {
 			n += len(extra.items)
 		}
 		mQueueDepth.Set(int64(len(s.queue)))
-		s.runBatch(jobs)
+		s.safeRunBatch(jobs)
 	}
+}
+
+// recordPanic converts a recovered panic into the error a request reports:
+// the worker_panics counter moves, the consecutive-panic streak grows (at
+// cfg.PanicThreshold readiness flips), and the full stack goes to the
+// server log keyed by the items' request IDs — the HTTP answer carries only
+// the ID.
+func (s *Server) recordPanic(r any) *faults.PanicError {
+	pe := faults.NewPanicError(r)
+	mPanics.Inc()
+	mUnready.Set(s.panicStreak.Add(1))
+	log.Printf("serve: worker panic (streak %d/%d): %v\n%s",
+		s.panicStreak.Load(), s.cfg.PanicThreshold, pe.Value, pe.Stack)
+	return pe
+}
+
+// recordSuccess resets the consecutive-panic streak.
+func (s *Server) recordSuccess() {
+	if s.panicStreak.Load() != 0 {
+		s.panicStreak.Store(0)
+		mUnready.Set(0)
+	}
+}
+
+// safeRunBatch is runBatch behind a last-resort panic barrier: if dispatch
+// machinery itself panics (not just one item's prediction), every
+// unfinished item in the gathered jobs fails with the panic error and every
+// waiting handler is released. Nothing hangs, nothing crashes.
+func (s *Server) safeRunBatch(jobs []*job) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe := s.recordPanic(r)
+			for _, j := range jobs {
+				for _, it := range j.items {
+					if it.err == nil && it.factor == 0 {
+						it.err = pe
+					}
+				}
+				j.finish()
+			}
+		}
+	}()
+	s.runBatch(jobs)
+}
+
+// safePredictFeatures runs one feature-vector prediction with per-item
+// panic containment.
+func (s *Server) safePredictFeatures(pred *unroll.Predictor, feats []float64) (factor int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = s.recordPanic(r)
+		}
+	}()
+	if err := faults.Check("serve.predict"); err != nil {
+		return 0, err
+	}
+	return pred.PredictFeatures(feats)
+}
+
+// safePredictLoop runs one loop prediction with per-item panic containment.
+func (s *Server) safePredictLoop(ctx context.Context, pred *unroll.Predictor, l *unroll.Loop) (factor int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = s.recordPanic(r)
+		}
+	}()
+	if err := faults.Check("serve.predict"); err != nil {
+		return 0, err
+	}
+	return pred.PredictCtx(ctx, l)
+}
+
+// safePredictBatch runs the merged model dispatch with panic containment;
+// a panic reports as an error so runBatch falls back to per-item
+// prediction, isolating the offending loop.
+func (s *Server) safePredictBatch(ctx context.Context, pred *unroll.Predictor, loops []*unroll.Loop) (factors []int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = s.recordPanic(r)
+		}
+	}()
+	if err := faults.Check("serve.batch"); err != nil {
+		return nil, err
+	}
+	return pred.PredictBatch(ctx, loops)
 }
 
 // batchContext builds the context a merged micro-batch computes under: the
@@ -322,13 +443,13 @@ func (s *Server) runBatch(jobs []*job) {
 			for _, it := range j.items {
 				it.err = err
 			}
-			close(j.done)
+			j.finish()
 			continue
 		}
 		live = append(live, j)
 		for _, it := range j.items {
 			if it.feats != nil {
-				it.factor, it.err = pred.PredictFeatures(it.feats)
+				it.factor, it.err = s.safePredictFeatures(pred, it.feats)
 			} else {
 				loops = append(loops, it.loop)
 				loopItems = append(loopItems, it)
@@ -338,14 +459,17 @@ func (s *Server) runBatch(jobs []*job) {
 	if len(loops) > 0 {
 		hBatchItems.Observe(int64(len(loops)))
 		ctx, cancel := batchContext(live)
-		factors, err := pred.PredictBatch(ctx, loops)
+		factors, err := s.safePredictBatch(ctx, pred, loops)
 		if err == nil {
 			for i, it := range loopItems {
 				it.factor = factors[i]
 			}
 		} else {
+			// The merged dispatch failed or panicked: isolate the offender
+			// by predicting each member individually, each behind its own
+			// panic barrier.
 			for _, it := range loopItems {
-				it.factor, it.err = pred.PredictCtx(ctx, it.loop)
+				it.factor, it.err = s.safePredictLoop(ctx, pred, it.loop)
 			}
 		}
 		cancel()
@@ -354,12 +478,13 @@ func (s *Server) runBatch(jobs []*job) {
 		for _, it := range j.items {
 			if it.err == nil {
 				mItems.Inc()
+				s.recordSuccess()
 				if it.key != "" {
 					s.cache.put(it.key, it.factor)
 				}
 			}
 		}
-		close(j.done)
+		j.finish()
 	}
 }
 
@@ -393,6 +518,13 @@ func newItem(st *modelState, req client.PredictRequest) (it *item, status int, e
 	case req.Source != "" && req.Features != nil:
 		return nil, http.StatusBadRequest, errors.New("source and features are mutually exclusive")
 	case req.Features != nil:
+		for i, v := range req.Features {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				mNonFinite.Inc()
+				return nil, http.StatusBadRequest,
+					fmt.Errorf("feature %d is not finite (%v); NaN and ±Inf are rejected before they reach distance computations", i, v)
+			}
+		}
 		return &item{
 			feats: req.Features,
 			key:   cacheKey(st.pred.Fingerprint(), "feat", featureBytes(req.Features)),
@@ -412,6 +544,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { hLatencyUS.Observe(time.Since(start).Microseconds()) }()
 	mReqs.Inc()
+	reqID := nextRequestID()
+	w.Header().Set("X-Request-Id", reqID)
 
 	var req client.PredictRequest
 	if !decodeBody(w, r, &req) {
@@ -445,7 +579,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if it.err != nil {
-		writeError(w, statusFor(it.err), it.err.Error())
+		writeError(w, statusFor(it.err), publicError(it.err, reqID))
 		return
 	}
 	writeJSON(w, http.StatusOK, predictResponse(j.st, it, it.factor, false))
@@ -456,6 +590,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer func() { hLatencyUS.Observe(time.Since(start).Microseconds()) }()
 	mReqs.Inc()
 	mBatchReqs.Inc()
+	reqID := nextRequestID()
+	w.Header().Set("X-Request-Id", reqID)
 
 	var req client.BatchRequest
 	if !decodeBody(w, r, &req) {
@@ -481,7 +617,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		if factor, ok := s.cache.get(it.key); ok {
 			mCacheHits.Inc()
-			results[i] = batchResult(it, factor, true, nil)
+			results[i] = batchResult(it, factor, true, nil, reqID)
 			continue
 		}
 		mCacheMiss.Inc()
@@ -507,7 +643,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		respSt = j.st
 		for i, it := range items {
 			if it != nil {
-				results[i] = batchResult(it, it.factor, false, it.err)
+				results[i] = batchResult(it, it.factor, false, it.err, reqID)
 			}
 		}
 	}
@@ -551,6 +687,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
+	if n := s.panicStreak.Load(); n >= int64(s.cfg.PanicThreshold) {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("unready: %d consecutive worker panics (threshold %d); reload a healthy model to restore readiness", n, s.cfg.PanicThreshold))
+		return
+	}
 	w.Write([]byte("ok\n"))
 }
 
@@ -567,13 +708,13 @@ func predictResponse(st *modelState, it *item, factor int, cached bool) client.P
 	return resp
 }
 
-func batchResult(it *item, factor int, cached bool, err error) client.BatchResult {
+func batchResult(it *item, factor int, cached bool, err error, reqID string) client.BatchResult {
 	res := client.BatchResult{Factor: factor, Cached: cached}
 	if it.loop != nil {
 		res.Loop = it.loop.Name
 	}
 	if err != nil {
-		res = client.BatchResult{Error: err.Error()}
+		res = client.BatchResult{Error: publicError(err, reqID)}
 		if it.loop != nil {
 			res.Loop = it.loop.Name
 		}
@@ -581,9 +722,23 @@ func batchResult(it *item, factor int, cached bool, err error) client.BatchResul
 	return res
 }
 
+// publicError renders a prediction error for the wire. A contained panic
+// answers with the request ID instead of the panic value and stack — those
+// stay in the server log, keyed by the same ID.
+func publicError(err error, reqID string) string {
+	var pe *faults.PanicError
+	if errors.As(err, &pe) {
+		return fmt.Sprintf("internal error: prediction worker panicked (request %s; stack in server log)", reqID)
+	}
+	return err.Error()
+}
+
 // statusFor maps a prediction error to an HTTP status.
 func statusFor(err error) int {
+	var pe *faults.PanicError
 	switch {
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
 	default:

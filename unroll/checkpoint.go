@@ -1,0 +1,66 @@
+package unroll
+
+import (
+	"fmt"
+	"os"
+
+	"metaopt/internal/atomicio"
+	"metaopt/internal/core"
+)
+
+// CheckpointOptions arms crash-safe, resumable label collection. Progress
+// is snapshotted to Path atomically (temp file + fsync + rename) every
+// Every completed benchmarks, so a killed run loses at most Every
+// benchmarks of work. A resumed run re-attaches the checkpointed
+// measurements to the regenerated corpus and produces a dataset
+// bit-identical to an uninterrupted one.
+type CheckpointOptions struct {
+	Path   string // checkpoint file; required
+	Resume bool   // load Path first and skip its completed benchmarks
+	Every  int    // benchmarks between snapshots; <= 0 means 8
+}
+
+// CollectDatasetCheckpointed is CollectDataset with periodic checkpoints.
+// When ck.Resume is set and ck.Path exists, collection continues from it;
+// the checkpoint must have been written by a run with the same seed,
+// machine, runs, and SWP setting, or the resume is refused. The checkpoint
+// file is left in place on success — it is a complete record of the raw
+// measurements and deleting data is the caller's call.
+func CollectDatasetCheckpointed(c *Corpus, opt CollectOptions, ck CheckpointOptions) (*Dataset, error) {
+	if ck.Path == "" {
+		return nil, fmt.Errorf("unroll: checkpointed collection needs CheckpointOptions.Path")
+	}
+	t := timerFor(opt)
+	state := core.NewCheckpoint(t, opt.Seed)
+	if ck.Resume {
+		f, err := os.Open(ck.Path)
+		switch {
+		case err == nil:
+			state, err = core.DecodeCheckpoint(f)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+			if err := state.Compatible(t, opt.Seed); err != nil {
+				return nil, fmt.Errorf("%w (delete %s to start over)", err, ck.Path)
+			}
+		case os.IsNotExist(err):
+			// Nothing to resume from; a fresh run that checkpoints.
+		default:
+			return nil, err
+		}
+	}
+
+	pr := &core.Progress{
+		Checkpoint: state,
+		Every:      ck.Every,
+		Save: func(s *core.Checkpoint) error {
+			return atomicio.WriteFile(ck.Path, s.Encode)
+		},
+	}
+	lb, err := core.CollectLabelsResumable(c, t, opt.Seed, pr)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{d: lb.Dataset(t)}, nil
+}

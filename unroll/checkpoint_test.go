@@ -1,0 +1,126 @@
+package unroll_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"metaopt/internal/core"
+	"metaopt/internal/faults"
+	"metaopt/unroll"
+)
+
+// TestCheckpointResumeBitIdentical is the labeling crash-recovery chaos
+// test: an injected fault kills collection partway through, the periodic
+// checkpoint preserves the finished benchmarks, and the resumed run
+// produces a dataset bit-identical to one collected without interruption.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	defer faults.Reset()
+	corpus, err := unroll.GenerateCorpus(5, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := unroll.CollectOptions{Seed: 1, Runs: 5}
+
+	// Baseline: one uninterrupted run.
+	clean, err := unroll.CollectDataset(corpus, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := clean.Save(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: the 4th benchmark to start labeling dies. Every=1
+	// checkpoints after each finished benchmark.
+	path := filepath.Join(t.TempDir(), "labels.ckpt")
+	ck := unroll.CheckpointOptions{Path: path, Every: 1}
+	faults.MustInstall(faults.Spec{Site: "labels.benchmark", Kind: faults.KindError, Nth: 4})
+	_, err = unroll.CollectDatasetCheckpointed(corpus, opt, ck)
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("interrupted run: %v, want ErrInjected", err)
+	}
+	faults.Reset()
+
+	// The checkpoint captured real progress, atomically.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("no checkpoint after interrupted run: %v", err)
+	}
+	partial, err := core.DecodeCheckpoint(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(partial.Benchmarks); n == 0 || n >= len(corpus.Benchmarks) {
+		t.Fatalf("checkpoint holds %d of %d benchmarks; want partial progress", n, len(corpus.Benchmarks))
+	}
+
+	// Resume and compare bytes.
+	ck.Resume = true
+	resumed, err := unroll.CollectDatasetCheckpointed(corpus, opt, ck)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	var got bytes.Buffer
+	if err := resumed.Save(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("resumed dataset differs from uninterrupted run (%d vs %d bytes)", got.Len(), want.Len())
+	}
+}
+
+// TestCheckpointResumeRefusesForeignConfig: resuming under a different
+// seed or measurement setup must be refused, not silently spliced.
+func TestCheckpointResumeRefusesForeignConfig(t *testing.T) {
+	corpus, err := unroll.GenerateCorpus(5, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "labels.ckpt")
+	ck := unroll.CheckpointOptions{Path: path, Every: 1}
+	if _, err := unroll.CollectDatasetCheckpointed(corpus, unroll.CollectOptions{Seed: 1, Runs: 5}, ck); err != nil {
+		t.Fatal(err)
+	}
+
+	ck.Resume = true
+	for _, opt := range []unroll.CollectOptions{
+		{Seed: 2, Runs: 5},
+		{Seed: 1, Runs: 7},
+		{Seed: 1, Runs: 5, SWP: true},
+	} {
+		if _, err := unroll.CollectDatasetCheckpointed(corpus, opt, ck); err == nil {
+			t.Errorf("resume with %+v accepted a foreign checkpoint", opt)
+		}
+	}
+	// The matching config still resumes (now a pure reconstitution pass).
+	if _, err := unroll.CollectDatasetCheckpointed(corpus, unroll.CollectOptions{Seed: 1, Runs: 5}, ck); err != nil {
+		t.Errorf("matching config refused: %v", err)
+	}
+}
+
+// TestCheckpointFreshRunWithResumeFlag: -resume without an existing file
+// is a fresh run, not an error — so restart loops can pass -resume
+// unconditionally.
+func TestCheckpointFreshRunWithResumeFlag(t *testing.T) {
+	corpus, err := unroll.GenerateCorpus(5, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "labels.ckpt")
+	d, err := unroll.CollectDatasetCheckpointed(corpus, unroll.CollectOptions{Seed: 1, Runs: 5},
+		unroll.CheckpointOptions{Path: path, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() == 0 {
+		t.Error("empty dataset")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("no checkpoint written: %v", err)
+	}
+}

@@ -4,16 +4,19 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
+
+	"metaopt/internal/faults"
 )
 
 // APIError is a non-2xx answer from the service. For 503s RetryAfter
-// carries the server's backoff hint.
+// carries the server's backoff hint, clamped to MaxRetryAfter.
 type APIError struct {
 	Status     int
 	Message    string
@@ -25,16 +28,21 @@ func (e *APIError) Error() string {
 }
 
 // IsOverloaded reports whether an error is the service shedding load
-// (backpressure or drain); callers should back off and retry.
+// (backpressure or drain); callers should back off and retry. It sees
+// through retry-loop wrapping.
 func IsOverloaded(err error) bool {
-	ae, ok := err.(*APIError)
-	return ok && ae.Status == http.StatusServiceUnavailable
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusServiceUnavailable
 }
 
-// Client talks to one unrolld server.
+// Client talks to one unrolld server. Options arm per-client resilience:
+// WithRetry for backoff on idempotent requests, WithBreaker to fail fast
+// while the server is down. A Client is safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	retry   *retrier
+	breaker *breaker
 }
 
 // Option configures a Client.
@@ -55,10 +63,11 @@ func New(base string, opts ...Option) *Client {
 	return c
 }
 
-// Predict asks for one loop's unroll factor.
+// Predict asks for one loop's unroll factor. Predictions are pure reads of
+// the served model, so an armed RetryPolicy applies.
 func (c *Client) Predict(ctx context.Context, req PredictRequest) (*PredictResponse, error) {
 	var out PredictResponse
-	if err := c.post(ctx, "/v1/predict", req, &out); err != nil {
+	if err := c.post(ctx, "/v1/predict", req, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -78,7 +87,7 @@ func (c *Client) PredictSource(ctx context.Context, src string) (int, error) {
 // BatchResult.Error rather than failing the call.
 func (c *Client) PredictBatch(ctx context.Context, reqs []PredictRequest) (*BatchResponse, error) {
 	var out BatchResponse
-	if err := c.post(ctx, "/v1/predict/batch", BatchRequest{Loops: reqs}, &out); err != nil {
+	if err := c.post(ctx, "/v1/predict/batch", BatchRequest{Loops: reqs}, &out, true); err != nil {
 		return nil, err
 	}
 	if len(out.Results) != len(reqs) {
@@ -88,10 +97,11 @@ func (c *Client) PredictBatch(ctx context.Context, reqs []PredictRequest) (*Batc
 }
 
 // Reload asks the server to swap in the artifact at path (or re-read its
-// startup artifact when path is empty).
+// startup artifact when path is empty). Reload mutates server state, so it
+// is never retried — a timed-out reload may have landed.
 func (c *Client) Reload(ctx context.Context, path string) (*ReloadResponse, error) {
 	var out ReloadResponse
-	if err := c.post(ctx, "/v1/admin/reload", ReloadRequest{Path: path}, &out); err != nil {
+	if err := c.post(ctx, "/v1/admin/reload", ReloadRequest{Path: path}, &out, false); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -109,36 +119,88 @@ func (c *Client) Model(ctx context.Context) (*ModelInfo, error) {
 // Healthz reports liveness.
 func (c *Client) Healthz(ctx context.Context) error { return c.get(ctx, "/healthz", nil) }
 
-// Readyz reports readiness (model loaded, not draining).
+// Readyz reports readiness (model loaded, not draining, not panic-latched).
 func (c *Client) Readyz(ctx context.Context) error { return c.get(ctx, "/readyz", nil) }
 
-func (c *Client) post(ctx context.Context, path string, in, out any) error {
+func (c *Client) post(ctx context.Context, path string, in, out any, idempotent bool) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, out)
+	return c.roundTrip(ctx, http.MethodPost, path, body, out, idempotent)
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	return c.roundTrip(ctx, http.MethodGet, path, nil, out, true)
+}
+
+// roundTrip is the resilient request loop: breaker gate, one attempt, and
+// — for idempotent requests under an armed RetryPolicy — backoff-with-
+// jitter retries honoring the server's (clamped) Retry-After hints.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte, out any, idempotent bool) error {
+	attempts := 1
+	if idempotent && c.retry != nil {
+		attempts = c.retry.policy.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			mRetries.Inc()
+			if err := c.retry.sleep(ctx, attempt-1, retryAfterOf(lastErr)); err != nil {
+				mRetryGiveUps.Inc()
+				return fmt.Errorf("%w (gave up retrying: %v)", lastErr, err)
+			}
+		}
+		if c.breaker != nil {
+			if err := c.breaker.allow(); err != nil {
+				return err
+			}
+		}
+		err := c.doOnce(ctx, method, path, body, out)
+		if c.breaker != nil {
+			c.breaker.record(err != nil && serverFault(err))
+		}
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return err
+		}
+	}
+	if attempts > 1 {
+		mRetryGiveUps.Inc()
+	}
+	return lastErr
+}
+
+// doOnce performs a single HTTP exchange.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+	if err := faults.Check("client.request"); err != nil {
+		return err
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return err
 	}
-	return c.do(req, out)
-}
-
-func (c *Client) do(req *http.Request, out any) error {
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	// Always drain before close so the keep-alive connection goes back to
+	// the pool instead of being torn down — under retry load, reconnect
+	// churn is exactly the failure amplifier we are trying to avoid.
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		ae := &APIError{Status: resp.StatusCode}
 		var body ErrorResponse
@@ -147,15 +209,29 @@ func (c *Client) do(req *http.Request, out any) error {
 		} else {
 			ae.Message = http.StatusText(resp.StatusCode)
 		}
-		if s := resp.Header.Get("Retry-After"); s != "" {
-			if secs, err := strconv.Atoi(s); err == nil {
-				ae.RetryAfter = time.Duration(secs) * time.Second
-			}
-		}
+		ae.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 		return ae
 	}
 	if out == nil {
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// parseRetryAfter reads a Retry-After value in seconds, clamped to
+// [0, MaxRetryAfter]. Unparseable or negative values — and absurd ones
+// from a confused server — never steer the client's backoff.
+func parseRetryAfter(s string) time.Duration {
+	if s == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(s)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	if d > MaxRetryAfter {
+		return MaxRetryAfter
+	}
+	return d
 }

@@ -1,0 +1,54 @@
+package unroll
+
+import (
+	"fmt"
+	"os"
+
+	"metaopt/internal/atomicio"
+	"metaopt/internal/faults"
+)
+
+// ReadSite is the fault-injection site armed inside LoadPredictorFile; a
+// KindTorn spec there simulates reading a truncated artifact.
+const ReadSite = "persist.read"
+
+// SaveFile writes the predictor artifact to path crash-safely: the content
+// lands in a temp file, is fsynced, and is renamed over path, so a kill at
+// any instant leaves either the previous artifact or the new one — never a
+// half-written file. After the rename the artifact is read back and its
+// fingerprint checked against the in-memory predictor, catching silent
+// write corruption before anyone trusts the file.
+func (p *Predictor) SaveFile(path string) error {
+	if err := atomicio.WriteFile(path, p.Save); err != nil {
+		return err
+	}
+	want, err := p.computeFingerprint()
+	if err != nil {
+		return err
+	}
+	q, err := LoadPredictorFile(path)
+	if err != nil {
+		return fmt.Errorf("unroll: verify saved artifact %s: %w", path, err)
+	}
+	if q.fingerprint != want {
+		return fmt.Errorf("unroll: saved artifact %s reads back with fingerprint %.12s…, want %.12s…: storage corrupted the write", path, q.fingerprint, want)
+	}
+	return nil
+}
+
+// LoadPredictorFile restores a predictor from an artifact written by
+// SaveFile (or any Save output on disk), validating its recorded
+// fingerprint against the content.
+func LoadPredictorFile(path string) (*Predictor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := faults.WrapReader(ReadSite, f)
+	defer r.Close()
+	p, err := LoadPredictor(r)
+	if err != nil {
+		return nil, fmt.Errorf("unroll: load %s: %w", path, err)
+	}
+	return p, nil
+}

@@ -1,0 +1,130 @@
+package unroll_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"metaopt/internal/atomicio"
+	"metaopt/internal/faults"
+	"metaopt/unroll"
+)
+
+func TestSaveFileLoadFileRoundTrip(t *testing.T) {
+	d := smallDataset(t)
+	p, err := unroll.Train(d, unroll.TrainOptions{Algorithm: unroll.NearNeighbor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	q, err := unroll.LoadPredictorFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Fingerprint() != p.Fingerprint() {
+		t.Errorf("fingerprint changed across the file round trip: %.12s vs %.12s", q.Fingerprint(), p.Fingerprint())
+	}
+	for _, l := range queryLoops(t) {
+		if a, b := p.Predict(l), q.Predict(l); a != b {
+			t.Errorf("prediction diverged after file round trip: %d vs %d", a, b)
+		}
+	}
+}
+
+// TestSaveFileTornWriteKeepsOldArtifact is the crash-safety chaos test: a
+// write that tears mid-stream must fail loudly and leave the previous
+// artifact loadable.
+func TestSaveFileTornWriteKeepsOldArtifact(t *testing.T) {
+	defer faults.Reset()
+	d := smallDataset(t)
+	p, err := unroll.Train(d, unroll.TrainOptions{Algorithm: unroll.NearNeighbor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second predictor tries to overwrite the artifact; the write tears
+	// after 200 bytes.
+	p2, err := unroll.Train(d, unroll.TrainOptions{Algorithm: unroll.DecisionTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.MustInstall(faults.Spec{Site: atomicio.WriteSite, Kind: faults.KindTorn, Bytes: 200, Count: 1})
+	if err := p2.SaveFile(path); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("torn save: %v, want ErrInjected", err)
+	}
+	faults.Reset()
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(before) {
+		t.Fatal("torn write altered the artifact on disk")
+	}
+	if _, err := unroll.LoadPredictorFile(path); err != nil {
+		t.Fatalf("artifact unloadable after failed overwrite: %v", err)
+	}
+}
+
+// TestLoadFileTruncatedArtifactRejected: a half-written artifact (as from a
+// torn copy or a crash without atomic rename) must be rejected, not loaded
+// as a silently-wrong model.
+func TestLoadFileTruncatedArtifactRejected(t *testing.T) {
+	defer faults.Reset()
+	d := smallDataset(t)
+	p, err := unroll.Train(d, unroll.TrainOptions{Algorithm: unroll.NearNeighbor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Injected truncation on the read side.
+	faults.MustInstall(faults.Spec{Site: unroll.ReadSite, Kind: faults.KindTorn, Bytes: 128, Count: 1})
+	if _, err := unroll.LoadPredictorFile(path); err == nil {
+		t.Fatal("truncated read loaded successfully")
+	}
+	faults.Reset()
+
+	// Physical truncation on disk.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(t.TempDir(), "torn.json")
+	if err := os.WriteFile(torn, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unroll.LoadPredictorFile(torn); err == nil {
+		t.Fatal("half-written artifact loaded successfully")
+	}
+
+	// Bit-flip corruption that keeps the JSON valid: the fingerprint check
+	// must catch it.
+	flipped := strings.Replace(string(raw), `"machine": "itanium2"`, `"machine": "embedded2"`, 1)
+	if flipped == string(raw) {
+		t.Skip("artifact layout changed; corruption probe needs updating")
+	}
+	bad := filepath.Join(t.TempDir(), "flipped.json")
+	if err := os.WriteFile(bad, []byte(flipped), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unroll.LoadPredictorFile(bad); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("fingerprint check missed in-place corruption: %v", err)
+	}
+}

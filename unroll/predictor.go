@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -92,6 +93,16 @@ type CollectOptions struct {
 // floor whose unrolling choice measurably matters), exactly as the paper
 // collected its 2,500 examples.
 func CollectDataset(c *Corpus, opt CollectOptions) (*Dataset, error) {
+	t := timerFor(opt)
+	lb, err := core.CollectLabels(c, t, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{d: lb.Dataset(t)}, nil
+}
+
+// timerFor builds the measurement timer a CollectOptions describes.
+func timerFor(opt CollectOptions) *sim.Timer {
 	cfg := sim.DefaultConfig()
 	if opt.Machine != nil {
 		cfg.Mach = opt.Machine
@@ -100,12 +111,7 @@ func CollectDataset(c *Corpus, opt CollectOptions) (*Dataset, error) {
 	if opt.Runs > 0 {
 		cfg.Runs = opt.Runs
 	}
-	t := sim.NewTimer(cfg)
-	lb, err := core.CollectLabels(c, t, opt.Seed)
-	if err != nil {
-		return nil, err
-	}
-	return &Dataset{d: lb.Dataset(t)}, nil
+	return sim.NewTimer(cfg)
 }
 
 // SelectFeatures runs the paper's Section 7 pipeline (mutual information
@@ -182,6 +188,11 @@ var ErrNilLoop = errors.New("unroll: nil loop")
 // fell back to factor 1.
 var predictFallbacks = obs.C("unroll.predict.fallback")
 
+// nonFiniteRejects counts feature vectors refused at the PredictFeatures
+// boundary because they carried NaN or ±Inf — values that would silently
+// poison every distance computation downstream.
+var nonFiniteRejects = obs.C("unroll.predict.nonfinite")
+
 // Version reports the persist-format version the predictor carries:
 // PersistVersion for freshly trained predictors, the artifact's recorded
 // version for loaded ones (0 for legacy unversioned blobs).
@@ -235,8 +246,16 @@ func (p *Predictor) PredictBatch(ctx context.Context, loops []*Loop) ([]int, err
 
 // PredictFeatures predicts from a pre-extracted feature vector: either the
 // full NumFeatures-element vector (projected onto the predictor's subset)
-// or a vector already projected to the subset's length.
+// or a vector already projected to the subset's length. Non-finite values
+// (NaN, ±Inf) are rejected here, before they can flow into a classifier's
+// distance or kernel computations and corrupt every comparison.
 func (p *Predictor) PredictFeatures(v []float64) (int, error) {
+	for i, f := range v {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			nonFiniteRejects.Inc()
+			return 0, fmt.Errorf("unroll: feature %d is not finite (%v)", i, f)
+		}
+	}
 	if p.feats != nil && len(v) == len(p.feats) {
 		return p.predictVector(v), nil
 	}
