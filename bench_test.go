@@ -7,6 +7,7 @@
 package metaopt_test
 
 import (
+	"math/rand"
 	"runtime"
 	"sync"
 	"testing"
@@ -604,6 +605,22 @@ func BenchmarkCompilePipeline(b *testing.B) {
 			if _, err := t.Cycles(l, u); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// BenchmarkMeasureAll measures the labeling path for one loop: all eight
+// factors measured under the paper's noisy-median protocol against a fresh
+// timer, so per-loop work (validation, rolled-body recurrence, remainder
+// schedule) is paid rather than cached from a previous iteration.
+func BenchmarkMeasureAll(b *testing.B) {
+	l := daxpyLoop(b)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		t := sim.NewTimer(cfg)
+		if _, _, err := t.MeasureAll(l, rng); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,0 +1,279 @@
+// Command benchdump runs the repository's hot-path benchmarks through
+// testing.Benchmark and writes the results as machine-readable JSON
+// (ns/op, B/op, allocs/op), so performance can be tracked in version
+// control and gated in CI without parsing `go test -bench` text output.
+//
+// Modes:
+//
+//	benchdump -out BENCH_5.json            run the suite, write JSON
+//	benchdump -compare old.json -against new.json -gate LOOCVParallel
+//	                                       diff two dumps; non-zero exit if a
+//	                                       gated benchmark regressed by more
+//	                                       than -threshold (default 10%)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"metaopt/internal/analysis"
+	"metaopt/internal/experiments"
+	"metaopt/internal/lang"
+	"metaopt/internal/machine"
+	"metaopt/internal/ml"
+	"metaopt/internal/ml/greedy"
+	"metaopt/internal/ml/nn"
+	"metaopt/internal/ml/tree"
+	"metaopt/internal/sched"
+	"metaopt/internal/sim"
+	"metaopt/internal/transform"
+	"metaopt/unroll"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Dump is the file format.
+type Dump struct {
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+const daxpySrc = `
+kernel daxpy lang=c {
+	param double a;
+	double x[], y[];
+	noalias;
+	for i = 0 .. 4096 { y[i] = y[i] + a * x[i]; }
+}`
+
+func daxpyLoop() (*unroll.Loop, error) {
+	k, err := lang.ParseKernel(daxpySrc)
+	if err != nil {
+		return nil, err
+	}
+	return lang.Lower(k)
+}
+
+// suite builds the benchmark closures. The corpus-backed entries share one
+// lazily-built environment (the same configuration the bench_test.go
+// harness uses), so the dump prices the benchmarks, not corpus setup.
+func suite() ([]struct {
+	name string
+	fn   func(b *testing.B)
+}, error) {
+	l, err := daxpyLoop()
+	if err != nil {
+		return nil, err
+	}
+	env := experiments.NewEnv(experiments.Config{
+		Seed: 2005, Scale: 0.15, Runs: 10,
+		SVMCap: 400, TrainCap: 400, SVMSample: 150,
+	})
+	d, err := env.Dataset(false)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := env.Features()
+	if err != nil {
+		return nil, err
+	}
+	sel := d.Select(fs.Union)
+	nnc, err := (&nn.Trainer{}).Train(sel)
+	if err != nil {
+		return nil, err
+	}
+	m := machine.Itanium2()
+	u8, _, err := transform.Unroll(l, 8)
+	if err != nil {
+		return nil, err
+	}
+
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"LOOCVParallel", func(b *testing.B) {
+			tr := &tree.Trainer{MaxDepth: 4}
+			for i := 0; i < b.N; i++ {
+				if _, err := ml.LOOCV(tr, sel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"GreedyParallel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := greedy.Select(&nn.Trainer{OneNN: true}, d, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"CompilePipeline", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig()
+				cfg.Noise = 0
+				t := sim.NewTimer(cfg)
+				for u := 1; u <= transform.MaxFactor; u++ {
+					if _, err := t.Cycles(l, u); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+		{"MeasureAll", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				t := sim.NewTimer(sim.DefaultConfig())
+				if _, _, err := t.MeasureAll(l, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"UnrollTransform", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := transform.Unroll(l, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ListSchedule", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sched.List(analysis.Build(u8, m))
+			}
+		}},
+		{"NNPredict", func(b *testing.B) {
+			q := sel.Examples[0].Features
+			for i := 0; i < b.N; i++ {
+				nnc.Predict(q)
+			}
+		}},
+	}, nil
+}
+
+func run(out string) error {
+	benches, err := suite()
+	if err != nil {
+		return err
+	}
+	dump := Dump{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	for _, bench := range benches {
+		fmt.Fprintf(os.Stderr, "running %s...\n", bench.name)
+		r := testing.Benchmark(bench.fn)
+		dump.Benchmarks = append(dump.Benchmarks, Result{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "  %s: %.0f ns/op  %d B/op  %d allocs/op\n",
+			bench.name, dump.Benchmarks[len(dump.Benchmarks)-1].NsPerOp,
+			r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	data, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+func load(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Dump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]Result, len(d.Benchmarks))
+	for _, r := range d.Benchmarks {
+		m[r.Name] = r
+	}
+	return m, nil
+}
+
+// compare prints per-benchmark deltas of against relative to base and
+// returns an error if any gated benchmark slowed down beyond threshold.
+func compare(basePath, againstPath, gate string, threshold float64) error {
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	against, err := load(againstPath)
+	if err != nil {
+		return err
+	}
+	gated := map[string]bool{}
+	for _, g := range strings.Split(gate, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			gated[g] = true
+		}
+	}
+	var failures []string
+	fmt.Printf("%-20s %14s %14s %8s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+	for name, b := range base {
+		a, ok := against[name]
+		if !ok {
+			fmt.Printf("%-20s %14.0f %14s\n", name, b.NsPerOp, "(missing)")
+			if gated[name] {
+				failures = append(failures, fmt.Sprintf("%s missing from %s", name, againstPath))
+			}
+			continue
+		}
+		delta := (a.NsPerOp - b.NsPerOp) / b.NsPerOp
+		mark := ""
+		if gated[name] && delta > threshold {
+			mark = "  FAIL"
+			failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (limit %.0f%%)", name, delta*100, threshold*100))
+		}
+		fmt.Printf("%-20s %14.0f %14.0f %+7.1f%%%s\n", name, b.NsPerOp, a.NsPerOp, delta*100, mark)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_5.json", "output file for benchmark results ('-' for stdout)")
+	comparePath := flag.String("compare", "", "baseline dump to compare -against (skips running benchmarks)")
+	againstPath := flag.String("against", "", "candidate dump compared to -compare")
+	gate := flag.String("gate", "LOOCVParallel", "comma-separated benchmarks whose regression fails the comparison")
+	threshold := flag.Float64("threshold", 0.10, "maximum allowed relative slowdown for gated benchmarks")
+	flag.Parse()
+
+	var err error
+	if *comparePath != "" {
+		if *againstPath == "" {
+			err = fmt.Errorf("-compare requires -against")
+		} else {
+			err = compare(*comparePath, *againstPath, *gate, *threshold)
+		}
+	} else {
+		err = run(*out)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdump:", err)
+		os.Exit(1)
+	}
+}

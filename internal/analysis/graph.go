@@ -47,45 +47,84 @@ type Graph struct {
 	Loop  *ir.Loop
 	Mach  *machine.Desc
 	Ops   []*ir.Op
-	Index map[*ir.Op]int
 	Out   [][]Edge
 	In    [][]Edge
 	Edges []Edge
+
+	// idx maps op ID → body position during construction (-1 for pseudo
+	// ops). IDs are dense per loop, so a slice beats a pointer-keyed map.
+	idx []int32
 }
 
 // Build constructs the dependence graph of l for machine m.
 func Build(l *ir.Loop, m *machine.Desc) *Graph {
 	g := &Graph{
-		Loop:  l,
-		Mach:  m,
-		Ops:   l.Body,
-		Index: make(map[*ir.Op]int, len(l.Body)),
-		Out:   make([][]Edge, len(l.Body)),
-		In:    make([][]Edge, len(l.Body)),
+		Loop: l,
+		Mach: m,
+		Ops:  l.Body,
+		idx:  make([]int32, l.MaxID()),
+	}
+	for i := range g.idx {
+		g.idx[i] = -1
 	}
 	for i, op := range l.Body {
-		g.Index[op] = i
+		g.idx[op.ID] = int32(i)
 	}
 	g.addDataEdges()
 	g.addMemEdges()
 	g.addCtrlEdges()
+	g.buildAdjacency()
 	return g
 }
 
+// addEdge records an edge; adjacency lists are built in one pass at the
+// end (buildAdjacency), so edge collection only grows a single slice.
 func (g *Graph) addEdge(e Edge) {
 	g.Edges = append(g.Edges, e)
-	g.Out[e.From] = append(g.Out[e.From], e)
-	g.In[e.To] = append(g.In[e.To], e)
+}
+
+// buildAdjacency materializes Out and In as views into two flat edge
+// slabs, sized exactly. Per-list edge order matches insertion order, the
+// same order incremental appends produced.
+func (g *Graph) buildAdjacency() {
+	n := len(g.Ops)
+	g.Out = make([][]Edge, n)
+	g.In = make([][]Edge, n)
+	if len(g.Edges) == 0 {
+		return
+	}
+	outDeg := make([]int32, n)
+	inDeg := make([]int32, n)
+	for _, e := range g.Edges {
+		outDeg[e.From]++
+		inDeg[e.To]++
+	}
+	outSlab := make([]Edge, len(g.Edges))
+	inSlab := make([]Edge, len(g.Edges))
+	var outOff, inOff int32
+	for i := 0; i < n; i++ {
+		g.Out[i] = outSlab[outOff:outOff:outOff+outDeg[i]]
+		g.In[i] = inSlab[inOff:inOff:inOff+inDeg[i]]
+		outOff += outDeg[i]
+		inOff += inDeg[i]
+	}
+	for _, e := range g.Edges {
+		g.Out[e.From] = append(g.Out[e.From], e)
+		g.In[e.To] = append(g.In[e.To], e)
+	}
 }
 
 func (g *Graph) addDataEdges() {
 	for to, op := range g.Ops {
 		for _, a := range op.Args {
-			from, ok := g.Index[a.Op]
-			if !ok {
+			if a.Op.ID >= len(g.idx) {
+				continue
+			}
+			from := g.idx[a.Op.ID]
+			if from < 0 {
 				continue // parameter or constant: always available
 			}
-			g.addEdge(Edge{From: from, To: to, Lat: g.Mach.Latency(a.Op), Dist: a.Dist, Kind: EdgeData})
+			g.addEdge(Edge{From: int(from), To: to, Lat: g.Mach.Latency(a.Op), Dist: a.Dist, Kind: EdgeData})
 		}
 	}
 }

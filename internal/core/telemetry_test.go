@@ -7,23 +7,33 @@ import (
 	"metaopt/internal/obs"
 )
 
+// stripNondeterministic drops or folds the counters whose values depend on
+// scheduling or GC timing: the *.races counters count scheduling-dependent
+// duplicate compiles (two workers racing on the same cache miss), and the
+// sched.pool_hits/pool_misses split depends on when the GC clears the
+// sync.Pool — their sum (total scheduler invocations) is deterministic, so
+// it is kept as a derived counter.
+func stripNondeterministic(counters map[string]int64) map[string]int64 {
+	out := map[string]int64{}
+	for name, v := range counters {
+		switch name {
+		case "sim.compile_cache.races", "sim.remainder_cache.races":
+		case "sched.pool_hits", "sched.pool_misses":
+			out["sched.pool_requests"] += v
+		default:
+			out[name] = v
+		}
+	}
+	return out
+}
+
 // snapshotDeterministic runs the full pipeline at a fixed seed on a fresh
-// telemetry slate and returns the deterministic counter values — everything
-// except the *.races counters, which count scheduling-dependent duplicate
-// compiles (two workers racing on the same cache miss).
+// telemetry slate and returns the deterministic counter values.
 func snapshotDeterministic(t *testing.T, workers int) map[string]int64 {
 	t.Helper()
 	obs.Reset()
 	runPipeline(t, workers)
-	snap := obs.Default.Snapshot()
-	out := map[string]int64{}
-	for name, v := range snap.Counters {
-		if name == "sim.compile_cache.races" || name == "sim.remainder_cache.races" {
-			continue
-		}
-		out[name] = v
-	}
-	return out
+	return stripNondeterministic(obs.Default.Snapshot().Counters)
 }
 
 // TestTelemetryDeterministicParallel is the manifest golden test: for a
@@ -84,16 +94,7 @@ func TestManifestDeterministic(t *testing.T) {
 	runPipeline(t, 4)
 	m2 := obs.BuildManifest("test", nil, 41, 4, nil)
 
-	strip := func(m map[string]int64) map[string]int64 {
-		out := map[string]int64{}
-		for k, v := range m {
-			if k != "sim.compile_cache.races" && k != "sim.remainder_cache.races" {
-				out[k] = v
-			}
-		}
-		return out
-	}
-	if !reflect.DeepEqual(strip(m1.Counters), strip(m2.Counters)) {
+	if !reflect.DeepEqual(stripNondeterministic(m1.Counters), stripNondeterministic(m2.Counters)) {
 		t.Fatalf("manifest counters differ:\nfirst:  %v\nsecond: %v", m1.Counters, m2.Counters)
 	}
 	if !reflect.DeepEqual(m1.Gauges, m2.Gauges) {

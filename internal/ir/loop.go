@@ -29,6 +29,11 @@ type Loop struct {
 	Params []*Op
 
 	nextID int
+
+	// slab backs Op allocation: ops are handed out from one contiguous
+	// block instead of individual heap objects. When a block fills, a new
+	// one is started — previously handed-out ops keep their addresses.
+	slab []Op
 }
 
 // NewLoop returns an empty loop with the given name.
@@ -36,10 +41,39 @@ func NewLoop(name string) *Loop {
 	return &Loop{Name: name, NestLevel: 1, TripCount: -1, RuntimeTrip: 1, Entries: 1}
 }
 
+// alloc hands out one Op from the slab, starting a fresh block when the
+// current one is full (never reallocating in place: existing *Op pointers
+// into a full block must stay valid).
+func (l *Loop) alloc() *Op {
+	if len(l.slab) == cap(l.slab) {
+		n := 2 * cap(l.slab)
+		if n < 16 {
+			n = 16
+		}
+		l.slab = make([]Op, 0, n)
+	}
+	l.slab = l.slab[:len(l.slab)+1]
+	return &l.slab[len(l.slab)-1]
+}
+
+// Reserve pre-sizes the op slab for about n upcoming New* calls, so a
+// builder that knows the final size (e.g. unrolling) allocates one block.
+func (l *Loop) Reserve(n int) {
+	if free := cap(l.slab) - len(l.slab); free >= n {
+		return
+	}
+	l.slab = make([]Op, 0, n)
+}
+
+// MaxID returns an exclusive upper bound on the op IDs in this loop, so
+// analyses can use ID-indexed slices instead of pointer-keyed maps.
+func (l *Loop) MaxID() int { return l.nextID }
+
 // NewOp appends a fresh operation with the given opcode to the loop body and
 // returns it.
 func (l *Loop) NewOp(code Opcode, args ...ArgRef) *Op {
-	op := &Op{ID: l.nextID, Code: code, Args: args}
+	op := l.alloc()
+	op.ID, op.Code, op.Args = l.nextID, code, args
 	l.nextID++
 	l.Body = append(l.Body, op)
 	return op
@@ -47,7 +81,8 @@ func (l *Loop) NewOp(code Opcode, args ...ArgRef) *Op {
 
 // NewParam appends a loop-invariant live-in value and returns it.
 func (l *Loop) NewParam(name string) *Op {
-	op := &Op{ID: l.nextID, Code: OpParam, Name: name}
+	op := l.alloc()
+	op.ID, op.Code, op.Name = l.nextID, OpParam, name
 	l.nextID++
 	l.Params = append(l.Params, op)
 	return op
@@ -56,7 +91,8 @@ func (l *Loop) NewParam(name string) *Op {
 // NewConst appends a constant pseudo-op and returns it. Constants live with
 // the parameters: they are materialized outside the loop.
 func (l *Loop) NewConst(name string) *Op {
-	op := &Op{ID: l.nextID, Code: OpConst, Name: name}
+	op := l.alloc()
+	op.ID, op.Code, op.Name = l.nextID, OpConst, name
 	l.nextID++
 	l.Params = append(l.Params, op)
 	return op
@@ -153,9 +189,11 @@ func (l *Loop) Clone() *Loop {
 		Entries:     l.Entries,
 		nextID:      l.nextID,
 	}
+	c.Reserve(len(l.Body) + len(l.Params))
 	remap := make(map[*Op]*Op, len(l.Body)+len(l.Params))
 	cloneOp := func(op *Op) *Op {
-		n := &Op{ID: op.ID, Code: op.Code, FP: op.FP, Predicated: op.Predicated, PredID: op.PredID, Name: op.Name}
+		n := c.alloc()
+		n.ID, n.Code, n.FP, n.Predicated, n.PredID, n.Name = op.ID, op.Code, op.FP, op.Predicated, op.PredID, op.Name
 		if op.Mem != nil {
 			m := *op.Mem
 			n.Mem = &m

@@ -1,0 +1,71 @@
+package linalg
+
+// pairTile is the blocking factor for the pairwise kernels: a tile of rows
+// (tile × dim floats) stays resident in L1 while it is paired against each
+// row of the opposite tile.
+const pairTile = 32
+
+// PairwiseSqDistInto fills out with the n×n matrix of squared Euclidean
+// distances between all row pairs, computed in cache-friendly tiles, and
+// returns it (out is grown when too small). Each entry is accumulated
+// exactly like SqDist — same feature order, one running sum — so callers
+// replacing per-pair SqDist calls with matrix lookups see identical bits;
+// the mirrored lower triangle is exact because (a−b)² and (b−a)² are the
+// same float.
+func PairwiseSqDistInto(rows [][]float64, out []float64) []float64 {
+	n := len(rows)
+	if cap(out) < n*n {
+		out = make([]float64, n*n)
+	} else {
+		out = out[:n*n]
+	}
+	for ib := 0; ib < n; ib += pairTile {
+		ie := min(ib+pairTile, n)
+		for jb := ib; jb < n; jb += pairTile {
+			je := min(jb+pairTile, n)
+			for i := ib; i < ie; i++ {
+				ri := rows[i]
+				js := jb
+				if i >= js {
+					out[i*n+i] = 0
+					js = i + 1
+				}
+				for j := js; j < je; j++ {
+					d := SqDist(ri, rows[j])
+					out[i*n+j] = d
+					out[j*n+i] = d
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AddSqColumn adds the single-feature squared-distance contribution of col
+// into the n×n matrix dst: dst[i,j] += (col[i]−col[j])². With squared
+// Euclidean distance additive across features, repeated calls build the
+// distance matrix of a growing feature set in the order the features were
+// added — the same left-to-right accumulation SqDist performs over the
+// concatenated vector.
+func AddSqColumn(dst []float64, col []float64) {
+	n := len(col)
+	for ib := 0; ib < n; ib += pairTile {
+		ie := min(ib+pairTile, n)
+		for jb := ib; jb < n; jb += pairTile {
+			je := min(jb+pairTile, n)
+			for i := ib; i < ie; i++ {
+				ci := col[i]
+				js := jb
+				if i >= js {
+					js = i + 1
+				}
+				for j := js; j < je; j++ {
+					d := ci - col[j]
+					sq := d * d
+					dst[i*n+j] += sq
+					dst[j*n+i] += sq
+				}
+			}
+		}
+	}
+}

@@ -46,10 +46,25 @@ func Select(tr ml.Trainer, d *ml.Dataset, k int) ([]Result, error) {
 	var results []Result
 
 	workers := par.Workers(dim)
-	subs := make([]ml.Dataset, workers)
-	idxBufs := make([][]int, workers)
-	for w := range idxBufs {
-		idxBufs[w] = make([]int, 0, k)
+
+	// Trainers with an incremental selection session (the near-neighbor
+	// classifier's additive distance matrix) score a candidate in one
+	// feature's worth of work; others project each subset and retrain.
+	var sess ml.SelectSession
+	if ss, ok := tr.(ml.SelectScorer); ok {
+		var err error
+		if sess, err = ss.BeginSelect(d, workers); err != nil {
+			return nil, err
+		}
+	}
+	var subs []ml.Dataset
+	var idxBufs [][]int
+	if sess == nil {
+		subs = make([]ml.Dataset, workers)
+		idxBufs = make([][]int, workers)
+		for w := range idxBufs {
+			idxBufs[w] = make([]int, 0, k)
+		}
 	}
 	cand := make([]int, 0, dim)
 	scores := make([]float64, dim)
@@ -65,9 +80,14 @@ func Select(tr ml.Trainer, d *ml.Dataset, k int) ([]Result, error) {
 		mRounds.Inc()
 		mCandidates.Add(int64(len(cand)))
 		err := par.ForEachWorker(len(cand), func(w, ci int) error {
-			idx := append(append(idxBufs[w][:0], chosen...), cand[ci])
-			sub := d.SelectInto(idx, &subs[w])
-			e, err := errorOf(tr, sub)
+			var e float64
+			var err error
+			if sess != nil {
+				e, err = sess.Score(w, chosen, cand[ci])
+			} else {
+				idx := append(append(idxBufs[w][:0], chosen...), cand[ci])
+				e, err = errorOf(tr, d.SelectInto(idx, &subs[w]))
+			}
 			if err != nil {
 				return fmt.Errorf("greedy: feature %d: %w", cand[ci], err)
 			}
@@ -86,6 +106,11 @@ func Select(tr ml.Trainer, d *ml.Dataset, k int) ([]Result, error) {
 		}
 		if bestF < 0 {
 			break
+		}
+		if sess != nil {
+			if err := sess.Commit(bestF); err != nil {
+				return nil, err
+			}
 		}
 		used[bestF] = true
 		chosen = append(chosen, bestF)

@@ -80,3 +80,36 @@ func TestSelectRejectsBadDataset(t *testing.T) {
 		t.Error("expected error")
 	}
 }
+
+// noSession delegates to a near-neighbor trainer while hiding its
+// SelectScorer interface, forcing Select onto the project-and-retrain path.
+type noSession struct{ tr *nn.Trainer }
+
+func (h noSession) Train(d *ml.Dataset) (ml.Classifier, error) { return h.tr.Train(d) }
+func (h noSession) LOOCV(d *ml.Dataset) ([]int, error)         { return h.tr.LOOCV(d) }
+
+// TestSessionPathMatchesSubsetPath runs the same selection through the
+// incremental session fast path and the per-subset slow path: chosen
+// features and reported errors must be exactly equal.
+func TestSessionPathMatchesSubsetPath(t *testing.T) {
+	d := mixed(160, 6, 5)
+	for _, oneNN := range []bool{true, false} {
+		tr := &nn.Trainer{OneNN: oneNN}
+		fast, err := Select(tr, d, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := Select(noSession{tr}, d, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fast) != len(slow) {
+			t.Fatalf("oneNN=%v: %d rounds vs %d", oneNN, len(fast), len(slow))
+		}
+		for i := range fast {
+			if fast[i] != slow[i] {
+				t.Errorf("oneNN=%v round %d: session %+v, subset %+v", oneNN, i, fast[i], slow[i])
+			}
+		}
+	}
+}

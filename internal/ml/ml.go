@@ -187,10 +187,18 @@ func FitNorm(d *Dataset) *Norm {
 
 // Apply maps a raw feature vector into normalized space.
 func (n *Norm) Apply(v []float64) []float64 {
-	out := make([]float64, len(v))
+	return n.ApplyInto(v, make([]float64, len(v)))
+}
+
+// ApplyInto normalizes v into out (which must have len(v) capacity) and
+// returns it — the allocation-free form for pooled query buffers.
+func (n *Norm) ApplyInto(v, out []float64) []float64 {
+	out = out[:len(v)]
 	for j := range v {
 		if j < len(n.Min) {
 			out[j] = (squash(v[j]) - n.Min[j]) * n.Scale[j]
+		} else {
+			out[j] = 0
 		}
 	}
 	return out
@@ -222,6 +230,48 @@ type LOOCVer interface {
 	LOOCV(d *Dataset) ([]int, error)
 }
 
+// FoldTrainer is implemented by trainers that can amortize shared work
+// (presorted feature orders, cached distances) across leave-one-out folds
+// over the same dataset. Unlike LOOCVer it does not replace the fold loop:
+// LOOCV still trains every fold individually across the worker pool, it
+// just trains each via the session. The session must return classifiers
+// identical to Train on the fold's own dataset.
+type FoldTrainer interface {
+	// BeginFolds prepares shared state for leave-one-out folds over d with
+	// up to workers concurrent callers.
+	BeginFolds(d *Dataset, workers int) (FoldSession, error)
+}
+
+// FoldSession trains per-fold classifiers for one BeginFolds dataset.
+// Calls with distinct worker ids may run concurrently.
+type FoldSession interface {
+	// TrainWithout trains on the session dataset minus example i.
+	TrainWithout(worker, i int) (Classifier, error)
+}
+
+// SelectScorer is implemented by trainers that can score greedy forward
+// feature selection incrementally: the session carries state shared across
+// a whole selection run (e.g. an additive distance matrix over the chosen
+// features), so scoring a candidate costs one feature's worth of work
+// instead of re-deriving the entire subset. Scores must be exactly the
+// error errorOf(tr, d.Select(chosen ∪ {cand})) would produce.
+type SelectScorer interface {
+	// BeginSelect prepares shared state for selection over d with up to
+	// workers concurrent Score callers.
+	BeginSelect(d *Dataset, workers int) (SelectSession, error)
+}
+
+// SelectSession scores candidate features for one BeginSelect dataset.
+// Score calls with distinct worker ids may run concurrently; Commit is
+// called serially between rounds with that round's winner.
+type SelectSession interface {
+	// Score returns the selection error of chosen ∪ {cand}. chosen must be
+	// exactly the features committed so far, in commit order.
+	Score(worker int, chosen []int, cand int) (float64, error)
+	// Commit folds the round winner into the shared state.
+	Commit(f int) error
+}
+
 // LOOCV runs leave-one-out cross-validation and returns the held-out
 // prediction for every example. Slow-path folds (trainers without an exact
 // shortcut) are independent, so they run across the shared worker pool;
@@ -236,6 +286,24 @@ func LOOCV(tr Trainer, d *Dataset) ([]int, error) {
 	}
 	n := d.Len()
 	preds := make([]int, n)
+	if ft, ok := tr.(FoldTrainer); ok {
+		sess, err := ft.BeginFolds(d, par.Workers(n))
+		if err != nil {
+			return nil, fmt.Errorf("ml: LOOCV begin folds: %w", err)
+		}
+		err = par.ForEachWorker(n, func(w, i int) error {
+			c, err := sess.TrainWithout(w, i)
+			if err != nil {
+				return fmt.Errorf("ml: LOOCV fold %d: %w", i, err)
+			}
+			preds[i] = c.Predict(d.Examples[i].Features)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return preds, nil
+	}
 	folds := make([]Dataset, par.Workers(n))
 	err := par.ForEachWorker(n, func(w, i int) error {
 		c, err := tr.Train(d.WithoutInto(i, &folds[w]))

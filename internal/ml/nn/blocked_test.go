@@ -1,0 +1,119 @@
+package nn
+
+import (
+	"testing"
+
+	"metaopt/internal/linalg"
+	"metaopt/internal/ml"
+	"metaopt/internal/ml/mltest"
+)
+
+// TestLOOCVDenseMatchesDirect pins the blocked-distance-matrix LOOCV path
+// to the per-fold predict scan, in both voting modes.
+func TestLOOCVDenseMatchesDirect(t *testing.T) {
+	d := mltest.Clusters(150, 5, 4, 0.25, 7)
+	for _, oneNN := range []bool{false, true} {
+		tr := &Trainer{OneNN: oneNN}
+		got, err := tr.LOOCV(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ci, err := tr.Train(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := ci.(*Classifier)
+		for i := range d.Examples {
+			if want := c.predict(c.rows[i], i); got[i] != want {
+				t.Fatalf("oneNN=%v fold %d: dense pred %d, direct %d", oneNN, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestPairwiseMatchesSqDist checks the blocked kernel entry-by-entry
+// against direct SqDist calls.
+func TestPairwiseMatchesSqDist(t *testing.T) {
+	d := mltest.Clusters(70, 6, 3, 0.3, 9)
+	tr := &Trainer{}
+	ci, err := tr.Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := ci.(*Classifier).rows
+	n := len(rows)
+	dist := linalg.PairwiseSqDistInto(rows, nil)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if want := linalg.SqDist(rows[i], rows[j]); dist[i*n+j] != want {
+				t.Fatalf("dist[%d][%d] = %v, SqDist = %v", i, j, dist[i*n+j], want)
+			}
+		}
+	}
+}
+
+// TestSelectSessionMatchesSubsetScoring checks that incremental candidate
+// scores equal the error of projecting the subset and running LOOCV on it —
+// the exact computation the slow greedy path performs — across several
+// rounds and both voting modes.
+func TestSelectSessionMatchesSubsetScoring(t *testing.T) {
+	d := mltest.Clusters(90, 6, 4, 0.3, 11)
+	dim := len(d.Examples[0].Features)
+	for _, oneNN := range []bool{false, true} {
+		tr := &Trainer{OneNN: oneNN}
+		sessI, err := tr.BeginSelect(d, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var chosen []int
+		for round := 0; round < 3; round++ {
+			bestF, bestErr := -1, 2.0
+			for f := 0; f < dim; f++ {
+				already := false
+				for _, c := range chosen {
+					already = already || c == f
+				}
+				if already {
+					continue
+				}
+				got, err := sessI.Score(0, chosen, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sub := d.Select(append(append([]int{}, chosen...), f))
+				preds, err := tr.LOOCV(sub)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := 1 - ml.Accuracy(sub, preds)
+				if got != want {
+					t.Fatalf("oneNN=%v round %d feature %d: session %v, subset %v", oneNN, round, f, got, want)
+				}
+				if got < bestErr {
+					bestF, bestErr = f, got
+				}
+			}
+			if err := sessI.Commit(bestF); err != nil {
+				t.Fatal(err)
+			}
+			chosen = append(chosen, bestF)
+		}
+	}
+}
+
+// TestPredictZeroAllocs pins the pooled query buffer: a warmed classifier
+// answers queries with zero heap allocations.
+func TestPredictZeroAllocs(t *testing.T) {
+	d := mltest.Clusters(120, 6, 4, 0.05, 5)
+	for _, oneNN := range []bool{false, true} {
+		c, err := (&Trainer{OneNN: oneNN}).Train(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := d.Examples[3].Features
+		c.Predict(q) // warm the pool
+		if allocs := testing.AllocsPerRun(100, func() { c.Predict(q) }); allocs != 0 {
+			t.Errorf("oneNN=%v: Predict allocates %v per run, want 0", oneNN, allocs)
+		}
+	}
+}

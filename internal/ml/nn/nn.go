@@ -9,6 +9,7 @@ package nn
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"metaopt/internal/linalg"
 	"metaopt/internal/ml"
@@ -37,10 +38,15 @@ type Classifier struct {
 	benchmarks []string
 	radius     float64
 	oneNN      bool
+
+	// qbuf pools normalized-query buffers so Predict performs zero heap
+	// allocations in steady state.
+	qbuf sync.Pool
 }
 
 var _ ml.Classifier = (*Classifier)(nil)
 var _ ml.LOOCVer = (*Trainer)(nil)
+var _ ml.SelectScorer = (*Trainer)(nil)
 
 func (t *Trainer) radius() float64 {
 	if t.Radius > 0 {
@@ -72,7 +78,14 @@ func (t *Trainer) Train(d *ml.Dataset) (ml.Classifier, error) {
 
 // Predict classifies a raw feature vector.
 func (c *Classifier) Predict(features []float64) int {
-	return c.predict(c.norm.Apply(features), -1)
+	bp, _ := c.qbuf.Get().(*[]float64)
+	if bp == nil || cap(*bp) < len(features) {
+		bp = new([]float64)
+		*bp = make([]float64, len(features))
+	}
+	pred := c.predict(c.norm.ApplyInto(features, (*bp)[:cap(*bp)]), -1)
+	c.qbuf.Put(bp)
+	return pred
 }
 
 // predict classifies a normalized query, optionally excluding one database
@@ -162,9 +175,74 @@ func (c *Classifier) nearest(q []float64, exclude int) int {
 	return best
 }
 
+// maxDenseRows bounds the examples for which the LOOCV fast path
+// materializes the n×n distance matrix (4096² float64 = 128 MB).
+const maxDenseRows = 4096
+
+// predictRow is predict with the distances to the whole database already
+// computed (one row of the pairwise matrix). Same neighbor scan, same tie
+// handling — the distance values are bit-identical, so so are the answers.
+func (c *Classifier) predictRow(d2s []float64, exclude int) int {
+	if c.oneNN {
+		return c.labels[nearestRow(d2s, exclude)]
+	}
+	r2 := c.radius * c.radius
+	var votes [ml.NumClasses + 1]int
+	var bestInClass [ml.NumClasses + 1]float64
+	for i := range bestInClass {
+		bestInClass[i] = math.Inf(1)
+	}
+	found := 0
+	for i, d2 := range d2s {
+		if i == exclude || d2 > r2 {
+			continue
+		}
+		found++
+		votes[c.labels[i]]++
+		if d2 < bestInClass[c.labels[i]] {
+			bestInClass[c.labels[i]] = d2
+		}
+	}
+	if found == 0 {
+		return c.labels[nearestRow(d2s, exclude)]
+	}
+	best := 0
+	for label := 1; label <= ml.NumClasses; label++ {
+		if votes[label] == 0 {
+			continue
+		}
+		switch {
+		case best == 0, votes[label] > votes[best]:
+			best = label
+		case votes[label] == votes[best] && bestInClass[label] < bestInClass[best]:
+			best = label
+		}
+	}
+	return best
+}
+
+func nearestRow(d2s []float64, exclude int) int {
+	best, bestD := -1, math.Inf(1)
+	for i, d := range d2s {
+		if i == exclude {
+			continue
+		}
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
 // LOOCV classifies every example against the rest of the database. The
 // normalization statistics come from the full dataset, matching how the
-// paper's Matlab prototype normalized once before cross-validating.
+// paper's Matlab prototype normalized once before cross-validating. The
+// pairwise distances are materialized once in cache-friendly blocks, so
+// each of the n folds scans one precomputed row instead of re-walking the
+// n×dim feature matrix.
 func (t *Trainer) LOOCV(d *ml.Dataset) ([]int, error) {
 	if d.Len() < 2 {
 		return nil, fmt.Errorf("nn: LOOCV needs at least 2 examples")
@@ -174,7 +252,15 @@ func (t *Trainer) LOOCV(d *ml.Dataset) ([]int, error) {
 		return nil, err
 	}
 	c := ci.(*Classifier)
-	preds := make([]int, d.Len())
+	n := d.Len()
+	preds := make([]int, n)
+	if n <= maxDenseRows {
+		dist := linalg.PairwiseSqDistInto(c.rows, nil)
+		for i := range preds {
+			preds[i] = c.predictRow(dist[i*n:(i+1)*n], i)
+		}
+		return preds, nil
+	}
 	for i := range d.Examples {
 		preds[i] = c.predict(c.rows[i], i)
 	}

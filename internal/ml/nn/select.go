@@ -1,0 +1,162 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"metaopt/internal/linalg"
+	"metaopt/internal/ml"
+)
+
+// selectSession scores greedy forward selection incrementally. Squared
+// Euclidean distance is additive across features, and the per-feature
+// normalization statistics do not depend on which other features are
+// selected, so the session keeps one n×n distance matrix over the committed
+// features and prices a candidate by adding its single-feature contribution
+// on the fly: O(n²) per candidate instead of O(n²·|chosen|).
+//
+// Bit-identity with the per-subset path: greedy projects subsets with the
+// candidate appended last, and SqDist accumulates features left to right —
+// exactly the order the committed matrix was built in (Commit adds one
+// feature's contribution per round). Identical floats in, identical
+// neighbor choices and errors out.
+type selectSession struct {
+	n         int
+	cols      [][]float64 // normalized feature columns of the full dataset
+	labels    []int
+	dist      []float64 // n×n squared distances over committed features
+	committed int
+	radius    float64
+	oneNN     bool
+}
+
+// BeginSelect implements ml.SelectScorer.
+func (t *Trainer) BeginSelect(d *ml.Dataset, workers int) (ml.SelectSession, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := d.Len()
+	if n < 2 {
+		return nil, fmt.Errorf("nn: selection needs at least 2 examples")
+	}
+	dim := len(d.Examples[0].Features)
+	norm := ml.FitNorm(d)
+	slab := make([]float64, dim*n)
+	cols := make([][]float64, dim)
+	for f := range cols {
+		cols[f] = slab[f*n : (f+1)*n]
+	}
+	row := make([]float64, dim)
+	labels := make([]int, n)
+	for i, e := range d.Examples {
+		norm.ApplyInto(e.Features, row)
+		for f, v := range row {
+			cols[f][i] = v
+		}
+		labels[i] = e.Label
+	}
+	return &selectSession{
+		n:      n,
+		cols:   cols,
+		labels: labels,
+		dist:   make([]float64, n*n),
+		radius: t.radius(),
+		oneNN:  t.OneNN,
+	}, nil
+}
+
+// Score implements ml.SelectSession. Concurrent calls only read shared
+// state.
+func (s *selectSession) Score(_ int, chosen []int, cand int) (float64, error) {
+	if len(chosen) != s.committed {
+		return 0, fmt.Errorf("nn: selection session out of sync: %d chosen, %d committed", len(chosen), s.committed)
+	}
+	if cand < 0 || cand >= len(s.cols) {
+		return 0, fmt.Errorf("nn: candidate feature %d out of range", cand)
+	}
+	col := s.cols[cand]
+	hit := 0
+	for i := 0; i < s.n; i++ {
+		if s.predictFold(i, col) == s.labels[i] {
+			hit++
+		}
+	}
+	// 1 − accuracy, the exact expression the per-subset path reports (the
+	// float is not always miss/n).
+	return 1 - float64(hit)/float64(s.n), nil
+}
+
+// predictFold classifies example i against the rest of the dataset over the
+// committed features plus the candidate column, mirroring predict.
+func (s *selectSession) predictFold(i int, col []float64) int {
+	di := s.dist[i*s.n : (i+1)*s.n]
+	ci := col[i]
+	// Track the single nearest neighbor in the same scan (strict <, first
+	// index wins) — used directly in 1-NN mode and as the radius-voting
+	// fallback when the neighborhood is empty.
+	nearest, nearestD := -1, math.Inf(1)
+	if s.oneNN {
+		for j, base := range di {
+			if j == i {
+				continue
+			}
+			dc := ci - col[j]
+			if d2 := base + dc*dc; d2 < nearestD {
+				nearest, nearestD = j, d2
+			}
+		}
+		return s.labels[nearest]
+	}
+	r2 := s.radius * s.radius
+	var votes [ml.NumClasses + 1]int
+	var bestInClass [ml.NumClasses + 1]float64
+	for k := range bestInClass {
+		bestInClass[k] = math.Inf(1)
+	}
+	found := 0
+	for j, base := range di {
+		if j == i {
+			continue
+		}
+		dc := ci - col[j]
+		d2 := base + dc*dc
+		if d2 < nearestD {
+			nearest, nearestD = j, d2
+		}
+		if d2 > r2 {
+			continue
+		}
+		found++
+		votes[s.labels[j]]++
+		if d2 < bestInClass[s.labels[j]] {
+			bestInClass[s.labels[j]] = d2
+		}
+	}
+	if found == 0 {
+		return s.labels[nearest]
+	}
+	best := 0
+	for label := 1; label <= ml.NumClasses; label++ {
+		if votes[label] == 0 {
+			continue
+		}
+		switch {
+		case best == 0, votes[label] > votes[best]:
+			best = label
+		case votes[label] == votes[best] && bestInClass[label] < bestInClass[best]:
+			best = label
+		}
+	}
+	return best
+}
+
+// Commit implements ml.SelectSession: folds the round winner's
+// single-feature contribution into the committed distance matrix.
+func (s *selectSession) Commit(f int) error {
+	if f < 0 || f >= len(s.cols) {
+		return fmt.Errorf("nn: commit feature %d out of range", f)
+	}
+	linalg.AddSqColumn(s.dist, s.cols[f])
+	s.committed++
+	return nil
+}

@@ -1,0 +1,52 @@
+package svm
+
+import (
+	"testing"
+
+	"metaopt/internal/ml/mltest"
+)
+
+// evalOnly wraps an RBF behind a different type, forcing system() onto the
+// per-pair Eval path instead of the cached blocked distance matrix.
+type evalOnly struct{ r RBF }
+
+func (k evalOnly) Eval(a, b []float64) float64 { return k.r.Eval(a, b) }
+
+// TestBlockedGramMatchesEval trains and cross-validates the same LS-SVM
+// through the blocked Gram path and the per-pair Eval path: the Gram
+// matrices are bit-identical by construction, so every prediction must
+// agree exactly.
+func TestBlockedGramMatchesEval(t *testing.T) {
+	d := mltest.Clusters(100, 5, 4, 0.2, 13)
+	const sigma = 1.7
+	fast := &LSSVM{Kernel: RBF{Sigma: sigma}}
+	slow := &LSSVM{Kernel: evalOnly{RBF{Sigma: sigma}}}
+
+	cf, err := fast.Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := slow.Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range d.Examples {
+		if pf, ps := cf.Predict(e.Features), cs.Predict(e.Features); pf != ps {
+			t.Fatalf("example %d: blocked pred %d, eval pred %d", i, pf, ps)
+		}
+	}
+
+	lf, err := fast.LOOCV(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := slow.LOOCV(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lf {
+		if lf[i] != ls[i] {
+			t.Fatalf("LOOCV fold %d: blocked %d, eval %d", i, lf[i], ls[i])
+		}
+	}
+}

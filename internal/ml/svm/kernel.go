@@ -63,3 +63,32 @@ func medianSigma(rows [][]float64) float64 {
 	}
 	return med
 }
+
+// medianSigmaDist is medianSigma reading a precomputed n×n squared-distance
+// matrix instead of re-deriving the sampled pairs — same sample indices,
+// same values, same result.
+func medianSigmaDist(dist []float64, n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	step := 1
+	const sampleRows = 150
+	if n > sampleRows {
+		step = n / sampleRows
+	}
+	var dists []float64
+	for i := 0; i < n; i += step {
+		for j := i + step; j < n; j += step {
+			dists = append(dists, math.Sqrt(dist[i*n+j]))
+		}
+	}
+	if len(dists) == 0 {
+		return 1
+	}
+	sort.Float64s(dists)
+	med := dists[len(dists)/2]
+	if med <= 0 {
+		return 1
+	}
+	return med
+}

@@ -2,6 +2,7 @@ package svm
 
 import (
 	"fmt"
+	"math"
 
 	"metaopt/internal/linalg"
 	"metaopt/internal/ml"
@@ -46,32 +47,60 @@ type Model struct {
 
 var _ ml.Classifier = (*Model)(nil)
 
-func (t *LSSVM) config(rows [][]float64) (float64, Kernel, Codes) {
+func (t *LSSVM) config(rows [][]float64) (float64, Kernel, Codes, []float64) {
 	gamma := t.Gamma
 	if gamma <= 0 {
 		gamma = DefaultGamma
 	}
-	kernel := t.Kernel
-	if kernel == nil {
-		kernel = RBF{Sigma: medianSigma(rows)}
-	}
+	kernel, dist := kernelAndDist(t.Kernel, rows)
 	codes := t.Codes
 	if codes.NumClasses() == 0 {
 		codes = OneVsRest(ml.NumClasses)
 	}
-	return gamma, kernel, codes
+	return gamma, kernel, codes, dist
 }
 
-// system builds and factors the shared matrix A = K + I/γ.
-func system(rows [][]float64, kernel Kernel, gamma float64) (*linalg.Cholesky, error) {
+// kernelAndDist resolves the kernel, computing the blocked pairwise
+// squared-distance matrix when an RBF Gram matrix will need it (it also
+// backs the median-σ bandwidth estimate, so the sampled pairs are not
+// recomputed). Non-RBF kernels get no matrix.
+func kernelAndDist(kernel Kernel, rows [][]float64) (Kernel, []float64) {
+	_, isRBF := kernel.(RBF)
+	if kernel != nil && !isRBF {
+		return kernel, nil
+	}
+	dist := linalg.PairwiseSqDistInto(rows, nil)
+	if kernel == nil {
+		kernel = RBF{Sigma: medianSigmaDist(dist, len(rows))}
+	}
+	return kernel, dist
+}
+
+// system builds and factors the shared matrix A = K + I/γ. For RBF kernels
+// dist carries the cached pairwise squared distances, so the Gram matrix is
+// an element-wise exp over the cache — the values match per-pair Eval calls
+// exactly (same SqDist accumulation, same divisor expression).
+func system(rows [][]float64, kernel Kernel, gamma float64, dist []float64) (*linalg.Cholesky, error) {
 	n := len(rows)
 	a := linalg.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		a.Set(i, i, kernel.Eval(rows[i], rows[i])+1/gamma)
-		for j := 0; j < i; j++ {
-			v := kernel.Eval(rows[i], rows[j])
-			a.Set(i, j, v)
-			a.Set(j, i, v)
+	if rbf, ok := kernel.(RBF); ok && dist != nil {
+		denom := 2 * rbf.Sigma * rbf.Sigma
+		for i := 0; i < n; i++ {
+			arow := a.Row(i)
+			drow := dist[i*n : (i+1)*n]
+			for j := range arow {
+				arow[j] = math.Exp(-drow[j] / denom)
+			}
+			arow[i] += 1 / gamma
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			a.Set(i, i, kernel.Eval(rows[i], rows[i])+1/gamma)
+			for j := 0; j < i; j++ {
+				v := kernel.Eval(rows[i], rows[j])
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
 		}
 	}
 	ch, err := linalg.NewCholesky(a)
@@ -104,8 +133,8 @@ func (t *LSSVM) Train(d *ml.Dataset) (ml.Classifier, error) {
 	}
 	norm := ml.FitNorm(d)
 	rows := norm.ApplyAll(d)
-	gamma, kernel, codes := t.config(rows)
-	ch, err := system(rows, kernel, gamma)
+	gamma, kernel, codes, dist := t.config(rows)
+	ch, err := system(rows, kernel, gamma, dist)
 	if err != nil {
 		return nil, err
 	}
@@ -178,8 +207,8 @@ func (t *LSSVM) LOOCV(d *ml.Dataset) ([]int, error) {
 	}
 	norm := ml.FitNorm(d)
 	rows := norm.ApplyAll(d)
-	gamma, kernel, codes := t.config(rows)
-	ch, err := system(rows, kernel, gamma)
+	gamma, kernel, codes, dist := t.config(rows)
+	ch, err := system(rows, kernel, gamma, dist)
 	if err != nil {
 		return nil, err
 	}

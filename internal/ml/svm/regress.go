@@ -34,16 +34,13 @@ type RegModel struct {
 
 var _ ml.Classifier = (*RegModel)(nil)
 
-func (t *Regression) config(rows [][]float64) (float64, Kernel) {
+func (t *Regression) config(rows [][]float64) (float64, Kernel, []float64) {
 	gamma := t.Gamma
 	if gamma <= 0 {
 		gamma = DefaultGamma
 	}
-	kernel := t.Kernel
-	if kernel == nil {
-		kernel = RBF{Sigma: medianSigma(rows)}
-	}
-	return gamma, kernel
+	kernel, dist := kernelAndDist(t.Kernel, rows)
+	return gamma, kernel, dist
 }
 
 // Train fits the regressor to the labels.
@@ -53,8 +50,8 @@ func (t *Regression) Train(d *ml.Dataset) (ml.Classifier, error) {
 	}
 	norm := ml.FitNorm(d)
 	rows := norm.ApplyAll(d)
-	gamma, kernel := t.config(rows)
-	ch, err := system(rows, kernel, gamma)
+	gamma, kernel, dist := t.config(rows)
+	ch, err := system(rows, kernel, gamma, dist)
 	if err != nil {
 		return nil, err
 	}
@@ -111,8 +108,8 @@ func (t *Regression) LOOCV(d *ml.Dataset) ([]int, error) {
 	}
 	norm := ml.FitNorm(d)
 	rows := norm.ApplyAll(d)
-	gamma, kernel := t.config(rows)
-	ch, err := system(rows, kernel, gamma)
+	gamma, kernel, dist := t.config(rows)
+	ch, err := system(rows, kernel, gamma, dist)
 	if err != nil {
 		return nil, err
 	}

@@ -167,3 +167,61 @@ func TestTrainRejectsBadDataset(t *testing.T) {
 		t.Error("expected error for empty dataset")
 	}
 }
+
+// TestFoldSessionMatchesTrain asserts the shared-presort fold path grows
+// exactly the tree that training on each fold's own dataset grows: same
+// structure, same features, same thresholds bit for bit.
+func TestFoldSessionMatchesTrain(t *testing.T) {
+	d := mltest.Clusters(120, 5, 4, 0.3, 11)
+	tr := &Trainer{MaxDepth: 5}
+	sess, err := tr.BeginFolds(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fold ml.Dataset
+	for i := 0; i < d.Len(); i++ {
+		got, err := sess.TrainWithout(i%3, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := tr.Train(d.WithoutInto(i, &fold))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameTree(got.(*Tree).Root, want.(*Tree).Root) {
+			t.Fatalf("fold %d: session tree differs from per-fold training\nsession:\n%swant:\n%s",
+				i, got.(*Tree), want.(*Tree))
+		}
+	}
+}
+
+func sameTree(a, b *node) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return a.Feature == b.Feature && a.Threshold == b.Threshold &&
+		a.Label == b.Label && sameTree(a.Left, b.Left) && sameTree(a.Right, b.Right)
+}
+
+// TestBuilderPristineReuse trains twice on the same dataset through the
+// pooled builder (as boosting does every round) and checks the trees match,
+// covering the order-restore path.
+func TestBuilderPristineReuse(t *testing.T) {
+	d := mltest.Clusters(150, 4, 4, 0.2, 7)
+	b := builders.Get().(*builder)
+	defer builders.Put(b)
+	w := make([]float64, d.Len())
+	for i := range w {
+		w[i] = 1
+	}
+	b.init(d)
+	first := &Tree{Root: b.grow(w, 6, 3)}
+	b.init(d) // same matrix: must hit the pristine cache
+	second := &Tree{Root: b.grow(w, 6, 3)}
+	if !sameTree(first.Root, second.Root) {
+		t.Fatal("pristine-cache retrain differs from fresh train")
+	}
+}

@@ -8,7 +8,7 @@ package regalloc
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"metaopt/internal/analysis"
 	"metaopt/internal/ir"
@@ -17,6 +17,10 @@ import (
 
 // NoReg marks a spilled value.
 const NoReg = -1
+
+// Unallocated marks an op that produces no register value (stores,
+// branches) in Result.Reg.
+const Unallocated = -2
 
 // Interval is the live range of one value in the schedule.
 type Interval struct {
@@ -29,10 +33,11 @@ type Interval struct {
 
 // Result is a completed allocation.
 type Result struct {
-	// Reg maps producing-op index to its register number, or NoReg if the
-	// value is spilled. Parameters are not included (they pre-color the
-	// bottom of each file).
-	Reg map[int]int
+	// Reg maps producing-op index to its register number: NoReg if the
+	// value is spilled, Unallocated if the op produces no value.
+	// Parameters are not included (they pre-color the bottom of each
+	// file). Indexed like Graph.Ops.
+	Reg []int
 
 	Intervals []Interval
 
@@ -73,7 +78,10 @@ func Run(s *sched.Schedule) *Result {
 	}
 
 	intervals := buildIntervals(s, length)
-	res := &Result{Reg: map[int]int{}, Intervals: intervals}
+	res := &Result{Reg: make([]int, len(g.Ops)), Intervals: intervals}
+	for i := range res.Reg {
+		res.Reg[i] = Unallocated
+	}
 
 	res.allocateClass(intervals, false, availInt)
 	res.allocateClass(intervals, true, availFP)
@@ -107,7 +115,15 @@ func buildIntervals(s *sched.Schedule, length int) []Interval {
 		}
 		out = append(out, iv)
 	}
-	sort.SliceStable(out, func(a, b int) bool { return out[a].Start < out[b].Start })
+	// Stable sort by start cycle, tiebreak on op index (out is built in
+	// ascending op order, so this matches the former reflection-based
+	// stable sort without its closure allocations).
+	slices.SortFunc(out, func(a, b Interval) int {
+		if a.Start != b.Start {
+			return a.Start - b.Start
+		}
+		return a.Op - b.Op
+	})
 	return out
 }
 
@@ -183,14 +199,14 @@ func (r *Result) spill(iv *Interval, fp bool) {
 func (r *Result) Verify() error {
 	for a := 0; a < len(r.Intervals); a++ {
 		ia := r.Intervals[a]
-		ra, ok := r.Reg[ia.Op]
-		if !ok || ra == NoReg {
+		ra := r.Reg[ia.Op]
+		if ra == NoReg || ra == Unallocated {
 			continue
 		}
 		for b := a + 1; b < len(r.Intervals); b++ {
 			ib := r.Intervals[b]
-			rb, ok := r.Reg[ib.Op]
-			if !ok || rb == NoReg || ia.FP != ib.FP || ra != rb {
+			rb := r.Reg[ib.Op]
+			if rb == NoReg || rb == Unallocated || ia.FP != ib.FP || ra != rb {
 				continue
 			}
 			if ia.Start <= ib.End && ib.Start <= ia.End {
@@ -216,7 +232,7 @@ func (r *Result) MaxReg(fp bool) int {
 		if iv.FP != fp {
 			continue
 		}
-		if reg, ok := r.Reg[iv.Op]; ok && reg > best {
+		if reg := r.Reg[iv.Op]; reg > best {
 			best = reg
 		}
 	}

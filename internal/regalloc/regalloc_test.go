@@ -53,7 +53,7 @@ func TestDaxpyAllocatesWithoutSpills(t *testing.T) {
 	}
 	// Every defined value got a register.
 	for _, iv := range r.Intervals {
-		if reg, ok := r.Reg[iv.Op]; !ok || reg == NoReg {
+		if reg := r.Reg[iv.Op]; reg == NoReg || reg == Unallocated {
 			t.Fatalf("value v%d unallocated", iv.Op)
 		}
 	}

@@ -7,10 +7,19 @@ package sched
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
 	"metaopt/internal/analysis"
 	"metaopt/internal/machine"
+	"metaopt/internal/obs"
+)
+
+// Scheduler pool telemetry: the labeler schedules every candidate body
+// through the shared pool, so hits vs. misses is the steady-state
+// allocation story.
+var (
+	mPoolHits   = obs.C("sched.pool_hits")
+	mPoolMisses = obs.C("sched.pool_misses")
 )
 
 // Schedule is the result of list-scheduling one loop body.
@@ -30,11 +39,123 @@ type Schedule struct {
 	Period int
 }
 
-// List schedules the body of g's loop. It always succeeds: the dependence
-// graph restricted to same-iteration edges is acyclic by IR construction.
+// readyEnt is one entry of the ready queue: an op with its priority key.
+type readyEnt struct {
+	h   int // height: longest latency path to a sink (higher first)
+	seq int // arrival order (earlier first) — makes the queue stable
+	op  int
+}
+
+// readyHeap is a binary heap ordered by (height desc, seq asc): popping
+// yields exactly the sequence a stable sort of the arrival order by
+// descending height would, without re-sorting the whole queue every pass.
+type readyHeap []readyEnt
+
+func (h readyHeap) before(a, b int) bool {
+	if h[a].h != h[b].h {
+		return h[a].h > h[b].h
+	}
+	return h[a].seq < h[b].seq
+}
+
+func (h *readyHeap) push(e readyEnt) {
+	*h = append(*h, e)
+	q := *h
+	for i := len(q) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !q.before(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+func (h *readyHeap) pop() readyEnt {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	*h = q
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		next := i
+		if l < last && q.before(l, next) {
+			next = l
+		}
+		if r < last && q.before(r, next) {
+			next = r
+		}
+		if next == i {
+			break
+		}
+		q[i], q[next] = q[next], q[i]
+		i = next
+	}
+	return top
+}
+
+// Scheduler is reusable scratch state for List. A zero Scheduler is ready
+// to use; after the first few calls it reaches steady state and ListInto
+// performs no heap allocations. A Scheduler must not be used concurrently.
+type Scheduler struct {
+	height   []int
+	preds    []int
+	earliest []int
+	cur      readyHeap // ready queue drained this pass
+	next     readyHeap // deferred + newly enabled ops for the next pass
+	unitUse  [machine.NumUnitKinds][]int
+	issueUse []int
+	warm     bool // has been through the pool at least once (telemetry)
+}
+
+// pool is the shared scratch-state pool behind the package-level List;
+// internal/sim and internal/swp schedule every candidate body through it.
+var pool = sync.Pool{New: func() any { return new(Scheduler) }}
+
+// Get returns a pooled Scheduler; pair with Put.
+func Get() *Scheduler {
+	sc := pool.Get().(*Scheduler)
+	if sc.warm {
+		mPoolHits.Inc()
+	} else {
+		mPoolMisses.Inc()
+		sc.warm = true
+	}
+	return sc
+}
+
+// Put returns a Scheduler to the pool.
+func Put(sc *Scheduler) { pool.Put(sc) }
+
+// List schedules the body of g's loop using pooled scratch state. It
+// always succeeds: the dependence graph restricted to same-iteration edges
+// is acyclic by IR construction.
 func List(g *analysis.Graph) *Schedule {
+	sc := Get()
+	s := sc.ListInto(g, &Schedule{})
+	Put(sc)
+	return s
+}
+
+// grow returns sl resliced to length n within capacity, zeroed, allocating
+// only when capacity is insufficient.
+func grow(sl []int, n int) []int {
+	if cap(sl) < n {
+		return make([]int, n)
+	}
+	sl = sl[:n]
+	clear(sl)
+	return sl
+}
+
+// ListInto is List with caller-owned result storage: s is reset, filled,
+// and returned, reusing s.Cycle's capacity. In steady state (warm scratch,
+// warm s.Cycle) it does not allocate.
+func (sc *Scheduler) ListInto(g *analysis.Graph, s *Schedule) *Schedule {
 	n := len(g.Ops)
-	s := &Schedule{Graph: g, Cycle: make([]int, n)}
+	*s = Schedule{Graph: g, Cycle: grow(s.Cycle, n)}
 	if n == 0 {
 		s.Period = 1
 		return s
@@ -43,7 +164,8 @@ func List(g *analysis.Graph) *Schedule {
 
 	// Priority: height — longest dist-0 path from the op to any sink,
 	// including latencies.
-	height := make([]int, n)
+	height := grow(sc.height, n)
+	sc.height = height
 	for i := n - 1; i >= 0; i-- {
 		height[i] = m.Latency(g.Ops[i])
 		for _, e := range g.Out[i] {
@@ -57,8 +179,9 @@ func List(g *analysis.Graph) *Schedule {
 	}
 
 	// Earliest start constrained by scheduled dist-0 predecessors.
-	preds := make([]int, n) // unscheduled dist-0 predecessor count
-	earliest := make([]int, n)
+	preds := grow(sc.preds, n) // unscheduled dist-0 predecessor count
+	earliest := grow(sc.earliest, n)
+	sc.preds, sc.earliest = preds, earliest
 	for i := range g.Ops {
 		for _, e := range g.In[i] {
 			if e.Dist == 0 {
@@ -66,17 +189,24 @@ func List(g *analysis.Graph) *Schedule {
 			}
 		}
 	}
-	var ready []int
+	// The ready queue pops by (height desc, arrival seq asc), which
+	// reproduces a stable descending-height sort of the arrival order.
+	cur, next := sc.cur[:0], sc.next[:0]
+	seq := 0
 	for i := range g.Ops {
 		if preds[i] == 0 {
-			ready = append(ready, i)
+			cur.push(readyEnt{h: height[i], seq: seq, op: i})
+			seq++
 		}
 	}
 
 	// Resource state, grown on demand: per-kind usage and issue count per
-	// cycle.
-	var unitUse [machine.NumUnitKinds][]int
-	var issueUse []int
+	// cycle. Lengths reset to zero each call; appends reuse capacity.
+	issueUse := sc.issueUse[:0]
+	unitUse := sc.unitUse
+	for k := range unitUse {
+		unitUse[k] = unitUse[k][:0]
+	}
 	ensure := func(c int) {
 		for len(issueUse) <= c {
 			issueUse = append(issueUse, 0)
@@ -117,13 +247,12 @@ func List(g *analysis.Graph) *Schedule {
 		// whose predecessors all issue this cycle with zero latency may
 		// still co-issue (e.g. the back-edge branch beside the last store).
 		for {
-			// Highest first; stable tiebreak on program order.
-			sort.SliceStable(ready, func(a, b int) bool { return height[ready[a]] > height[ready[b]] })
-			var deferred []int
 			placedAny := false
-			for _, op := range ready {
+			for len(cur) > 0 {
+				op := cur.pop().op
 				if earliest[op] > cycle || !fits(op, cycle) {
-					deferred = append(deferred, op)
+					next.push(readyEnt{h: height[op], seq: seq, op: op})
+					seq++
 					continue
 				}
 				place(op, cycle)
@@ -141,11 +270,12 @@ func List(g *analysis.Graph) *Schedule {
 					}
 					preds[e.To]--
 					if preds[e.To] == 0 {
-						deferred = append(deferred, e.To)
+						next.push(readyEnt{h: height[e.To], seq: seq, op: e.To})
+						seq++
 					}
 				}
 			}
-			ready = deferred
+			cur, next = next, cur[:0]
 			if !placedAny {
 				break
 			}
@@ -155,6 +285,9 @@ func List(g *analysis.Graph) *Schedule {
 			panic(fmt.Sprintf("sched: no progress scheduling %s", g.Loop.Name))
 		}
 	}
+	sc.cur, sc.next = cur, next
+	sc.issueUse = issueUse
+	sc.unitUse = unitUse
 
 	s.Period = s.Length + m.BranchCycles - 1
 	// Loop-carried dependences may stretch the inter-body period: op v of
@@ -189,19 +322,27 @@ func (s *Schedule) Verify() error {
 				g.Loop.Name, g.Ops[e.From].ID, g.Ops[e.To].ID, e.Kind, e.Lat, s.Cycle[e.From], s.Cycle[e.To])
 		}
 	}
-	var unitUse [machine.NumUnitKinds]map[int]int
-	for k := range unitUse {
-		unitUse[k] = map[int]int{}
+	// Resource tables indexed by cycle, grown on demand.
+	var unitUse [machine.NumUnitKinds][]int
+	var issue []int
+	ensure := func(c int) {
+		for len(issue) <= c {
+			issue = append(issue, 0)
+			for k := range unitUse {
+				unitUse[k] = append(unitUse[k], 0)
+			}
+		}
 	}
-	issue := map[int]int{}
 	for i, op := range g.Ops {
 		c := s.Cycle[i]
+		block := m.BlockCycles(op.Code)
+		ensure(c + block)
 		issue[c]++
 		if issue[c] > m.IssueWidth {
 			return fmt.Errorf("sched: %s: issue width exceeded at cycle %d", g.Loop.Name, c)
 		}
 		kind := m.UnitFor(op.Code)
-		for j := 0; j < m.BlockCycles(op.Code); j++ {
+		for j := 0; j < block; j++ {
 			unitUse[kind][c+j]++
 			if unitUse[kind][c+j] > m.Units[kind] {
 				return fmt.Errorf("sched: %s: unit %s oversubscribed at cycle %d", g.Loop.Name, kind, c+j)

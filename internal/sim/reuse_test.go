@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+
+	"metaopt/internal/transform"
+)
+
+// Kernels exercising the distinct compile paths: plain vector code, a
+// loop-carried reduction (recurrence-bound under SWP), a non-noalias
+// stencil, and an early exit (never pipelined).
+var reuseKernels = []string{
+	daxpy,
+	`
+kernel reduce lang=fortran {
+	double a[];
+	double s;
+	for i = 0 .. 300 { s = s + a[i]*a[i]; }
+}`,
+	`
+kernel stencil lang=c {
+	double a[], b[];
+	for i = 1 .. 1000 { b[i] = a[i-1] + a[i] + a[i+1]; }
+}`,
+	`
+kernel search lang=c {
+	double a[];
+	double s;
+	for i = 0 .. n { s = s + a[i]; if (s > 1000.0) break; }
+}`,
+}
+
+// TestCompileReuseBitIdentical compiles every kernel at every factor twice:
+// through the shared per-loop state (the production path, where validation
+// and the rolled-body recurrence analysis run once per loop) and with a
+// fresh unshared state per call (the old independent-per-factor behaviour).
+// Cycle counts and compile stats must match exactly.
+func TestCompileReuseBitIdentical(t *testing.T) {
+	for _, swpOn := range []bool{false, true} {
+		tm := exactTimer(swpOn)
+		for _, src := range reuseKernels {
+			l := loop(t, src)
+			for u := 1; u <= transform.MaxFactor; u++ {
+				got, err := tm.compile(l, u)
+				if err != nil {
+					t.Fatalf("swp=%v %s u=%d: shared: %v", swpOn, l.Name, u, err)
+				}
+				want, err := tm.compileLoopShared(l, u, &loopShared{})
+				if err != nil {
+					t.Fatalf("swp=%v %s u=%d: independent: %v", swpOn, l.Name, u, err)
+				}
+				if got.perEntry != want.perEntry {
+					t.Errorf("swp=%v %s u=%d: perEntry %v != independent %v",
+						swpOn, l.Name, u, got.perEntry, want.perEntry)
+				}
+				if got.stats != want.stats {
+					t.Errorf("swp=%v %s u=%d: stats %+v != independent %+v",
+						swpOn, l.Name, u, got.stats, want.stats)
+				}
+			}
+		}
+	}
+}

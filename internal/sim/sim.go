@@ -36,6 +36,8 @@ var (
 	mRemHits       = obs.C("sim.remainder_cache.hits")
 	mRemMisses     = obs.C("sim.remainder_cache.misses")
 	mRemRaces      = obs.C("sim.remainder_cache.races")
+	mSharedHits    = obs.C("sim.loop_shared.hits")
+	mSharedMisses  = obs.C("sim.loop_shared.misses")
 	mSchedules     = obs.C("sim.schedules_built")
 	mMeasurements  = obs.C("sim.measurements")
 	mCycles        = obs.C("sim.cycles_simulated")
@@ -114,6 +116,7 @@ type Timer struct {
 	Cfg    *Config
 	shards [cacheShards]compileShard
 	rem    [cacheShards]remainderShard
+	shared [cacheShards]sharedShard
 }
 
 type compileShard struct {
@@ -124,6 +127,47 @@ type compileShard struct {
 type remainderShard struct {
 	mu sync.Mutex
 	m  map[*ir.Loop]float64
+}
+
+type sharedShard struct {
+	mu sync.Mutex
+	m  map[*ir.Loop]*loopShared
+}
+
+// loopShared is the per-loop state every unroll factor of the same loop can
+// reuse: the one-time input validation and the rolled body's recurrence
+// ratio. The eight factor compiles of one loop used to repeat both —
+// validation per factor and a full clone+dependence-analysis of the rolled
+// body inside pipelineMII per factor.
+type loopShared struct {
+	validateOnce sync.Once
+	validateErr  error
+
+	recOnce sync.Once
+	rn, rd  int
+}
+
+// validated runs l.Validate exactly once per loop, whatever unroll factor
+// asks first.
+func (ls *loopShared) validated(l *ir.Loop) error {
+	ls.validateOnce.Do(func() {
+		if err := l.Validate(); err != nil {
+			ls.validateErr = fmt.Errorf("transform: input: %w", err)
+		}
+	})
+	return ls.validateErr
+}
+
+// recurrence returns the rolled body's recurrence ratio excluding the
+// induction update, computed once per loop and shared by all factors.
+func (ls *loopShared) recurrence(l *ir.Loop, m *machine.Desc) (rn, rd int) {
+	ls.recOnce.Do(func() {
+		rg := analysis.Build(l.Clone(), m)
+		ls.rn, ls.rd = rg.RecurrenceRatioExcluding(func(op *ir.Op) bool {
+			return op.Code == ir.OpAdd && selfCarried(op)
+		})
+	})
+	return ls.rn, ls.rd
 }
 
 type timerKey struct {
@@ -212,10 +256,44 @@ func (t *Timer) compile(l *ir.Loop, u int) (*compiled, error) {
 	return c, nil
 }
 
+// sharedFor returns the per-loop shared compile state, creating it on first
+// sight of the loop. The hit/miss counters give the graph-reuse rate: every
+// hit is a factor compile that skipped the loop-level analysis work.
+func (t *Timer) sharedFor(l *ir.Loop) *loopShared {
+	sh := &t.shared[shardOf(l, 0)]
+	sh.mu.Lock()
+	ls, ok := sh.m[l]
+	if !ok {
+		if sh.m == nil {
+			sh.m = map[*ir.Loop]*loopShared{}
+		}
+		ls = &loopShared{}
+		sh.m[l] = ls
+	}
+	sh.mu.Unlock()
+	if ok {
+		mSharedHits.Inc()
+	} else {
+		mSharedMisses.Inc()
+	}
+	return ls
+}
+
 // compileLoop builds the unrolled variant and prices one loop entry.
 func (t *Timer) compileLoop(l *ir.Loop, u int) (*compiled, error) {
+	return t.compileLoopShared(l, u, t.sharedFor(l))
+}
+
+// compileLoopShared compiles (l, u) with ls carrying the loop-level work
+// shared across factors. Passing a fresh, unshared loopShared reproduces the
+// old independent-per-factor compile exactly — the bit-identity test relies
+// on this.
+func (t *Timer) compileLoopShared(l *ir.Loop, u int, ls *loopShared) (*compiled, error) {
 	cfg := t.Cfg
-	unrolled, info, err := transform.Unroll(l, u)
+	if err := ls.validated(l); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	unrolled, info, err := transform.UnrollPrechecked(l, u)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
@@ -230,7 +308,7 @@ func (t *Timer) compileLoop(l *ir.Loop, u int) (*compiled, error) {
 
 	mSchedules.Inc()
 	if usePipeline {
-		mii := pipelineMII(l, g, u, m)
+		mii := pipelineMII(l, g, u, ls, m)
 		r, err := swp.Schedule(g, mii)
 		if err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
@@ -369,14 +447,12 @@ func (t *Timer) rolledRemainder(l *ir.Loop) (float64, error) {
 // pipelineMII estimates the modulo-scheduling lower bound for the unrolled
 // body: the exact resource bound plus the rolled loop's recurrence ratio
 // scaled by the unroll factor (the induction-variable update is excluded —
-// unrolling folds it).
-func pipelineMII(rolled *ir.Loop, g *analysis.Graph, u int, m *machine.Desc) int {
+// unrolling folds it). The recurrence ratio comes from the shared per-loop
+// state, so only the first factor pays the rolled-body analysis.
+func pipelineMII(rolled *ir.Loop, g *analysis.Graph, u int, ls *loopShared, m *machine.Desc) int {
 	num, den := g.ResMII()
 	mii := (num + den - 1) / den
-	rg := analysis.Build(mustClone(rolled), m)
-	rn, rd := rg.RecurrenceRatioExcluding(func(op *ir.Op) bool {
-		return op.Code == ir.OpAdd && selfCarried(op)
-	})
+	rn, rd := ls.recurrence(rolled, m)
 	if rd > 0 && rn > 0 {
 		if r := (u*rn + rd - 1) / rd; r > mii {
 			mii = r
@@ -387,8 +463,6 @@ func pipelineMII(rolled *ir.Loop, g *analysis.Graph, u int, m *machine.Desc) int
 	}
 	return mii
 }
-
-func mustClone(l *ir.Loop) *ir.Loop { return l.Clone() }
 
 func selfCarried(op *ir.Op) bool {
 	for _, a := range op.Args {
@@ -456,12 +530,13 @@ func (t *Timer) MeasureScaled(l *ir.Loop, u int, rng *rand.Rand, scale float64) 
 	if runs > len(stack) {
 		samples = make([]int64, 0, runs)
 	}
+	fbase := float64(base)
 	for i := 0; i < runs; i++ {
 		f := bias * (1 + noise*rng.NormFloat64())
 		if f < 0.25 {
 			f = 0.25
 		}
-		samples = append(samples, int64(float64(base)*f))
+		samples = append(samples, int64(fbase*f))
 	}
 	med := selectKth(samples, runs/2)
 	mCycles.Add(med)

@@ -10,12 +10,51 @@ package swp
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"metaopt/internal/analysis"
 	"metaopt/internal/ir"
 	"metaopt/internal/machine"
 )
+
+// state is the reusable scratch for one modulo-scheduling attempt. The II
+// search calls tryII many times per loop and the labeler pipelines every
+// candidate body, so the per-attempt slices are pooled; only the winning
+// cycle assignment is copied out into the Result.
+type state struct {
+	height   []int
+	cycle    []int
+	prevTime []int
+	order    []int
+	work     []int
+	placed   []bool
+	unitUse  [machine.NumUnitKinds][]int
+	finalUse [machine.NumUnitKinds][]int
+	issueUse []int
+}
+
+var statePool = sync.Pool{New: func() any { return new(state) }}
+
+// grow returns sl resliced to length n within capacity, zeroed, allocating
+// only when capacity is insufficient.
+func grow(sl []int, n int) []int {
+	if cap(sl) < n {
+		return make([]int, n)
+	}
+	sl = sl[:n]
+	clear(sl)
+	return sl
+}
+
+func growBool(sl []bool, n int) []bool {
+	if cap(sl) < n {
+		return make([]bool, n)
+	}
+	sl = sl[:n]
+	clear(sl)
+	return sl
+}
 
 // Result is a modulo schedule for one loop body.
 type Result struct {
@@ -45,9 +84,11 @@ func Schedule(g *analysis.Graph, mii int) (*Result, error) {
 		mii = 1
 	}
 	maxII := 4*mii + 64
+	st := statePool.Get().(*state)
+	defer statePool.Put(st)
 	var lastErr error
 	for ii := mii; ii <= maxII; ii++ {
-		cycles, ok := tryII(g, ii)
+		cycles, ok := tryII(g, ii, st)
 		if !ok {
 			continue
 		}
@@ -72,13 +113,15 @@ func Schedule(g *analysis.Graph, mii int) (*Result, error) {
 	return nil, fmt.Errorf("swp: %s: no feasible II in [%d,%d]", g.Loop.Name, mii, maxII)
 }
 
-// tryII attempts one iterative-modulo-scheduling pass at the given II.
-func tryII(g *analysis.Graph, ii int) ([]int, bool) {
+// tryII attempts one iterative-modulo-scheduling pass at the given II
+// using the pooled scratch state.
+func tryII(g *analysis.Graph, ii int, st *state) ([]int, bool) {
 	n := len(g.Ops)
 	m := g.Mach
 
 	// Height priority (same-iteration critical path to sinks).
-	height := make([]int, n)
+	height := grow(st.height, n)
+	st.height = height
 	for i := n - 1; i >= 0; i-- {
 		height[i] = m.Latency(g.Ops[i])
 		for _, e := range g.Out[i] {
@@ -91,20 +134,23 @@ func tryII(g *analysis.Graph, ii int) ([]int, bool) {
 		}
 	}
 
-	cycle := make([]int, n)
-	placed := make([]bool, n)
-	prevTime := make([]int, n)
+	cycle := grow(st.cycle, n)
+	placed := growBool(st.placed, n)
+	prevTime := grow(st.prevTime, n)
+	st.cycle, st.placed, st.prevTime = cycle, placed, prevTime
 	for i := range prevTime {
 		prevTime[i] = -1
 	}
 
 	// Modulo reservation table: usage per unit kind per modulo slot, plus
 	// issue slots.
-	var unitUse [machine.NumUnitKinds][]int
+	unitUse := st.unitUse
 	for k := range unitUse {
-		unitUse[k] = make([]int, ii)
+		unitUse[k] = grow(unitUse[k], ii)
 	}
-	issueUse := make([]int, ii)
+	st.unitUse = unitUse
+	issueUse := grow(st.issueUse, ii)
+	st.issueUse = issueUse
 
 	reserve := func(op, at int, dir int) {
 		kind := m.UnitFor(g.Ops[op].Code)
@@ -134,23 +180,31 @@ func tryII(g *analysis.Graph, ii int) ([]int, bool) {
 		return true
 	}
 
-	// Worklist ordered by priority.
-	order := make([]int, n)
+	// Worklist ordered by priority: height descending, index ascending —
+	// the same total order the former stable sort of 0..n-1 produced.
+	order := grow(st.order, n)
+	st.order = order
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return height[order[a]] > height[order[b]] })
+	slices.SortFunc(order, func(a, b int) int {
+		if height[a] != height[b] {
+			return height[b] - height[a]
+		}
+		return a - b
+	})
 
-	var work []int
-	work = append(work, order...)
+	work := append(st.work[:0], order...)
+	head := 0
 	budget := n * 16
 
-	for len(work) > 0 {
+	for head < len(work) {
 		if budget--; budget < 0 {
+			st.work = work
 			return nil, false
 		}
-		op := work[0]
-		work = work[1:]
+		op := work[head]
+		head++
 
 		// Earliest start given scheduled predecessors.
 		estart := 0
@@ -223,6 +277,8 @@ func tryII(g *analysis.Graph, ii int) ([]int, bool) {
 		}
 	}
 
+	st.work = work
+
 	// Final verification: dependences and the modulo reservation table
 	// (forced placements may have oversubscribed an infeasible II).
 	for _, e := range g.Edges {
@@ -230,10 +286,11 @@ func tryII(g *analysis.Graph, ii int) ([]int, bool) {
 			return nil, false
 		}
 	}
-	var finalUse [machine.NumUnitKinds][]int
+	finalUse := st.finalUse
 	for k := range finalUse {
-		finalUse[k] = make([]int, ii)
+		finalUse[k] = grow(finalUse[k], ii)
 	}
+	st.finalUse = finalUse
 	for i, op := range g.Ops {
 		kind := m.UnitFor(op.Code)
 		for j := 0; j < m.BlockCycles(op.Code); j++ {
@@ -253,10 +310,13 @@ func tryII(g *analysis.Graph, ii int) ([]int, bool) {
 			min = c
 		}
 	}
+	// The scratch cycle slice is reused by the next attempt; the winning
+	// schedule is copied out for the Result to own.
+	out := make([]int, n)
 	for i := range cycle {
-		cycle[i] -= min
+		out[i] = cycle[i] - min
 	}
-	return cycle, true
+	return out, true
 }
 
 // conflicts reports whether two placed ops collide on a functional unit or

@@ -1,7 +1,6 @@
 package transform
 
 import (
-	"fmt"
 	"sort"
 
 	"metaopt/internal/ir"
@@ -23,8 +22,18 @@ func applyCleanups(l *ir.Loop, info *Info) {
 	coalesce(l, info, ir.OpStore)
 }
 
-func locKey(m *ir.MemRef) string {
-	return fmt.Sprintf("%s|%d|%d", m.Array, m.Stride, m.Offset)
+// memLoc identifies an affine memory location. Using it as a map key
+// directly (instead of a formatted string) keeps the cleanup passes off
+// the allocator: locKey was the single hottest call in the compile
+// pipeline profile.
+type memLoc struct {
+	array  string
+	stride int
+	offset int
+}
+
+func locKey(m *ir.MemRef) memLoc {
+	return memLoc{m.Array, m.Stride, m.Offset}
 }
 
 // forwardLoads replaces loads whose value is already available from an
@@ -34,11 +43,14 @@ func forwardLoads(l *ir.Loop, info *Info) {
 	type avail struct {
 		ref ir.ArgRef // the value at the location
 	}
-	values := map[string]avail{}
+	values := map[memLoc]avail{}
 	killArray := func(array string) {
+		if array == "" || !l.NoAlias {
+			clear(values)
+			return
+		}
 		for k := range values {
-			if array == "" || !l.NoAlias ||
-				(len(k) > len(array) && k[:len(array)] == array && k[len(array)] == '|') {
+			if k.array == array {
 				delete(values, k)
 			}
 		}
@@ -122,22 +134,22 @@ func deadStores(l *ir.Loop, info *Info) {
 	dead := map[*ir.Op]bool{}
 	// Backward scan: "covered" locations will be overwritten before any
 	// observation point.
-	covered := map[string]bool{}
+	covered := map[memLoc]bool{}
 	for i := len(l.Body) - 1; i >= 0; i-- {
 		op := l.Body[i]
 		switch op.Code {
 		case ir.OpCall, ir.OpCondBr:
 			// Memory is observable here.
-			covered = map[string]bool{}
+			clear(covered)
 		case ir.OpLoad:
 			if op.Mem.Indirect || !l.NoAlias {
-				covered = map[string]bool{}
+				clear(covered)
 			} else {
 				delete(covered, locKey(op.Mem))
 			}
 		case ir.OpStore:
 			if op.Mem.Indirect {
-				covered = map[string]bool{}
+				clear(covered)
 				continue
 			}
 			key := locKey(op.Mem)

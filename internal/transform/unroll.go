@@ -31,11 +31,19 @@ const MaxFactor = 8
 // l, plus a description of the cleanup opportunities it found. Unroll(l, 1)
 // returns a plain clone. The input loop is not modified.
 func Unroll(l *ir.Loop, u int) (*ir.Loop, *Info, error) {
-	if u < 1 {
-		return nil, nil, fmt.Errorf("transform: unroll factor %d", u)
-	}
 	if err := l.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("transform: input: %w", err)
+	}
+	return UnrollPrechecked(l, u)
+}
+
+// UnrollPrechecked is Unroll without the input validation pass, for
+// callers that validate a loop once and then unroll it at many factors
+// (the labeler compiles every loop at factors 1..MaxFactor). The output
+// is still validated.
+func UnrollPrechecked(l *ir.Loop, u int) (*ir.Loop, *Info, error) {
+	if u < 1 {
+		return nil, nil, fmt.Errorf("transform: unroll factor %d", u)
 	}
 	iv, cmp, br, err := loopControl(l)
 	if err != nil {
@@ -50,6 +58,9 @@ func Unroll(l *ir.Loop, u int) (*ir.Loop, *Info, error) {
 	}
 
 	out := ir.NewLoop(l.Name)
+	// Worst-case op count: u body copies, shared params, loop control and
+	// up to u-1 materialized IV adds with their constants. One slab block.
+	out.Reserve(len(l.Params) + u*len(l.Body) + 2*u + 3)
 	out.Benchmark = l.Benchmark
 	out.Lang = l.Lang
 	out.NestLevel = l.NestLevel
