@@ -656,6 +656,112 @@ func BenchmarkLSSVMPredict(b *testing.B) {
 	}
 }
 
+// --- Serve-path predictors -----------------------------------------------
+
+// serveBenchEnv is the serve-path harness: one trained predictor, its
+// compiled lowering, and a corpus-derived query set, built once.
+var (
+	serveOnce    sync.Once
+	servePred    *unroll.Predictor
+	serveComp    *unroll.CompiledPredictor
+	serveQueries [][]float64
+	serveErr     error
+)
+
+func serveEnv(b *testing.B) (*unroll.Predictor, *unroll.CompiledPredictor, [][]float64) {
+	b.Helper()
+	serveOnce.Do(func() {
+		c, err := unroll.GenerateCorpus(5, 0.08)
+		if err != nil {
+			serveErr = err
+			return
+		}
+		d, err := unroll.CollectDataset(c, unroll.CollectOptions{Seed: 1, Runs: 5})
+		if err != nil {
+			serveErr = err
+			return
+		}
+		servePred, err = unroll.Train(d, unroll.TrainOptions{Algorithm: unroll.NearNeighbor})
+		if err != nil {
+			serveErr = err
+			return
+		}
+		serveComp, err = unroll.Compile(servePred)
+		if err != nil {
+			serveErr = err
+			return
+		}
+		qc, err := unroll.GenerateCorpus(2005, 0.3)
+		if err != nil {
+			serveErr = err
+			return
+		}
+		m := unroll.Itanium2()
+		for _, bm := range qc.Benchmarks {
+			for _, l := range bm.Loops {
+				serveQueries = append(serveQueries, unroll.Features(l, m))
+				if len(serveQueries) == 256 {
+					return
+				}
+			}
+		}
+	})
+	if serveErr != nil {
+		b.Fatal(serveErr)
+	}
+	return servePred, serveComp, serveQueries
+}
+
+// BenchmarkPredictSingle prices one serve-time feature-vector prediction:
+// the interpreted classifier against its compiled lowering's exact
+// (bit-identical, zero-allocation) path.
+func BenchmarkPredictSingle(b *testing.B) {
+	pred, comp, queries := serveEnv(b)
+	q := queries[0]
+	b.Run("interpreted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pred.PredictFeatures(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			comp.Predict(q)
+		}
+	})
+}
+
+// BenchmarkPredictBatch prices a whole serve micro-batch (256 queries per
+// op): per-query interpreted prediction against the compiled float32
+// blocked distance path.
+func BenchmarkPredictBatch(b *testing.B) {
+	pred, comp, queries := serveEnv(b)
+	b.Run("interpreted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				if _, err := pred.PredictFeatures(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		out := make([]int, len(queries))
+		for i := 0; i < b.N; i++ {
+			var err error
+			out, err = comp.PredictFeaturesBatch(queries, out)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkAblationContext measures the effect of the hidden program
 // context (ContextVar): with no hidden state the problem is almost fully
 // feature-determined; the default setting caps accuracy near the paper's.

@@ -5,8 +5,8 @@
 //
 // Modes:
 //
-//	benchdump -out BENCH_5.json            run the suite, write JSON
-//	benchdump -compare old.json -against new.json -gate LOOCVParallel
+//	benchdump -out BENCH_6.json            run the suite, write JSON
+//	benchdump -compare old.json -against new.json -gate LOOCVParallel,PredictBatch
 //	                                       diff two dumps; non-zero exit if a
 //	                                       gated benchmark regressed by more
 //	                                       than -threshold (default 10%)
@@ -103,6 +103,40 @@ func suite() ([]struct {
 		return nil, err
 	}
 
+	// Serve-path predictors: one trained model, its compiled lowering, and
+	// a corpus-derived 256-query batch.
+	pc, err := unroll.GenerateCorpus(5, 0.08)
+	if err != nil {
+		return nil, err
+	}
+	pd, err := unroll.CollectDataset(pc, unroll.CollectOptions{Seed: 1, Runs: 5})
+	if err != nil {
+		return nil, err
+	}
+	pred, err := unroll.Train(pd, unroll.TrainOptions{Algorithm: unroll.NearNeighbor})
+	if err != nil {
+		return nil, err
+	}
+	comp, err := unroll.Compile(pred)
+	if err != nil {
+		return nil, err
+	}
+	qc, err := unroll.GenerateCorpus(2005, 0.3)
+	if err != nil {
+		return nil, err
+	}
+	um := unroll.Itanium2()
+	var queries [][]float64
+collect:
+	for _, bm := range qc.Benchmarks {
+		for _, lp := range bm.Loops {
+			queries = append(queries, unroll.Features(lp, um))
+			if len(queries) == 256 {
+				break collect
+			}
+		}
+	}
+
 	return []struct {
 		name string
 		fn   func(b *testing.B)
@@ -159,6 +193,39 @@ func suite() ([]struct {
 			q := sel.Examples[0].Features
 			for i := 0; i < b.N; i++ {
 				nnc.Predict(q)
+			}
+		}},
+		{"PredictSingleInterpreted", func(b *testing.B) {
+			q := queries[0]
+			for i := 0; i < b.N; i++ {
+				if _, err := pred.PredictFeatures(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"PredictSingle", func(b *testing.B) {
+			q := queries[0]
+			for i := 0; i < b.N; i++ {
+				comp.Predict(q)
+			}
+		}},
+		{"PredictBatchInterpreted", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, err := pred.PredictFeatures(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+		{"PredictBatch", func(b *testing.B) {
+			out := make([]int, len(queries))
+			for i := 0; i < b.N; i++ {
+				var err error
+				out, err = comp.PredictFeaturesBatch(queries, out)
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
 		}},
 	}, nil
@@ -255,10 +322,10 @@ func compare(basePath, againstPath, gate string, threshold float64) error {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output file for benchmark results ('-' for stdout)")
+	out := flag.String("out", "BENCH_6.json", "output file for benchmark results ('-' for stdout)")
 	comparePath := flag.String("compare", "", "baseline dump to compare -against (skips running benchmarks)")
 	againstPath := flag.String("against", "", "candidate dump compared to -compare")
-	gate := flag.String("gate", "LOOCVParallel", "comma-separated benchmarks whose regression fails the comparison")
+	gate := flag.String("gate", "LOOCVParallel,PredictBatch", "comma-separated benchmarks whose regression fails the comparison")
 	threshold := flag.Float64("threshold", 0.10, "maximum allowed relative slowdown for gated benchmarks")
 	flag.Parse()
 

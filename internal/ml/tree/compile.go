@@ -1,0 +1,62 @@
+package tree
+
+import (
+	"fmt"
+
+	"metaopt/internal/ml/compiled"
+)
+
+var _ compiled.Compiler = (*Tree)(nil)
+var _ compiled.Compiler = (*Ensemble)(nil)
+
+// flattenInto lowers one pointer tree into the builder's node slab,
+// children before parents, and returns the root index.
+func flattenInto(b *compiled.ForestBuilder, n *node) (int32, error) {
+	if n == nil {
+		return 0, fmt.Errorf("tree: compile: nil node")
+	}
+	if n.leaf() {
+		return b.Leaf(n.Label)
+	}
+	left, err := flattenInto(b, n.Left)
+	if err != nil {
+		return 0, err
+	}
+	right, err := flattenInto(b, n.Right)
+	if err != nil {
+		return 0, err
+	}
+	return b.Split(n.Feature, n.Threshold, left, right)
+}
+
+// Compile lowers the tree into a flat node array walked iteratively.
+func (t *Tree) Compile() (*compiled.Program, error) {
+	b := compiled.NewForestBuilder()
+	root, err := flattenInto(b, t.Root)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.EndTree(root, 1); err != nil {
+		return nil, err
+	}
+	return b.Finish(true)
+}
+
+// Compile lowers the ensemble: every tree flattens into one shared node
+// slab, and the weighted vote runs over the flat roots.
+func (e *Ensemble) Compile() (*compiled.Program, error) {
+	if len(e.Trees) != len(e.Weight) {
+		return nil, fmt.Errorf("tree: compile: %d trees with %d weights", len(e.Trees), len(e.Weight))
+	}
+	b := compiled.NewForestBuilder()
+	for i, t := range e.Trees {
+		root, err := flattenInto(b, t.Root)
+		if err != nil {
+			return nil, fmt.Errorf("tree: compile: tree %d: %w", i, err)
+		}
+		if err := b.EndTree(root, e.Weight[i]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Finish(false)
+}

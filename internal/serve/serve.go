@@ -104,7 +104,9 @@ var (
 	mReloads    = obs.C("serve.model.reloads")
 	mPanics     = obs.C("serve.worker_panics")
 	mNonFinite  = obs.C("serve.nonfinite_features")
+	mCompileErr = obs.C("serve.compile_errors")
 	mQueueDepth = obs.G("serve.queue.depth")
+	mCompiled   = obs.G("serve.compiled")
 	mUnready    = obs.G("serve.unready_panic_streak")
 	hLatencyUS  = obs.H("serve.latency_us", obs.ExpBounds(50, 2, 16))
 	hBatchItems = obs.H("serve.batch.items", obs.ExpBounds(1, 2, 8))
@@ -123,10 +125,31 @@ func nextRequestID() string {
 }
 
 // modelState is one immutable loaded model; reload swaps the pointer.
+// comp is the serve-optimized lowering of pred — nil when the predictor
+// has no compiled form, in which case every path falls back to the
+// interpreted model.
 type modelState struct {
 	pred     *unroll.Predictor
+	comp     *unroll.CompiledPredictor
 	path     string
 	loadedAt time.Time
+}
+
+// newModelState compiles the predictor for serving. Compilation failure is
+// not fatal — the interpreted model still answers — but it is counted and
+// logged, and the serve.compiled gauge reports which path is live.
+func newModelState(pred *unroll.Predictor, path string) *modelState {
+	st := &modelState{pred: pred, path: path, loadedAt: time.Now()}
+	comp, err := unroll.Compile(pred)
+	if err != nil {
+		mCompileErr.Inc()
+		log.Printf("serve: compile: %v; serving interpreted model", err)
+		mCompiled.Set(0)
+		return st
+	}
+	st.comp = comp
+	mCompiled.Set(1)
+	return st
 }
 
 // item is one loop awaiting prediction.
@@ -189,7 +212,7 @@ func New(cfg Config) (*Server, error) {
 		cache: newLRU(cfg.CacheSize),
 		queue: make(chan *job, cfg.QueueDepth),
 	}
-	s.model.Store(&modelState{pred: cfg.Model, path: cfg.ModelPath, loadedAt: time.Now()})
+	s.model.Store(newModelState(cfg.Model, cfg.ModelPath))
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -267,7 +290,7 @@ func (s *Server) Reload(path string) (previous, current *modelState, err error) 
 	if err != nil {
 		return nil, nil, fmt.Errorf("serve: reload: %w", err)
 	}
-	st := &modelState{pred: pred, path: path, loadedAt: time.Now()}
+	st := newModelState(pred, path)
 	s.model.Store(st)
 	mReloads.Inc()
 	// A fresh model gets a fresh chance: the panic streak belongs to the
@@ -275,6 +298,15 @@ func (s *Server) Reload(path string) (previous, current *modelState, err error) 
 	s.panicStreak.Store(0)
 	mUnready.Set(0)
 	return old, st, nil
+}
+
+// CompiledFingerprint reports the versioned fingerprint of the compiled
+// lowering currently serving, or "" when the interpreted model answers.
+func (s *Server) CompiledFingerprint() string {
+	if st := s.model.Load(); st.comp != nil {
+		return st.comp.Fingerprint()
+	}
+	return ""
 }
 
 // enqueue admits a job, or reports failure when the queue is full or the
@@ -294,13 +326,43 @@ func (s *Server) enqueue(j *job) bool {
 	}
 }
 
+// batchArena is one worker's reusable dispatch storage. Every micro-batch
+// runs entirely within the worker's goroutine and every handler it touches
+// is released before the next iteration, so the gathered-job list, the
+// merged loop slices, and the factor output can all be recycled without
+// synchronization.
+type batchArena struct {
+	jobs      []*job
+	loops     []*unroll.Loop
+	loopItems []*item
+	factors   []int
+}
+
+func (ar *batchArena) reset() {
+	clearPtrs(ar.jobs)
+	clearPtrs(ar.loops)
+	clearPtrs(ar.loopItems)
+	ar.jobs, ar.loops, ar.loopItems = ar.jobs[:0], ar.loops[:0], ar.loopItems[:0]
+}
+
+// clearPtrs nils a pointer slice so recycled arena storage doesn't pin
+// dead requests (and their loops) past the dispatch that owned them.
+func clearPtrs[T any](s []*T) {
+	for i := range s {
+		s[i] = nil
+	}
+}
+
 // worker drains the admission queue, gathering up to MaxBatch items per
-// model dispatch. A panic anywhere in a dispatch is contained by
-// safeRunBatch, so the worker — and with it the pool — never dies.
+// model dispatch into its private arena. A panic anywhere in a dispatch is
+// contained by safeRunBatch, so the worker — and with it the pool — never
+// dies.
 func (s *Server) worker() {
 	defer s.workers.Done()
+	ar := &batchArena{}
 	for j := range s.queue {
-		jobs := []*job{j}
+		ar.reset()
+		ar.jobs = append(ar.jobs, j)
 		n := len(j.items)
 		for n < s.cfg.MaxBatch {
 			var extra *job
@@ -311,11 +373,11 @@ func (s *Server) worker() {
 			if extra == nil {
 				break
 			}
-			jobs = append(jobs, extra)
+			ar.jobs = append(ar.jobs, extra)
 			n += len(extra.items)
 		}
 		mQueueDepth.Set(int64(len(s.queue)))
-		s.safeRunBatch(jobs)
+		s.safeRunBatch(ar)
 	}
 }
 
@@ -345,11 +407,11 @@ func (s *Server) recordSuccess() {
 // machinery itself panics (not just one item's prediction), every
 // unfinished item in the gathered jobs fails with the panic error and every
 // waiting handler is released. Nothing hangs, nothing crashes.
-func (s *Server) safeRunBatch(jobs []*job) {
+func (s *Server) safeRunBatch(ar *batchArena) {
 	defer func() {
 		if r := recover(); r != nil {
 			pe := s.recordPanic(r)
-			for _, j := range jobs {
+			for _, j := range ar.jobs {
 				for _, it := range j.items {
 					if it.err == nil && it.factor == 0 {
 						it.err = pe
@@ -359,12 +421,13 @@ func (s *Server) safeRunBatch(jobs []*job) {
 			}
 		}
 	}()
-	s.runBatch(jobs)
+	s.runBatch(ar)
 }
 
 // safePredictFeatures runs one feature-vector prediction with per-item
-// panic containment.
-func (s *Server) safePredictFeatures(pred *unroll.Predictor, feats []float64) (factor int, err error) {
+// panic containment, through the compiled exact path (bit-identical to the
+// interpreted answer, zero-allocation) when the model has one.
+func (s *Server) safePredictFeatures(st *modelState, feats []float64) (factor int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = s.recordPanic(r)
@@ -373,11 +436,14 @@ func (s *Server) safePredictFeatures(pred *unroll.Predictor, feats []float64) (f
 	if err := faults.Check("serve.predict"); err != nil {
 		return 0, err
 	}
-	return pred.PredictFeatures(feats)
+	if st.comp != nil {
+		return st.comp.PredictFeatures(feats)
+	}
+	return st.pred.PredictFeatures(feats)
 }
 
 // safePredictLoop runs one loop prediction with per-item panic containment.
-func (s *Server) safePredictLoop(ctx context.Context, pred *unroll.Predictor, l *unroll.Loop) (factor int, err error) {
+func (s *Server) safePredictLoop(ctx context.Context, st *modelState, l *unroll.Loop) (factor int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = s.recordPanic(r)
@@ -386,13 +452,18 @@ func (s *Server) safePredictLoop(ctx context.Context, pred *unroll.Predictor, l 
 	if err := faults.Check("serve.predict"); err != nil {
 		return 0, err
 	}
-	return pred.PredictCtx(ctx, l)
+	if st.comp != nil {
+		return st.comp.PredictCtx(ctx, l)
+	}
+	return st.pred.PredictCtx(ctx, l)
 }
 
 // safePredictBatch runs the merged model dispatch with panic containment;
 // a panic reports as an error so runBatch falls back to per-item
-// prediction, isolating the offending loop.
-func (s *Server) safePredictBatch(ctx context.Context, pred *unroll.Predictor, loops []*unroll.Loop) (factors []int, err error) {
+// prediction, isolating the offending loop. A compiled model answers the
+// whole batch through the float32 distance path into the arena's recycled
+// factor slice; otherwise the interpreted PredictBatch allocates one.
+func (s *Server) safePredictBatch(ctx context.Context, st *modelState, loops []*unroll.Loop, out []int) (factors []int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = s.recordPanic(r)
@@ -401,7 +472,18 @@ func (s *Server) safePredictBatch(ctx context.Context, pred *unroll.Predictor, l
 	if err := faults.Check("serve.batch"); err != nil {
 		return nil, err
 	}
-	return pred.PredictBatch(ctx, loops)
+	if st.comp != nil {
+		if cap(out) < len(loops) {
+			out = make([]int, len(loops))
+		} else {
+			out = out[:len(loops)]
+		}
+		if err := st.comp.PredictBatchInto(ctx, loops, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	return st.pred.PredictBatch(ctx, loops)
 }
 
 // batchContext builds the context a merged micro-batch computes under: the
@@ -424,8 +506,9 @@ func batchContext(jobs []*job) (context.Context, context.CancelFunc) {
 
 // runBatch predicts every live item across the gathered jobs in one
 // PredictBatch dispatch, falling back to per-item prediction if the batch
-// call fails so one bad loop cannot poison its neighbors.
-func (s *Server) runBatch(jobs []*job) {
+// call fails so one bad loop cannot poison its neighbors. All intermediate
+// storage lives in the worker's arena and is recycled across dispatches.
+func (s *Server) runBatch(ar *batchArena) {
 	if s.preBatch != nil {
 		s.preBatch()
 	}
@@ -433,11 +516,8 @@ func (s *Server) runBatch(jobs []*job) {
 	defer sp.End()
 
 	st := s.model.Load()
-	pred := st.pred
-	var loops []*unroll.Loop
-	var loopItems []*item
-	live := jobs[:0]
-	for _, j := range jobs {
+	live := ar.jobs[:0]
+	for _, j := range ar.jobs {
 		j.st = st
 		if err := j.ctx.Err(); err != nil {
 			for _, it := range j.items {
@@ -449,27 +529,28 @@ func (s *Server) runBatch(jobs []*job) {
 		live = append(live, j)
 		for _, it := range j.items {
 			if it.feats != nil {
-				it.factor, it.err = s.safePredictFeatures(pred, it.feats)
+				it.factor, it.err = s.safePredictFeatures(st, it.feats)
 			} else {
-				loops = append(loops, it.loop)
-				loopItems = append(loopItems, it)
+				ar.loops = append(ar.loops, it.loop)
+				ar.loopItems = append(ar.loopItems, it)
 			}
 		}
 	}
-	if len(loops) > 0 {
-		hBatchItems.Observe(int64(len(loops)))
+	if len(ar.loops) > 0 {
+		hBatchItems.Observe(int64(len(ar.loops)))
 		ctx, cancel := batchContext(live)
-		factors, err := s.safePredictBatch(ctx, pred, loops)
+		factors, err := s.safePredictBatch(ctx, st, ar.loops, ar.factors)
 		if err == nil {
-			for i, it := range loopItems {
+			ar.factors = factors
+			for i, it := range ar.loopItems {
 				it.factor = factors[i]
 			}
 		} else {
 			// The merged dispatch failed or panicked: isolate the offender
 			// by predicting each member individually, each behind its own
 			// panic barrier.
-			for _, it := range loopItems {
-				it.factor, it.err = s.safePredictLoop(ctx, pred, it.loop)
+			for _, it := range ar.loopItems {
+				it.factor, it.err = s.safePredictLoop(ctx, st, it.loop)
 			}
 		}
 		cancel()
@@ -501,12 +582,32 @@ func cacheKey(fingerprint, kind string, payload []byte) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-func featureBytes(v []float64) []byte {
-	b := make([]byte, 8*len(v))
+// featBytesPool recycles the float64 little-endian scratch that feature
+// cache keys hash through — the bytes live only for the sha256 write, so a
+// per-call make was pure allocator churn on the feature-vector hot path.
+var featBytesPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 8*unroll.NumFeatures)
+		return &b
+	},
+}
+
+// featureKey hashes a feature vector into its cache key through pooled
+// encoding scratch.
+func featureKey(fingerprint string, v []float64) string {
+	bp := featBytesPool.Get().(*[]byte)
+	b := *bp
+	if cap(b) < 8*len(v) {
+		b = make([]byte, 8*len(v))
+	}
+	b = b[:8*len(v)]
 	for i, f := range v {
 		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(f))
 	}
-	return b
+	key := cacheKey(fingerprint, "feat", b)
+	*bp = b
+	featBytesPool.Put(bp)
+	return key
 }
 
 // newItem validates one request entry and prepares it for the queue.
@@ -527,7 +628,7 @@ func newItem(st *modelState, req client.PredictRequest) (it *item, status int, e
 		}
 		return &item{
 			feats: req.Features,
-			key:   cacheKey(st.pred.Fingerprint(), "feat", featureBytes(req.Features)),
+			key:   featureKey(st.pred.Fingerprint(), req.Features),
 		}, 0, nil
 	}
 	loop, err := unroll.ParseKernel(req.Source)
@@ -585,6 +686,36 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, predictResponse(j.st, it, it.factor, false))
 }
 
+// batchBuffers is one batch request's slice storage — the results, the
+// item index, and the pending list — recycled across requests. A buffer
+// set returns to the pool only when the worker can no longer touch it: a
+// request abandoned at its deadline leaves the set to the garbage
+// collector, because the dispatch may still be writing into pending.
+type batchBuffers struct {
+	results []client.BatchResult
+	items   []*item
+	pending []*item
+}
+
+var batchBufPool = sync.Pool{New: func() any { return new(batchBuffers) }}
+
+// prep sizes the buffer set for n loops, zeroing recycled storage.
+func (bb *batchBuffers) prep(n int) {
+	if cap(bb.results) < n {
+		bb.results = make([]client.BatchResult, n)
+		bb.items = make([]*item, n)
+	} else {
+		bb.results = bb.results[:n]
+		bb.items = bb.items[:n]
+		for i := range bb.results {
+			bb.results[i] = client.BatchResult{}
+			bb.items[i] = nil
+		}
+	}
+	clearPtrs(bb.pending)
+	bb.pending = bb.pending[:0]
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { hLatencyUS.Observe(time.Since(start).Microseconds()) }()
@@ -606,9 +737,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.model.Load()
-	results := make([]client.BatchResult, len(req.Loops))
-	items := make([]*item, len(req.Loops)) // nil where already resolved
-	var pending []*item
+	bb := batchBufPool.Get().(*batchBuffers)
+	bb.prep(len(req.Loops))
+	recycle := true
+	defer func() {
+		if recycle {
+			batchBufPool.Put(bb)
+		}
+	}()
+	results := bb.results
+	items := bb.items // nil where already resolved
 	for i, lr := range req.Loops {
 		it, _, err := newItem(st, lr)
 		if err != nil {
@@ -622,13 +760,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		mCacheMiss.Inc()
 		items[i] = it
-		pending = append(pending, it)
+		bb.pending = append(bb.pending, it)
 	}
 	respSt := st
-	if len(pending) > 0 {
+	if len(bb.pending) > 0 {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
-		j := &job{ctx: ctx, items: pending, done: make(chan struct{})}
+		j := &job{ctx: ctx, items: bb.pending, done: make(chan struct{})}
 		if !s.enqueue(j) {
 			rejectOverloaded(w, s.draining.Load())
 			return
@@ -637,6 +775,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		case <-j.done:
 		case <-ctx.Done():
 			mDeadlines.Inc()
+			// The worker may still be writing into the pending slice;
+			// abandon this buffer set rather than recycling a live one.
+			recycle = false
 			writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the batch completed")
 			return
 		}
@@ -665,21 +806,29 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, client.ReloadResponse{
+	resp := client.ReloadResponse{
 		Fingerprint:  cur.pred.Fingerprint(),
 		Previous:     old.pred.Fingerprint(),
 		ModelVersion: cur.pred.Version(),
-	})
+	}
+	if cur.comp != nil {
+		resp.Compiled = cur.comp.Fingerprint()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 	st := s.model.Load()
-	writeJSON(w, http.StatusOK, client.ModelInfo{
+	info := client.ModelInfo{
 		Algorithm:    string(st.pred.Algorithm()),
 		ModelVersion: st.pred.Version(),
 		Fingerprint:  st.pred.Fingerprint(),
 		Path:         st.path,
-	})
+	}
+	if st.comp != nil {
+		info.Compiled = st.comp.Fingerprint()
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {

@@ -50,11 +50,14 @@ type ReloadRequest struct {
 	Path string `json:"path,omitempty"`
 }
 
-// ReloadResponse reports the model swap.
+// ReloadResponse reports the model swap. Compiled is the versioned
+// fingerprint of the serve-optimized lowering of the new model, empty if
+// the server fell back to interpreted prediction.
 type ReloadResponse struct {
 	Fingerprint  string `json:"fingerprint"`
 	Previous     string `json:"previous"`
 	ModelVersion int    `json:"model_version"`
+	Compiled     string `json:"compiled,omitempty"`
 }
 
 // ModelInfo answers GET /v1/model: the identity of the currently served
@@ -64,6 +67,9 @@ type ModelInfo struct {
 	ModelVersion int    `json:"model_version"`
 	Fingerprint  string `json:"fingerprint"`
 	Path         string `json:"path,omitempty"`
+	// Compiled is the versioned fingerprint of the compiled lowering
+	// answering queries, empty when the interpreted model serves.
+	Compiled string `json:"compiled,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

@@ -1,0 +1,101 @@
+package unroll_test
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"testing"
+
+	"metaopt/unroll"
+)
+
+var fuzzOnce struct {
+	sync.Once
+	pairs map[unroll.Algorithm]fuzzPair
+	err   error
+}
+
+type fuzzPair struct {
+	p *unroll.Predictor
+	c *unroll.CompiledPredictor
+}
+
+func fuzzPredictors(f *testing.F) map[unroll.Algorithm]fuzzPair {
+	f.Helper()
+	fuzzOnce.Do(func() {
+		c, err := unroll.GenerateCorpus(5, 0.08)
+		if err != nil {
+			fuzzOnce.err = err
+			return
+		}
+		d, err := unroll.CollectDataset(c, unroll.CollectOptions{Seed: 1, Runs: 5})
+		if err != nil {
+			fuzzOnce.err = err
+			return
+		}
+		fuzzOnce.pairs = make(map[unroll.Algorithm]fuzzPair)
+		for _, alg := range allAlgorithms {
+			p, err := unroll.Train(d, unroll.TrainOptions{Algorithm: alg})
+			if err != nil {
+				fuzzOnce.err = err
+				return
+			}
+			cp, err := unroll.Compile(p)
+			if err != nil {
+				fuzzOnce.err = err
+				return
+			}
+			fuzzOnce.pairs[alg] = fuzzPair{p: p, c: cp}
+		}
+	})
+	if fuzzOnce.err != nil {
+		f.Fatal(fuzzOnce.err)
+	}
+	return fuzzOnce.pairs
+}
+
+// FuzzCompiledMatchesInterpreted hammers the compiled exact path with
+// arbitrary finite feature vectors (full-length, decoded from raw bytes)
+// and requires bit-identical agreement with the interpreted predictor for
+// every algorithm. Non-finite values must be rejected by both boundaries.
+func FuzzCompiledMatchesInterpreted(f *testing.F) {
+	pairs := fuzzPredictors(f)
+	seed := make([]byte, 8*unroll.NumFeatures)
+	f.Add(seed)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 8*unroll.NumFeatures {
+			t.Skip()
+		}
+		v := make([]float64, unroll.NumFeatures)
+		finite := true
+		for i := range v {
+			v[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+			if math.IsNaN(v[i]) || math.IsInf(v[i], 0) {
+				finite = false
+			}
+		}
+		for alg, pr := range pairs {
+			want, errI := pr.p.PredictFeatures(v)
+			got, errC := pr.c.PredictFeatures(v)
+			if (errI == nil) != (errC == nil) {
+				t.Fatalf("%s: interpreted err=%v, compiled err=%v", alg, errI, errC)
+			}
+			if errI != nil {
+				if finite {
+					t.Fatalf("%s: finite vector rejected: %v", alg, errI)
+				}
+				continue
+			}
+			if !finite {
+				t.Fatalf("%s: non-finite vector accepted", alg)
+			}
+			if got != want {
+				t.Fatalf("%s: compiled = %d, interpreted = %d for %v", alg, got, want, v)
+			}
+		}
+	})
+}

@@ -90,10 +90,17 @@ kernel scale lang=c {
 	// rolled 6 ops -> unrolled-by-4 15 ops
 }
 
-// Serving-style usage: one trained predictor answering many loops per
-// call, with the context bounding the batch.
+// Serving-style usage: train once, compile the predictor into its flat
+// serve-time form, and answer many loops per call through the batched
+// distance path. The compiled fingerprint extends the model fingerprint
+// with the lowering version, and compiled answers match the interpreted
+// predictor's.
 func ExamplePredictor_PredictBatch() {
 	pred, err := unroll.Train(exampleDataset(), unroll.TrainOptions{Algorithm: unroll.NearNeighbor})
+	if err != nil {
+		panic(err)
+	}
+	comp, err := unroll.Compile(pred)
 	if err != nil {
 		panic(err)
 	}
@@ -103,18 +110,24 @@ kernel dot lang=fortran { double a[], b[]; double s; for i = 0 .. 1024 { s = s +
 	if err != nil {
 		panic(err)
 	}
-	factors, err := pred.PredictBatch(context.Background(), loops)
+	factors, err := comp.PredictBatch(context.Background(), loops)
 	if err != nil {
 		panic(err)
 	}
-	ok := true
-	for _, u := range factors {
-		ok = ok && u >= 1 && u <= unroll.MaxFactor
+	agree := true
+	for i, l := range loops {
+		u, err := pred.PredictCtx(context.Background(), l)
+		if err != nil {
+			panic(err)
+		}
+		agree = agree && u == factors[i]
 	}
-	fmt.Printf("%d loops -> %d factors, all within [1,%d]: %v\n",
-		len(loops), len(factors), unroll.MaxFactor, ok)
+	fmt.Printf("compiled %s predictor (version %s)\n", comp.Algorithm(), comp.Version())
+	fmt.Printf("%d loops -> %d factors, matching the interpreted model: %v\n",
+		len(loops), len(factors), agree)
 	// Output:
-	// 2 loops -> 2 factors, all within [1,8]: true
+	// compiled nn predictor (version nn/v1+f32b)
+	// 2 loops -> 2 factors, matching the interpreted model: true
 }
 
 // Artifacts carry a format version and a content fingerprint: both
