@@ -7,10 +7,16 @@
 package metaopt_test
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"metaopt/internal/analysis"
 	"metaopt/internal/core"
@@ -27,10 +33,12 @@ import (
 	"metaopt/internal/obs"
 	"metaopt/internal/par"
 	"metaopt/internal/sched"
+	"metaopt/internal/serve"
 	"metaopt/internal/sim"
 	"metaopt/internal/swp"
 	"metaopt/internal/transform"
 	"metaopt/unroll"
+	"metaopt/unroll/client"
 )
 
 // benchEnv is shared, lazily-built state so individual benchmarks measure
@@ -759,6 +767,54 @@ func BenchmarkPredictBatch(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkServeTracedRequest prices one end-to-end serve request —
+// through the HTTP mux, admission queue, worker, and compiled predictor —
+// with full observability (request trace, SLO accounting, metrics)
+// against the same path with telemetry disabled. The spread between the
+// two is the observability overhead the serving layer pays per request.
+func BenchmarkServeTracedRequest(b *testing.B) {
+	pred, _, queries := serveEnv(b)
+	srv, err := serve.New(serve.Config{
+		Model:          pred,
+		CacheSize:      -1, // every request must reach the model
+		Workers:        2,
+		RequestTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	h := srv.Handler()
+	bodies := make([][]byte, len(queries))
+	for i, q := range queries {
+		bodies[i], err = json.Marshal(client.PredictRequest{Features: q})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	drive := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(bodies[i%len(bodies)]))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("predict: %d %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+	b.Run("traced", drive)
+	b.Run("untraced", func(b *testing.B) {
+		restore := obs.SetEnabled(false)
+		defer restore()
+		drive(b)
 	})
 }
 

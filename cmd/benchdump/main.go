@@ -5,22 +5,27 @@
 //
 // Modes:
 //
-//	benchdump -out BENCH_6.json            run the suite, write JSON
-//	benchdump -compare old.json -against new.json -gate LOOCVParallel,PredictBatch
+//	benchdump -out BENCH_7.json            run the suite, write JSON
+//	benchdump -compare old.json -against new.json -gate LOOCVParallel,PredictBatch,ServeTracedRequest
 //	                                       diff two dumps; non-zero exit if a
 //	                                       gated benchmark regressed by more
 //	                                       than -threshold (default 10%)
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"metaopt/internal/analysis"
 	"metaopt/internal/experiments"
@@ -31,9 +36,11 @@ import (
 	"metaopt/internal/ml/nn"
 	"metaopt/internal/ml/tree"
 	"metaopt/internal/sched"
+	"metaopt/internal/serve"
 	"metaopt/internal/sim"
 	"metaopt/internal/transform"
 	"metaopt/unroll"
+	"metaopt/unroll/client"
 )
 
 // Result is one benchmark's measurement.
@@ -228,6 +235,38 @@ collect:
 				}
 			}
 		}},
+		{"ServeTracedRequest", func(b *testing.B) {
+			srv, err := serve.New(serve.Config{
+				Model:          pred,
+				CacheSize:      -1,
+				Workers:        2,
+				RequestTimeout: 30 * time.Second,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				srv.Shutdown(ctx)
+			}()
+			h := srv.Handler()
+			bodies := make([][]byte, len(queries))
+			for i, q := range queries {
+				if bodies[i], err = json.Marshal(client.PredictRequest{Features: q}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(bodies[i%len(bodies)]))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("predict: %d %s", rec.Code, rec.Body.String())
+				}
+			}
+		}},
 	}, nil
 }
 
@@ -322,10 +361,10 @@ func compare(basePath, againstPath, gate string, threshold float64) error {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "output file for benchmark results ('-' for stdout)")
+	out := flag.String("out", "BENCH_7.json", "output file for benchmark results ('-' for stdout)")
 	comparePath := flag.String("compare", "", "baseline dump to compare -against (skips running benchmarks)")
 	againstPath := flag.String("against", "", "candidate dump compared to -compare")
-	gate := flag.String("gate", "LOOCVParallel,PredictBatch", "comma-separated benchmarks whose regression fails the comparison")
+	gate := flag.String("gate", "LOOCVParallel,PredictBatch,ServeTracedRequest", "comma-separated benchmarks whose regression fails the comparison")
 	threshold := flag.Float64("threshold", 0.10, "maximum allowed relative slowdown for gated benchmarks")
 	flag.Parse()
 

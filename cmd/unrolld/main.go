@@ -12,8 +12,12 @@
 //	POST /v1/predict        {"source": "kernel ..."} or {"features": [...]}
 //	POST /v1/predict/batch  {"loops": [{...}, ...]}
 //	POST /v1/admin/reload   {"path": "new-model.json"} (empty = re-read -model)
+//	POST /v1/admin/shadow   {"path": "candidate.json", "fraction": 0.1}
+//	GET  /v1/shadow/report  live-vs-shadow decision comparison
 //	GET  /v1/model          identity of the served artifact
-//	GET  /healthz, /readyz  liveness and readiness
+//	GET  /metrics           Prometheus text exposition
+//	GET  /debug/traces      recent request traces (?format=chrome)
+//	GET  /healthz, /readyz  liveness and readiness (+SLO detail)
 //
 // SIGTERM or SIGINT triggers a graceful drain: readiness flips to 503, new
 // predictions are refused, admitted ones complete, then the process exits.
@@ -46,19 +50,22 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget")
 	panicThreshold := flag.Int("panic-threshold", 0, "consecutive worker panics before readiness flips to 503 (0 = default)")
 	debugAddr := flag.String("debugaddr", "", "serve /debug/metrics and pprof on this address")
+	sloAvailability := flag.Float64("slo-availability", 0, "availability objective in (0,1), e.g. 0.999 (0 = default)")
+	sloP99 := flag.Duration("slo-p99", 0, "p99 latency objective, e.g. 250ms (0 = default)")
+	slowTrace := flag.Duration("slow-trace", 0, "keep only request traces at least this slow in /debug/traces (0 = keep most recent)")
 	flag.Parse()
 
 	if err := faults.InstallFromEnv(); err != nil {
 		fmt.Fprintf(os.Stderr, "unrolld: %v\n", err)
 		os.Exit(1)
 	}
-	if err := run(*addr, *model, *queue, *workers, *maxBatch, *cache, *panicThreshold, *timeout, *drainTimeout, *debugAddr); err != nil {
+	if err := run(*addr, *model, *queue, *workers, *maxBatch, *cache, *panicThreshold, *timeout, *drainTimeout, *debugAddr, *sloAvailability, *sloP99, *slowTrace); err != nil {
 		fmt.Fprintf(os.Stderr, "unrolld: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, model string, queue, workers, maxBatch, cache, panicThreshold int, timeout, drainTimeout time.Duration, debugAddr string) error {
+func run(addr, model string, queue, workers, maxBatch, cache, panicThreshold int, timeout, drainTimeout time.Duration, debugAddr string, sloAvailability float64, sloP99, slowTrace time.Duration) error {
 	if model == "" {
 		return fmt.Errorf("-model is required: train an artifact with 'metaopt train -o model.json'")
 	}
@@ -76,6 +83,10 @@ func run(addr, model string, queue, workers, maxBatch, cache, panicThreshold int
 		CacheSize:      cache,
 		PanicThreshold: panicThreshold,
 		RequestTimeout: timeout,
+
+		SLOAvailability: sloAvailability,
+		SLOLatencyP99:   sloP99,
+		SlowTrace:       slowTrace,
 	})
 	if err != nil {
 		return err

@@ -11,9 +11,11 @@ import (
 // ServeDebug starts an HTTP server on addr (":0" picks a free port)
 // exposing live telemetry while a long run is in flight:
 //
+//	/metrics        Prometheus text-format exposition of every metric
 //	/debug/metrics  expvar-style JSON snapshot of every counter/gauge/histogram
 //	/debug/stages   worker-pool stage statistics so far
 //	/debug/trace    completed spans as Chrome trace-event JSON
+//	/debug/traces   recent slow request traces (?format=chrome for trace-event JSON)
 //	/debug/pprof/   the standard net/http/pprof profiles
 //
 // It returns the bound address. The server runs until the process exits;
@@ -24,12 +26,14 @@ func ServeDebug(addr string) (string, error) {
 		return "", fmt.Errorf("obs: debug listener: %w", err)
 	}
 	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", HandleMetrics)
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(Default.Snapshot())
 	})
+	mux.HandleFunc("/debug/traces", HandleRequestTraces)
 	mux.HandleFunc("/debug/stages", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -47,4 +51,23 @@ func ServeDebug(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	go http.Serve(ln, mux)
 	return ln.Addr().String(), nil
+}
+
+// HandleMetrics serves the Default registry in the Prometheus text
+// exposition format. Shared by ServeDebug and the serve mux so both
+// scrape targets render identically.
+func HandleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", PromContentType)
+	Default.WritePrometheus(w)
+}
+
+// HandleRequestTraces serves the DefaultRequests ring: JSON by default,
+// Chrome trace-event JSON with ?format=chrome.
+func HandleRequestTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Query().Get("format") == "chrome" {
+		DefaultRequests.WriteChromeTrace(w)
+		return
+	}
+	DefaultRequests.WriteJSON(w)
 }

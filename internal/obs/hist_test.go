@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	h := NewRegistry().Histogram("q.empty", []int64{10, 100})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%v) on empty histogram = %d, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	h := NewRegistry().Histogram("q.single", []int64{100})
+	h.Observe(50)
+	// Every in-range quantile resolves to the sole bucket's bound.
+	for _, q := range []float64{0, 0.5, 0.99} {
+		if got := h.Quantile(q); got != 100 {
+			t.Errorf("Quantile(%v) = %d, want 100", q, got)
+		}
+	}
+}
+
+func TestQuantileOutOfRange(t *testing.T) {
+	h := NewRegistry().Histogram("q.range", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 50, 500} {
+		h.Observe(v)
+	}
+	// q < 0 clamps to the lowest populated bucket.
+	if got := h.Quantile(-1); got != 10 {
+		t.Errorf("Quantile(-1) = %d, want 10", got)
+	}
+	// q > 1 can't be exceeded by any cumulative count; the estimate
+	// saturates at the last bound.
+	if got := h.Quantile(2); got != 1000 {
+		t.Errorf("Quantile(2) = %d, want 1000", got)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := NewRegistry().Histogram("q.overflow", []int64{10})
+	h.Observe(5000) // beyond every bound: lands in the implicit overflow bucket
+	// The overflow bucket has no upper bound; the estimate falls back to the
+	// sum as a ceiling.
+	if got := h.Quantile(0.99); got != 5000 {
+		t.Errorf("Quantile(0.99) = %d, want 5000 (sum ceiling)", got)
+	}
+	h.Observe(5) // in-range observation keeps low quantiles in real buckets
+	if got := h.Quantile(0.25); got != 10 {
+		t.Errorf("Quantile(0.25) = %d, want 10", got)
+	}
+}
+
+// TestHistogramConcurrentObserveSnapshot races Observe against Snapshot
+// and Quantile; run under -race. Totals must balance once writers stop.
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q.conc", ExpBounds(1, 2, 12))
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				reg.Snapshot()
+				h.Quantile(0.5)
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	reader.Wait()
+
+	if h.Count() != workers*per {
+		t.Fatalf("count %d, want %d", h.Count(), workers*per)
+	}
+	snap := reg.Snapshot()
+	var bucketTotal int64
+	for _, b := range snap.Histograms["q.conc"].Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != workers*per {
+		t.Fatalf("bucket counts sum to %d, want %d", bucketTotal, workers*per)
+	}
+}
+
+// TestExpBoundsProperties is a property test over the bound generator:
+// correct length, non-decreasing always, strictly increasing for integer
+// growth (start >= 1, factor >= 2), and the seed lands in bounds[0].
+func TestExpBoundsProperties(t *testing.T) {
+	cases := []struct {
+		start  int64
+		factor float64
+		n      int
+	}{
+		{1, 2, 1}, {1, 2, 16}, {50, 2, 10}, {10, 10, 6},
+		{1, 1.5, 20}, {100, 1.1, 30}, {7, 3, 12}, {1000, 2.5, 8},
+	}
+	for _, c := range cases {
+		b := ExpBounds(c.start, c.factor, c.n)
+		if len(b) != c.n {
+			t.Fatalf("ExpBounds(%d,%v,%d): len %d", c.start, c.factor, c.n, len(b))
+		}
+		if b[0] != c.start {
+			t.Errorf("ExpBounds(%d,%v,%d): first bound %d, want start", c.start, c.factor, c.n, b[0])
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] < b[i-1] {
+				t.Errorf("ExpBounds(%d,%v,%d): decreasing at %d: %v", c.start, c.factor, c.n, i, b)
+				break
+			}
+			// Integer truncation can flatten fractional factors, but with
+			// factor >= 2 and start >= 1 every step must strictly grow.
+			if c.start >= 1 && c.factor >= 2 && b[i] <= b[i-1] {
+				t.Errorf("ExpBounds(%d,%v,%d): not strictly increasing at %d: %v", c.start, c.factor, c.n, i, b)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PromContentType is the Content-Type for the Prometheus text exposition
+// format rendered by WritePrometheus.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promHist is one histogram's locked reading: every bucket (including
+// empty ones and the overflow bucket), ready to be rendered cumulatively.
+type promHist struct {
+	bounds []int64
+	counts []int64 // len(bounds)+1, last = overflow
+	sum    int64
+	count  int64
+}
+
+// WritePrometheus renders every registered counter, gauge, and histogram in
+// the Prometheus text exposition format (version 0.0.4):
+//
+//   - counters become `<name>_total` with TYPE counter;
+//   - gauges keep their name with TYPE gauge;
+//   - histograms expand to cumulative `<name>_bucket{le="..."}` series
+//     (every configured bound plus the implicit `+Inf` overflow), and the
+//     conventional `<name>_sum` and `<name>_count`.
+//
+// Metric names are sanitized for Prometheus ('.' and any other invalid
+// rune become '_'), so `serve.latency_us` scrapes as
+// `serve_latency_us_bucket{le="50"}` and `serve.requests` as
+// `serve_requests_total`. Output is sorted by name, so scrapes diff
+// cleanly across processes and runs.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	// Read everything under the registry lock, render after releasing it:
+	// rendering does I/O and must not hold up metric registration.
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]promHist, len(r.hists))
+	for name, h := range r.hists {
+		ph := promHist{bounds: h.bounds, counts: make([]int64, len(h.counts))}
+		for i := range h.counts {
+			ph.counts[i] = h.counts[i].Load()
+		}
+		ph.sum = h.Sum()
+		ph.count = h.Count()
+		hists[name] = ph
+	}
+	r.mu.Unlock()
+
+	for _, name := range sortedKeys(counters) {
+		pn := promName(name)
+		if !strings.HasSuffix(pn, "_total") {
+			pn += "_total"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		var cum int64
+		for i, n := range h.counts {
+			cum += n
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = fmt.Sprintf("%d", h.bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", pn, h.sum, pn, h.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a registry name onto the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*: every invalid rune becomes '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}

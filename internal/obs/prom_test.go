@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusFormat pins the exposition format: sanitized names,
+// the _total counter suffix, gauge passthrough, and cumulative histogram
+// buckets ending in +Inf with _sum/_count.
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.requests").Add(42)
+	r.Gauge("serve.queue.depth").Set(7)
+	h := r.Histogram("serve.latency_us", []int64{10, 100})
+	for _, v := range []int64{5, 50, 500} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := []string{
+		"# TYPE serve_requests_total counter",
+		"serve_requests_total 42",
+		"# TYPE serve_queue_depth gauge",
+		"serve_queue_depth 7",
+		"# TYPE serve_latency_us histogram",
+		`serve_latency_us_bucket{le="10"} 1`,
+		`serve_latency_us_bucket{le="100"} 2`,
+		`serve_latency_us_bucket{le="+Inf"} 3`,
+		"serve_latency_us_sum 555",
+		"serve_latency_us_count 3",
+	}
+	for _, line := range want {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing line %q in output:\n%s", line, out)
+		}
+	}
+	// Buckets must be cumulative and ordered within the histogram block.
+	if strings.Index(out, `le="10"`) > strings.Index(out, `le="+Inf"`) {
+		t.Error("buckets not in bound order")
+	}
+}
+
+// TestWritePrometheusValid walks every rendered line and asserts it is
+// either a comment or a `name{labels} value` sample with a valid metric
+// name — the grammar a scraper parses.
+func TestWritePrometheusValid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird. name-1").Inc()
+	r.Counter("client.retry.giveups").Add(3)
+	r.Gauge("9starts.with.digit").Set(1)
+	r.Histogram("lat", ExpBounds(50, 2, 4)).Observe(1000)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var name string
+		var value int64
+		rest := line
+		if i := strings.IndexAny(rest, "{ "); i >= 0 {
+			name = rest[:i]
+		} else {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		if i := strings.LastIndexByte(rest, ' '); i >= 0 {
+			if _, err := fmt.Sscanf(rest[i+1:], "%d", &value); err != nil {
+				t.Errorf("line %q: non-integer value: %v", line, err)
+			}
+		}
+		if name == "" {
+			t.Fatalf("empty metric name in %q", line)
+		}
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			valid := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+			if !valid {
+				t.Errorf("invalid metric name %q (byte %q)", name, c)
+				break
+			}
+		}
+	}
+}
+
+// TestPromName pins the sanitizer's edge cases.
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.requests":   "serve_requests",
+		"a-b c":            "a_b_c",
+		"1abc":             "_1abc",
+		"":                 "_",
+		"ok_name:subsys":   "ok_name:subsys",
+		"serve.latency_us": "serve_latency_us",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestServeDebugPrometheus checks the debug endpoint serves the Default
+// registry as Prometheus text.
+func TestServeDebugPrometheus(t *testing.T) {
+	C("promtest.counter").Add(5)
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != PromContentType {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(string(body), "promtest_counter_total") {
+		t.Errorf("scrape missing promtest_counter_total:\n%.500s", body)
+	}
+}

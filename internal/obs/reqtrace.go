@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ReqStage identifies one phase of a request's life inside the serving
+// layer. Stages are recorded as offsets from the request's start, so a
+// finished trace is a compact fixed-size record.
+type ReqStage int
+
+const (
+	StageAdmission     ReqStage = iota // queue admission attempt
+	StageQueueWait                     // admitted → picked up by a worker
+	StageBatchAssembly                 // worker gathering the micro-batch
+	StageCacheLookup                   // prediction-cache probe
+	StagePredict                       // model dispatch
+	StageEncode                        // response encoding
+	NumReqStages
+)
+
+// reqStageNames index by ReqStage for rendering.
+var reqStageNames = [NumReqStages]string{
+	"admission", "queue_wait", "batch_assembly", "cache_lookup", "predict", "encode",
+}
+
+// String returns the stage's wire name.
+func (s ReqStage) String() string {
+	if s < 0 || s >= NumReqStages {
+		return "unknown"
+	}
+	return reqStageNames[s]
+}
+
+// stageSpan is one stage's interval relative to the request start.
+// durNS < 0 marks a stage that began but never ended (or never ran).
+type stageSpan struct {
+	startNS int64
+	durNS   int64
+}
+
+// RequestTrace is one in-flight request's per-stage accounting. Acquire
+// one with AcquireRequestTrace, mark stages with BeginStage/EndStage (both
+// nil-safe, so call sites need no telemetry gating), then hand it to a
+// TraceRing and release it. Stage marking is two clock reads and two
+// stores — no locks, no allocation.
+type RequestTrace struct {
+	id     string
+	wall   time.Time // wall+monotonic anchor
+	stages [NumReqStages]stageSpan
+}
+
+// reqTracePool recycles trace objects across requests so the serve hot
+// path allocates nothing for tracing.
+var reqTracePool = sync.Pool{New: func() any { return new(RequestTrace) }}
+
+// AcquireRequestTrace returns a reset trace anchored at now, or nil (a
+// valid no-op trace) while telemetry is disabled.
+func AcquireRequestTrace(id string) *RequestTrace {
+	if !enabled.Load() {
+		return nil
+	}
+	t := reqTracePool.Get().(*RequestTrace)
+	t.id = id
+	t.wall = time.Now()
+	for i := range t.stages {
+		t.stages[i] = stageSpan{startNS: -1, durNS: -1}
+	}
+	return t
+}
+
+// ReleaseRequestTrace returns a trace to the pool. Safe on nil. Callers
+// must not release a trace another goroutine may still be marking (a
+// deadline-abandoned request leaves its trace to the garbage collector,
+// exactly like serve's batch buffers).
+func ReleaseRequestTrace(t *RequestTrace) {
+	if t != nil {
+		reqTracePool.Put(t)
+	}
+}
+
+// ID returns the request/trace identifier.
+func (t *RequestTrace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// BeginStage marks the stage's start. Nil-safe.
+func (t *RequestTrace) BeginStage(s ReqStage) {
+	if t == nil {
+		return
+	}
+	t.stages[s].startNS = int64(time.Since(t.wall))
+}
+
+// EndStage marks the stage's end. Nil-safe; an EndStage with no matching
+// BeginStage is ignored.
+func (t *RequestTrace) EndStage(s ReqStage) {
+	if t == nil {
+		return
+	}
+	sp := &t.stages[s]
+	if sp.startNS < 0 {
+		return
+	}
+	sp.durNS = int64(time.Since(t.wall)) - sp.startNS
+}
+
+// StageDur returns a stage's duration, or 0 when the stage never ran.
+func (t *RequestTrace) StageDur(s ReqStage) time.Duration {
+	if t == nil || t.stages[s].durNS < 0 {
+		return 0
+	}
+	return time.Duration(t.stages[s].durNS)
+}
+
+// StageJSON is one stage in an exported trace record.
+type StageJSON struct {
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// RequestTraceRecord is one finished request trace, as stored in a
+// TraceRing: a fixed-size value copy, so ring insertion does not allocate
+// and the pooled RequestTrace can be recycled immediately.
+type RequestTraceRecord struct {
+	ID      string    `json:"id"`
+	Start   time.Time `json:"start"`
+	TotalNS int64     `json:"total_ns"`
+	stages  [NumReqStages]stageSpan
+}
+
+// Stages renders the record's per-stage spans (stages that never ran are
+// omitted).
+func (r *RequestTraceRecord) Stages() []StageJSON {
+	out := make([]StageJSON, 0, NumReqStages)
+	for i, sp := range r.stages {
+		if sp.startNS < 0 || sp.durNS < 0 {
+			continue
+		}
+		out = append(out, StageJSON{Name: ReqStage(i).String(), StartNS: sp.startNS, DurNS: sp.durNS})
+	}
+	return out
+}
+
+// MarshalJSON renders the record with its stages inline.
+func (r RequestTraceRecord) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		ID      string      `json:"id"`
+		Start   time.Time   `json:"start"`
+		TotalNS int64       `json:"total_ns"`
+		Stages  []StageJSON `json:"stages"`
+	}{r.ID, r.Start, r.TotalNS, r.Stages()})
+}
+
+// TraceRing is a bounded ring of recent slow request traces. Requests
+// faster than the slow threshold are counted but not stored, so the ring
+// holds the traces worth looking at; with the threshold at 0 it holds the
+// most recent requests outright.
+type TraceRing struct {
+	slowNS atomic.Int64
+	seen   atomic.Int64
+	kept   atomic.Int64
+
+	mu   sync.Mutex
+	recs []RequestTraceRecord
+	n    int // live records
+	next int // ring cursor
+}
+
+// NewTraceRing returns a ring holding up to capacity traces.
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &TraceRing{recs: make([]RequestTraceRecord, capacity)}
+}
+
+// DefaultRequests is the process-wide request-trace ring the serving
+// layer records into and the debug endpoints read from.
+var DefaultRequests = NewTraceRing(128)
+
+// SetSlowThreshold keeps only traces at least this slow (0 keeps all).
+func (r *TraceRing) SetSlowThreshold(d time.Duration) { r.slowNS.Store(int64(d)) }
+
+// Add finalizes a trace with its total duration and stores it if it
+// qualifies as slow. Nil-safe on the trace. The trace is copied by value;
+// the caller may release it immediately after.
+func (r *TraceRing) Add(t *RequestTrace, total time.Duration) {
+	if t == nil {
+		return
+	}
+	r.seen.Add(1)
+	if int64(total) < r.slowNS.Load() {
+		return
+	}
+	r.kept.Add(1)
+	r.mu.Lock()
+	r.recs[r.next] = RequestTraceRecord{ID: t.id, Start: t.wall, TotalNS: int64(total), stages: t.stages}
+	r.next = (r.next + 1) % len(r.recs)
+	if r.n < len(r.recs) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the stored traces, most recent first.
+func (r *TraceRing) Snapshot() []RequestTraceRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RequestTraceRecord, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.recs[(r.next-1-i+len(r.recs))%len(r.recs)])
+	}
+	return out
+}
+
+// Seen returns how many traces were offered to the ring; Kept how many
+// passed the slow threshold (including ones since overwritten).
+func (r *TraceRing) Seen() int64 { return r.seen.Load() }
+func (r *TraceRing) Kept() int64 { return r.kept.Load() }
+
+// Reset clears the ring and its counters (tests and back-to-back runs).
+func (r *TraceRing) Reset() {
+	r.mu.Lock()
+	r.n, r.next = 0, 0
+	r.mu.Unlock()
+	r.seen.Store(0)
+	r.kept.Store(0)
+}
+
+// WriteJSON renders the ring, most recent first, as a JSON document.
+func (r *TraceRing) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Seen   int64                `json:"seen"`
+		Kept   int64                `json:"kept"`
+		SlowNS int64                `json:"slow_threshold_ns"`
+		Traces []RequestTraceRecord `json:"traces"`
+	}{r.Seen(), r.Kept(), r.slowNS.Load(), r.Snapshot()})
+}
+
+// WriteChromeTrace exports the stored request traces in the same Chrome
+// trace-event format as Trace.WriteChromeTrace: one row (tid) per request
+// carrying the whole-request interval plus its stage spans, timestamps on
+// a shared wall-clock baseline. Load the output in chrome://tracing or
+// https://ui.perfetto.dev.
+func (r *TraceRing) WriteChromeTrace(w io.Writer) error {
+	recs := r.Snapshot()
+	var base time.Time
+	for _, rec := range recs {
+		if base.IsZero() || rec.Start.Before(base) {
+			base = rec.Start
+		}
+	}
+	events := make([]chromeEvent, 0, len(recs)*(1+int(NumReqStages)))
+	for i, rec := range recs {
+		ts := float64(rec.Start.Sub(base)) / float64(time.Microsecond)
+		events = append(events, chromeEvent{
+			Name: "request " + rec.ID,
+			Ph:   "X",
+			Ts:   ts,
+			Dur:  float64(rec.TotalNS) / 1e3,
+			Pid:  1,
+			Tid:  i + 1,
+		})
+		for s, sp := range rec.stages {
+			if sp.startNS < 0 || sp.durNS < 0 {
+				continue
+			}
+			events = append(events, chromeEvent{
+				Name: ReqStage(s).String(),
+				Ph:   "X",
+				Ts:   ts + float64(sp.startNS)/1e3,
+				Dur:  float64(sp.durNS) / 1e3,
+				Pid:  1,
+				Tid:  i + 1,
+			})
+		}
+	}
+	return json.NewEncoder(w).Encode(events)
+}

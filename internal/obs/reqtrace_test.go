@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRequestTraceStages(t *testing.T) {
+	tr := AcquireRequestTrace("req-1")
+	if tr == nil {
+		t.Fatal("telemetry enabled but AcquireRequestTrace returned nil")
+	}
+	if tr.ID() != "req-1" {
+		t.Errorf("ID %q", tr.ID())
+	}
+	tr.BeginStage(StageCacheLookup)
+	tr.EndStage(StageCacheLookup)
+	tr.BeginStage(StagePredict)
+	time.Sleep(time.Millisecond)
+	tr.EndStage(StagePredict)
+
+	if d := tr.StageDur(StagePredict); d < time.Millisecond {
+		t.Errorf("predict stage %v, want >= 1ms", d)
+	}
+	if d := tr.StageDur(StageCacheLookup); d < 0 {
+		t.Errorf("cache stage %v", d)
+	}
+	// A stage that never ran reads zero; EndStage without BeginStage is a
+	// no-op.
+	tr.EndStage(StageEncode)
+	if d := tr.StageDur(StageEncode); d != 0 {
+		t.Errorf("unran stage duration %v", d)
+	}
+	if d := tr.StageDur(StageQueueWait); d != 0 {
+		t.Errorf("unran stage duration %v", d)
+	}
+	ReleaseRequestTrace(tr)
+}
+
+func TestRequestTraceNilSafe(t *testing.T) {
+	var tr *RequestTrace
+	tr.BeginStage(StagePredict)
+	tr.EndStage(StagePredict)
+	if tr.StageDur(StagePredict) != 0 || tr.ID() != "" {
+		t.Error("nil trace must read zero")
+	}
+	ReleaseRequestTrace(tr)
+
+	restore := SetEnabled(false)
+	defer restore()
+	if got := AcquireRequestTrace("x"); got != nil {
+		t.Error("disabled telemetry must acquire a nil trace")
+	}
+}
+
+func TestTraceRingBoundedAndOrdered(t *testing.T) {
+	ring := NewTraceRing(4)
+	for i := 0; i < 10; i++ {
+		tr := AcquireRequestTrace(fmt.Sprintf("r%d", i))
+		ring.Add(tr, time.Duration(i+1)*time.Millisecond)
+		ReleaseRequestTrace(tr)
+	}
+	recs := ring.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recs))
+	}
+	// Most recent first: r9, r8, r7, r6.
+	for i, want := range []string{"r9", "r8", "r7", "r6"} {
+		if recs[i].ID != want {
+			t.Errorf("recs[%d].ID = %q, want %q", i, recs[i].ID, want)
+		}
+	}
+	if ring.Seen() != 10 || ring.Kept() != 10 {
+		t.Errorf("seen=%d kept=%d", ring.Seen(), ring.Kept())
+	}
+}
+
+func TestTraceRingSlowThreshold(t *testing.T) {
+	ring := NewTraceRing(8)
+	ring.SetSlowThreshold(10 * time.Millisecond)
+	fast := AcquireRequestTrace("fast")
+	ring.Add(fast, time.Millisecond)
+	ReleaseRequestTrace(fast)
+	slow := AcquireRequestTrace("slow")
+	ring.Add(slow, 20*time.Millisecond)
+	ReleaseRequestTrace(slow)
+
+	recs := ring.Snapshot()
+	if len(recs) != 1 || recs[0].ID != "slow" {
+		t.Fatalf("ring = %+v, want only the slow trace", recs)
+	}
+	if ring.Seen() != 2 || ring.Kept() != 1 {
+		t.Errorf("seen=%d kept=%d", ring.Seen(), ring.Kept())
+	}
+}
+
+func TestTraceRingJSONAndChrome(t *testing.T) {
+	ring := NewTraceRing(8)
+	tr := AcquireRequestTrace("abc")
+	tr.BeginStage(StagePredict)
+	tr.EndStage(StagePredict)
+	ring.Add(tr, 5*time.Millisecond)
+	ReleaseRequestTrace(tr)
+
+	var buf bytes.Buffer
+	if err := ring.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Seen   int64 `json:"seen"`
+		Traces []struct {
+			ID      string `json:"id"`
+			TotalNS int64  `json:"total_ns"`
+			Stages  []struct {
+				Name  string `json:"name"`
+				DurNS int64  `json:"dur_ns"`
+			} `json:"stages"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("ring JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.Traces) != 1 || doc.Traces[0].ID != "abc" || doc.Traces[0].TotalNS != int64(5*time.Millisecond) {
+		t.Fatalf("trace doc: %+v", doc)
+	}
+	if len(doc.Traces[0].Stages) != 1 || doc.Traces[0].Stages[0].Name != "predict" {
+		t.Fatalf("stages: %+v", doc.Traces[0].Stages)
+	}
+
+	buf.Reset()
+	if err := ring.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome trace: %v\n%s", err, buf.String())
+	}
+	// One whole-request event plus one stage event.
+	if len(events) != 2 {
+		t.Fatalf("%d chrome events, want 2", len(events))
+	}
+	if events[0]["name"] != "request abc" || events[0]["ph"] != "X" {
+		t.Errorf("request event: %+v", events[0])
+	}
+	if events[1]["name"] != "predict" {
+		t.Errorf("stage event: %+v", events[1])
+	}
+}
+
+// TestTraceRingConcurrent drives concurrent acquire/mark/add/snapshot
+// under the race detector.
+func TestTraceRingConcurrent(t *testing.T) {
+	ring := NewTraceRing(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := AcquireRequestTrace("c")
+				tr.BeginStage(StagePredict)
+				tr.EndStage(StagePredict)
+				ring.Add(tr, time.Microsecond)
+				ReleaseRequestTrace(tr)
+				if i%50 == 0 {
+					ring.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ring.Seen() != 1600 {
+		t.Fatalf("seen %d, want 1600", ring.Seen())
+	}
+}
+
+// TestRequestTraceZeroAllocs pins the per-request tracing cost on the
+// serve hot path: acquire (pooled), stage marks, ring add (value copy into
+// preallocated storage), and release must not allocate.
+func TestRequestTraceZeroAllocs(t *testing.T) {
+	ring := NewTraceRing(8)
+	id := "warm-id"
+	// Warm the pool so the measurement sees steady state.
+	ReleaseRequestTrace(AcquireRequestTrace(id))
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr := AcquireRequestTrace(id)
+		tr.BeginStage(StageCacheLookup)
+		tr.EndStage(StageCacheLookup)
+		tr.BeginStage(StagePredict)
+		tr.EndStage(StagePredict)
+		ring.Add(tr, time.Millisecond)
+		ReleaseRequestTrace(tr)
+	})
+	if allocs != 0 {
+		t.Fatalf("traced request path allocates %v per request, want 0", allocs)
+	}
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SLOConfig sizes one service-level-objective tracker.
+type SLOConfig struct {
+	// Name prefixes the gauges the tracker publishes into the registry,
+	// e.g. "serve.slo" publishes serve.slo.availability_ppm and friends.
+	Name string
+
+	// Window is the rolling measurement window (default 60s), divided
+	// into Slots ring slots (default 12) that age out individually.
+	Window time.Duration
+	Slots  int
+
+	// Availability is the success-fraction objective, e.g. 0.999.
+	// Values outside (0,1) are clamped into it.
+	Availability float64
+
+	// LatencyP99US is the p99 latency objective in microseconds.
+	LatencyP99US int64
+
+	// LatencyBounds are the tracker's latency histogram bounds
+	// (default ExpBounds(50, 2, 16), the serve latency shape).
+	LatencyBounds []int64
+
+	// Registry receives the published gauges (default the Default
+	// registry).
+	Registry *Registry
+
+	// Now is the clock, injectable so tests get deterministic windows.
+	Now func() time.Time
+}
+
+// sloSlot is one ring slot: the counts for one Window/Slots interval.
+// All fields are atomics so Record never takes a lock on the happy path.
+type sloSlot struct {
+	start   atomic.Int64 // absolute slot index this slot currently holds
+	total   atomic.Int64
+	errors  atomic.Int64
+	sum     atomic.Int64
+	buckets []atomic.Int64 // len(bounds)+1, last = overflow
+}
+
+// SLO tracks an availability objective and a p99-latency objective over a
+// rolling window, with error-budget burn-rate accounting. Record is
+// allocation-free (atomic adds into a pre-built ring slot); aging a slot
+// out takes a short lock once per slot interval. The clock is injectable,
+// so tests pin time and get exact, deterministic window accounting.
+type SLO struct {
+	cfg     SLOConfig
+	epoch   time.Time
+	slotDur time.Duration
+	bounds  []int64
+	slots   []sloSlot
+	mu      sync.Mutex // guards slot rotation only
+
+	// Published gauges (integer-scaled: availability in ppm, burn rate in
+	// thousandths).
+	gAvailPPM  *Gauge
+	gBurnMilli *Gauge
+	gP99US     *Gauge
+	gTotal     *Gauge
+	gErrors    *Gauge
+}
+
+// NewSLO builds a tracker and registers its gauges.
+func NewSLO(cfg SLOConfig) *SLO {
+	if cfg.Window <= 0 {
+		cfg.Window = 60 * time.Second
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 12
+	}
+	if cfg.Availability <= 0 || cfg.Availability >= 1 {
+		cfg.Availability = 0.999
+	}
+	if cfg.LatencyP99US <= 0 {
+		cfg.LatencyP99US = 250_000
+	}
+	if cfg.LatencyBounds == nil {
+		cfg.LatencyBounds = ExpBounds(50, 2, 16)
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = Default
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Name == "" {
+		cfg.Name = "slo"
+	}
+	s := &SLO{
+		cfg:     cfg,
+		epoch:   cfg.Now(),
+		slotDur: cfg.Window / time.Duration(cfg.Slots),
+		bounds:  cfg.LatencyBounds,
+		slots:   make([]sloSlot, cfg.Slots),
+
+		gAvailPPM:  cfg.Registry.Gauge(cfg.Name + ".availability_ppm"),
+		gBurnMilli: cfg.Registry.Gauge(cfg.Name + ".burn_rate_milli"),
+		gP99US:     cfg.Registry.Gauge(cfg.Name + ".p99_us"),
+		gTotal:     cfg.Registry.Gauge(cfg.Name + ".window_total"),
+		gErrors:    cfg.Registry.Gauge(cfg.Name + ".window_errors"),
+	}
+	for i := range s.slots {
+		s.slots[i].start.Store(-1)
+		s.slots[i].buckets = make([]atomic.Int64, len(s.bounds)+1)
+	}
+	return s
+}
+
+// Record accounts one request outcome: its latency in microseconds and
+// whether it succeeded. Allocation-free; a no-op while telemetry is
+// disabled.
+func (s *SLO) Record(latencyUS int64, ok bool) {
+	if !enabled.Load() {
+		return
+	}
+	abs := s.absSlot()
+	sl := &s.slots[abs%int64(len(s.slots))]
+	if sl.start.Load() != abs {
+		s.rotate(sl, abs)
+	}
+	sl.total.Add(1)
+	if !ok {
+		sl.errors.Add(1)
+	}
+	i := 0
+	for i < len(s.bounds) && latencyUS > s.bounds[i] {
+		i++
+	}
+	sl.buckets[i].Add(1)
+	sl.sum.Add(latencyUS)
+}
+
+// absSlot returns the absolute (monotone) slot index for now.
+func (s *SLO) absSlot() int64 {
+	return int64(s.cfg.Now().Sub(s.epoch) / s.slotDur)
+}
+
+// rotate retires a slot whose interval has passed and re-anchors it at
+// abs. Concurrent recorders that raced the rotation land in the fresh
+// slot; the brief cross-slot smear is bounded by one slot interval.
+func (s *SLO) rotate(sl *sloSlot, abs int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sl.start.Load() == abs {
+		return // another recorder rotated it first
+	}
+	sl.total.Store(0)
+	sl.errors.Store(0)
+	sl.sum.Store(0)
+	for i := range sl.buckets {
+		sl.buckets[i].Store(0)
+	}
+	sl.start.Store(abs)
+}
+
+// SLOStatus is a point-in-time objective reading over the rolling window.
+type SLOStatus struct {
+	Window time.Duration `json:"window_ns"`
+	Total  int64         `json:"total"`
+	Errors int64         `json:"errors"`
+
+	// Availability is the window success fraction (1.0 when idle — an
+	// idle service is not failing its objective).
+	Availability float64 `json:"availability"`
+	// BurnRate is the error-budget burn multiple: observed error rate
+	// over the budgeted error rate (1-objective). 1.0 burns the budget
+	// exactly at the sustainable pace; >1 exhausts it early.
+	BurnRate float64 `json:"burn_rate"`
+	// P99US is the upper-bound p99 latency estimate in microseconds
+	// (bucket-bound semantics, matching Histogram.Quantile).
+	P99US int64 `json:"p99_us"`
+
+	AvailabilityOK bool `json:"availability_ok"`
+	LatencyOK      bool `json:"latency_ok"`
+	Healthy        bool `json:"healthy"`
+}
+
+// Status merges every live slot into one objective reading.
+func (s *SLO) Status() SLOStatus {
+	abs := s.absSlot()
+	min := abs - int64(len(s.slots)) + 1
+	var total, errs, sum int64
+	merged := make([]int64, len(s.bounds)+1)
+	for i := range s.slots {
+		sl := &s.slots[i]
+		st := sl.start.Load()
+		if st < min || st > abs {
+			continue // empty or aged out
+		}
+		total += sl.total.Load()
+		errs += sl.errors.Load()
+		sum += sl.sum.Load()
+		for b := range merged {
+			merged[b] += sl.buckets[b].Load()
+		}
+	}
+	out := SLOStatus{Window: s.cfg.Window, Total: total, Errors: errs, Availability: 1}
+	if total > 0 {
+		out.Availability = float64(total-errs) / float64(total)
+	}
+	budget := 1 - s.cfg.Availability
+	if total > 0 {
+		out.BurnRate = (float64(errs) / float64(total)) / budget
+	}
+	out.P99US = quantileOf(merged, s.bounds, sum, 0.99)
+	out.AvailabilityOK = out.Availability >= s.cfg.Availability
+	out.LatencyOK = out.P99US <= s.cfg.LatencyP99US
+	out.Healthy = out.AvailabilityOK && out.LatencyOK
+	return out
+}
+
+// Publish refreshes the registered gauges from a fresh Status. Metric
+// readers (the /metrics scrape, /readyz) call it; Record never does, so
+// the request path stays a handful of atomic adds.
+func (s *SLO) Publish() SLOStatus {
+	st := s.Status()
+	s.gAvailPPM.Set(int64(math.Round(st.Availability * 1e6)))
+	burn := st.BurnRate * 1000
+	if burn > 1e9 {
+		burn = 1e9
+	}
+	s.gBurnMilli.Set(int64(math.Round(burn)))
+	s.gP99US.Set(st.P99US)
+	s.gTotal.Set(st.Total)
+	s.gErrors.Set(st.Errors)
+	return st
+}
+
+// quantileOf is Histogram.Quantile over a merged bucket reading: the bound
+// of the bucket holding the q-th observation, with the summed value as the
+// ceiling for the overflow bucket.
+func quantileOf(counts []int64, bounds []int64, sum int64, q float64) int64 {
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	var seen int64
+	for i, n := range counts {
+		seen += n
+		if seen > target {
+			if i < len(bounds) {
+				return bounds[i]
+			}
+			return sum
+		}
+	}
+	return bounds[len(bounds)-1]
+}

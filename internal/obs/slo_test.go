@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// sloClock is a hand-advanced clock for deterministic window accounting.
+type sloClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *sloClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *sloClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newSLOUnderTest(reg *Registry, clk *sloClock) *SLO {
+	return NewSLO(SLOConfig{
+		Name:          "test.slo",
+		Window:        60 * time.Second,
+		Slots:         6,
+		Availability:  0.99,
+		LatencyP99US:  1000,
+		LatencyBounds: []int64{100, 1000, 10000},
+		Registry:      reg,
+		Now:           clk.now,
+	})
+}
+
+func TestSLODeterministicAccounting(t *testing.T) {
+	clk := &sloClock{t: time.Unix(1000, 0)}
+	reg := NewRegistry()
+	s := newSLOUnderTest(reg, clk)
+
+	// 98 fast successes, 2 failures: availability exactly 0.98, below the
+	// 0.99 objective, burning budget at 2x.
+	for i := 0; i < 98; i++ {
+		s.Record(50, true)
+	}
+	s.Record(5000, false)
+	s.Record(5000, false)
+
+	st := s.Status()
+	if st.Total != 100 || st.Errors != 2 {
+		t.Fatalf("window: total=%d errors=%d", st.Total, st.Errors)
+	}
+	if st.Availability != 0.98 {
+		t.Errorf("availability %v, want 0.98", st.Availability)
+	}
+	if got, want := st.BurnRate, 0.02/0.01; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("burn rate %v, want %v", got, want)
+	}
+	if st.AvailabilityOK {
+		t.Error("availability objective cannot hold at 0.98 vs 0.99")
+	}
+	// p99 of 98×50µs + 2×5000µs falls in the 10000 bucket.
+	if st.P99US != 10000 {
+		t.Errorf("p99 %dµs, want 10000 (bucket bound)", st.P99US)
+	}
+	if st.LatencyOK || st.Healthy {
+		t.Errorf("latency/healthy flags: %+v", st)
+	}
+}
+
+func TestSLOWindowAgesOut(t *testing.T) {
+	clk := &sloClock{t: time.Unix(2000, 0)}
+	reg := NewRegistry()
+	s := newSLOUnderTest(reg, clk)
+
+	s.Record(50, false) // one failure now
+	if st := s.Status(); st.Errors != 1 {
+		t.Fatalf("errors=%d before aging", st.Errors)
+	}
+	// Advance past the whole window: the failure must age out entirely.
+	clk.advance(61 * time.Second)
+	st := s.Status()
+	if st.Total != 0 || st.Errors != 0 {
+		t.Fatalf("stale slots leaked: %+v", st)
+	}
+	if st.Availability != 1 || st.BurnRate != 0 || !st.Healthy {
+		t.Errorf("idle window should read healthy: %+v", st)
+	}
+
+	// Fresh traffic lands in rotated slots.
+	s.Record(50, true)
+	if st := s.Status(); st.Total != 1 || st.Errors != 0 {
+		t.Fatalf("post-rotation recording: %+v", st)
+	}
+}
+
+func TestSLOPartialAging(t *testing.T) {
+	clk := &sloClock{t: time.Unix(3000, 0)}
+	reg := NewRegistry()
+	s := newSLOUnderTest(reg, clk) // 60s window, 6 slots of 10s
+
+	s.Record(50, false)
+	clk.advance(30 * time.Second) // 3 slots later: still in window
+	s.Record(50, true)
+	if st := s.Status(); st.Total != 2 || st.Errors != 1 {
+		t.Fatalf("mid-window: %+v", st)
+	}
+	clk.advance(35 * time.Second) // first record now 65s old, second 35s
+	st := s.Status()
+	if st.Total != 1 || st.Errors != 0 {
+		t.Fatalf("partial aging: %+v", st)
+	}
+}
+
+func TestSLOPublishGauges(t *testing.T) {
+	clk := &sloClock{t: time.Unix(4000, 0)}
+	reg := NewRegistry()
+	s := newSLOUnderTest(reg, clk)
+
+	for i := 0; i < 99; i++ {
+		s.Record(50, true)
+	}
+	s.Record(50, false)
+	s.Publish()
+
+	snap := reg.Snapshot()
+	if got := snap.Gauges["test.slo.availability_ppm"]; got != 990_000 {
+		t.Errorf("availability_ppm %d, want 990000", got)
+	}
+	if got := snap.Gauges["test.slo.burn_rate_milli"]; got != 1000 {
+		t.Errorf("burn_rate_milli %d, want 1000 (exactly at budget)", got)
+	}
+	if got := snap.Gauges["test.slo.window_total"]; got != 100 {
+		t.Errorf("window_total %d", got)
+	}
+	if got := snap.Gauges["test.slo.window_errors"]; got != 1 {
+		t.Errorf("window_errors %d", got)
+	}
+	if got := snap.Gauges["test.slo.p99_us"]; got != 100 {
+		t.Errorf("p99_us %d, want 100 (all observations in first bucket)", got)
+	}
+}
+
+// TestSLOConcurrent hammers Record and Status from many goroutines while
+// the clock advances, for the race detector; totals must balance.
+func TestSLOConcurrent(t *testing.T) {
+	clk := &sloClock{t: time.Unix(5000, 0)}
+	reg := NewRegistry()
+	s := newSLOUnderTest(reg, clk)
+
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Record(int64(i%2000), i%10 != 0)
+				if i%100 == 0 {
+					s.Status()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Status()
+	if st.Total != workers*per {
+		t.Fatalf("total %d, want %d", st.Total, workers*per)
+	}
+	if st.Errors != workers*per/10 {
+		t.Fatalf("errors %d, want %d", st.Errors, workers*per/10)
+	}
+}
+
+// TestSLORecordZeroAllocs pins the request-path cost: Record must not
+// allocate.
+func TestSLORecordZeroAllocs(t *testing.T) {
+	clk := &sloClock{t: time.Unix(6000, 0)}
+	s := newSLOUnderTest(NewRegistry(), clk)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Record(50, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("SLO.Record allocates %v per call, want 0", allocs)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,6 +65,18 @@ type Config struct {
 	// instead of crash-flapping. Any successful prediction or reload
 	// resets the streak.
 	PanicThreshold int
+
+	// SLO objectives tracked over a rolling window and reported on
+	// /readyz and /metrics. Availability is the success-rate objective
+	// (default 0.999); SLOLatencyP99 the p99 latency objective (default
+	// 250ms); SLOWindow the rolling window (default 60s).
+	SLOAvailability float64
+	SLOLatencyP99   time.Duration
+	SLOWindow       time.Duration
+
+	// SlowTrace keeps only request traces at least this slow in the
+	// /debug/traces ring; 0 keeps the most recent requests outright.
+	SlowTrace time.Duration
 }
 
 func (c *Config) fill() error {
@@ -88,6 +101,15 @@ func (c *Config) fill() error {
 	if c.PanicThreshold <= 0 {
 		c.PanicThreshold = 8
 	}
+	if c.SLOAvailability <= 0 || c.SLOAvailability >= 1 {
+		c.SLOAvailability = 0.999
+	}
+	if c.SLOLatencyP99 <= 0 {
+		c.SLOLatencyP99 = 250 * time.Millisecond
+	}
+	if c.SLOWindow <= 0 {
+		c.SLOWindow = 60 * time.Second
+	}
 	return nil
 }
 
@@ -110,6 +132,14 @@ var (
 	mUnready    = obs.G("serve.unready_panic_streak")
 	hLatencyUS  = obs.H("serve.latency_us", obs.ExpBounds(50, 2, 16))
 	hBatchItems = obs.H("serve.batch.items", obs.ExpBounds(1, 2, 8))
+	hQueueWait  = obs.H("serve.queue_wait_us", obs.ExpBounds(10, 2, 16))
+
+	mShadowMirrored = obs.C("serve.shadow.mirrored")
+	mShadowAgree    = obs.C("serve.shadow.agree")
+	mShadowDisagree = obs.C("serve.shadow.disagree")
+	mShadowErrors   = obs.C("serve.shadow.errors")
+	mShadowDropped  = obs.C("serve.shadow.dropped")
+	mShadowActive   = obs.G("serve.shadow.active")
 )
 
 // Request IDs tie a 500 answer to the server-side log line carrying the
@@ -122,6 +152,39 @@ var (
 
 func nextRequestID() string {
 	return fmt.Sprintf("%s-%06d", reqIDPrefix, reqIDSeq.Add(1))
+}
+
+// requestID returns the caller's X-Request-Id (or X-Trace-Id) when it is
+// safe to propagate, else a fresh server-side ID. Honoring the caller's ID
+// lets a build farm correlate its own logs with the server's trace ring
+// and panic log lines across retries.
+func requestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	if id == "" {
+		id = r.Header.Get("X-Trace-Id")
+	}
+	if validRequestID(id) {
+		return id
+	}
+	return nextRequestID()
+}
+
+// validRequestID bounds a caller-supplied ID: 1..64 bytes of
+// [A-Za-z0-9._-], so log lines and trace exports can embed it verbatim.
+func validRequestID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // modelState is one immutable loaded model; reload swaps the pointer.
@@ -157,6 +220,7 @@ type item struct {
 	loop  *unroll.Loop
 	feats []float64
 	key   string // cache key; "" = uncacheable
+	reqID string // request ID, for panic-isolation log lines
 
 	factor int
 	err    error
@@ -166,16 +230,36 @@ type item struct {
 // item (single predict) or many (batch endpoint). The worker fills the
 // items and the model snapshot, then closes done.
 type job struct {
-	ctx   context.Context
-	items []*item
-	st    *modelState
-	done  chan struct{}
-	once  sync.Once
+	ctx      context.Context
+	items    []*item
+	st       *modelState
+	trace    *obs.RequestTrace // nil-safe; shared with the waiting handler
+	enqueued time.Time
+	done     chan struct{}
+	once     sync.Once
 }
 
 // finish releases the waiting handler. Idempotent, so the panic-recovery
-// sweep can finish a batch some of whose jobs already completed.
-func (j *job) finish() { j.once.Do(func() { close(j.done) }) }
+// sweep can finish a batch some of whose jobs already completed. Closing
+// done happens-after the predict-stage mark, so the handler reads a
+// finished trace.
+func (j *job) finish() {
+	j.once.Do(func() {
+		j.trace.EndStage(obs.StagePredict)
+		close(j.done)
+	})
+}
+
+// pickup marks a job's transition from the admission queue into a worker:
+// the queue-wait span ends (feeding serve.queue_wait_us) and batch
+// assembly begins.
+func (j *job) pickup() {
+	if !j.enqueued.IsZero() {
+		hQueueWait.Observe(time.Since(j.enqueued).Microseconds())
+	}
+	j.trace.EndStage(obs.StageQueueWait)
+	j.trace.BeginStage(obs.StageBatchAssembly)
+}
 
 // Server is the prediction service. Create with New, expose with Start or
 // Handler, stop with Shutdown.
@@ -194,6 +278,22 @@ type Server struct {
 	// reports itself unready.
 	panicStreak atomic.Int64
 
+	// slo tracks availability and p99 latency over a rolling window;
+	// every request outcome feeds it with two atomic adds.
+	slo *obs.SLO
+
+	// completed counts drained jobs; drain samples it into a recent
+	// jobs-per-second rate that Retry-After hints derive from.
+	completed atomic.Int64
+	drain     drainRate
+
+	// shadow mirrors a fraction of live predict traffic to a candidate
+	// model off the critical path; nil when no shadow is loaded.
+	shadow     atomic.Pointer[shadowState]
+	shadowq    chan shadowTask
+	shadowWG   sync.WaitGroup
+	shadowOnce sync.Once
+
 	reloadMu sync.Mutex
 	httpSrv  *http.Server
 
@@ -208,15 +308,25 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		cache: newLRU(cfg.CacheSize),
-		queue: make(chan *job, cfg.QueueDepth),
+		cfg:     cfg,
+		cache:   newLRU(cfg.CacheSize),
+		queue:   make(chan *job, cfg.QueueDepth),
+		shadowq: make(chan shadowTask, 256),
 	}
+	s.slo = obs.NewSLO(obs.SLOConfig{
+		Name:         "serve.slo",
+		Window:       cfg.SLOWindow,
+		Availability: cfg.SLOAvailability,
+		LatencyP99US: cfg.SLOLatencyP99.Microseconds(),
+	})
+	obs.DefaultRequests.SetSlowThreshold(cfg.SlowTrace)
 	s.model.Store(newModelState(cfg.Model, cfg.ModelPath))
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
+	s.shadowWG.Add(1)
+	go s.shadowWorker()
 	return s, nil
 }
 
@@ -238,12 +348,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/predict/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
+	mux.HandleFunc("POST /v1/admin/shadow", s.handleShadow)
+	mux.HandleFunc("GET /v1/shadow/report", s.handleShadowReport)
 	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", obs.HandleRequestTraces)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
+}
+
+// handleMetrics publishes the SLO gauges, then renders every registry
+// metric in the Prometheus text format — the scrape target a fleet
+// monitor points at.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.slo.Publish()
+	obs.HandleMetrics(w, r)
 }
 
 // Shutdown drains the service: new requests are refused with 503, every
@@ -264,6 +386,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-drained:
+		// Workers are the only shadow enqueuers, so once they exit the
+		// shadow queue can close and its worker drain what was mirrored.
+		s.shadowOnce.Do(func() { close(s.shadowq) })
+		s.shadowWG.Wait()
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain: %w", ctx.Err())
 	}
@@ -362,6 +488,7 @@ func (s *Server) worker() {
 	ar := &batchArena{}
 	for j := range s.queue {
 		ar.reset()
+		j.pickup()
 		ar.jobs = append(ar.jobs, j)
 		n := len(j.items)
 		for n < s.cfg.MaxBatch {
@@ -373,11 +500,17 @@ func (s *Server) worker() {
 			if extra == nil {
 				break
 			}
+			extra.pickup()
 			ar.jobs = append(ar.jobs, extra)
 			n += len(extra.items)
 		}
+		for _, jb := range ar.jobs {
+			jb.trace.EndStage(obs.StageBatchAssembly)
+			jb.trace.BeginStage(obs.StagePredict)
+		}
 		mQueueDepth.Set(int64(len(s.queue)))
 		s.safeRunBatch(ar)
+		s.completed.Add(int64(len(ar.jobs)))
 	}
 }
 
@@ -386,12 +519,15 @@ func (s *Server) worker() {
 // cfg.PanicThreshold readiness flips), and the full stack goes to the
 // server log keyed by the items' request IDs — the HTTP answer carries only
 // the ID.
-func (s *Server) recordPanic(r any) *faults.PanicError {
+func (s *Server) recordPanic(reqID string, r any) *faults.PanicError {
 	pe := faults.NewPanicError(r)
 	mPanics.Inc()
 	mUnready.Set(s.panicStreak.Add(1))
-	log.Printf("serve: worker panic (streak %d/%d): %v\n%s",
-		s.panicStreak.Load(), s.cfg.PanicThreshold, pe.Value, pe.Stack)
+	if reqID == "" {
+		reqID = "unknown"
+	}
+	log.Printf("serve: worker panic (request %s, streak %d/%d): %v\n%s",
+		reqID, s.panicStreak.Load(), s.cfg.PanicThreshold, pe.Value, pe.Stack)
 	return pe
 }
 
@@ -410,7 +546,7 @@ func (s *Server) recordSuccess() {
 func (s *Server) safeRunBatch(ar *batchArena) {
 	defer func() {
 		if r := recover(); r != nil {
-			pe := s.recordPanic(r)
+			pe := s.recordPanic(batchReqID(ar.jobs), r)
 			for _, j := range ar.jobs {
 				for _, it := range j.items {
 					if it.err == nil && it.factor == 0 {
@@ -424,38 +560,51 @@ func (s *Server) safeRunBatch(ar *batchArena) {
 	s.runBatch(ar)
 }
 
+// batchReqID names a merged dispatch in a panic log line: the first
+// member request's ID (the whole gather shares one log line).
+func batchReqID(jobs []*job) string {
+	for _, j := range jobs {
+		for _, it := range j.items {
+			if it.reqID != "" {
+				return it.reqID
+			}
+		}
+	}
+	return ""
+}
+
 // safePredictFeatures runs one feature-vector prediction with per-item
 // panic containment, through the compiled exact path (bit-identical to the
 // interpreted answer, zero-allocation) when the model has one.
-func (s *Server) safePredictFeatures(st *modelState, feats []float64) (factor int, err error) {
+func (s *Server) safePredictFeatures(st *modelState, it *item) (factor int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = s.recordPanic(r)
+			err = s.recordPanic(it.reqID, r)
 		}
 	}()
 	if err := faults.Check("serve.predict"); err != nil {
 		return 0, err
 	}
 	if st.comp != nil {
-		return st.comp.PredictFeatures(feats)
+		return st.comp.PredictFeatures(it.feats)
 	}
-	return st.pred.PredictFeatures(feats)
+	return st.pred.PredictFeatures(it.feats)
 }
 
 // safePredictLoop runs one loop prediction with per-item panic containment.
-func (s *Server) safePredictLoop(ctx context.Context, st *modelState, l *unroll.Loop) (factor int, err error) {
+func (s *Server) safePredictLoop(ctx context.Context, st *modelState, it *item) (factor int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = s.recordPanic(r)
+			err = s.recordPanic(it.reqID, r)
 		}
 	}()
 	if err := faults.Check("serve.predict"); err != nil {
 		return 0, err
 	}
 	if st.comp != nil {
-		return st.comp.PredictCtx(ctx, l)
+		return st.comp.PredictCtx(ctx, it.loop)
 	}
-	return st.pred.PredictCtx(ctx, l)
+	return st.pred.PredictCtx(ctx, it.loop)
 }
 
 // safePredictBatch runs the merged model dispatch with panic containment;
@@ -463,10 +612,10 @@ func (s *Server) safePredictLoop(ctx context.Context, st *modelState, l *unroll.
 // prediction, isolating the offending loop. A compiled model answers the
 // whole batch through the float32 distance path into the arena's recycled
 // factor slice; otherwise the interpreted PredictBatch allocates one.
-func (s *Server) safePredictBatch(ctx context.Context, st *modelState, loops []*unroll.Loop, out []int) (factors []int, err error) {
+func (s *Server) safePredictBatch(ctx context.Context, st *modelState, reqID string, loops []*unroll.Loop, out []int) (factors []int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = s.recordPanic(r)
+			err = s.recordPanic(reqID, r)
 		}
 	}()
 	if err := faults.Check("serve.batch"); err != nil {
@@ -529,7 +678,7 @@ func (s *Server) runBatch(ar *batchArena) {
 		live = append(live, j)
 		for _, it := range j.items {
 			if it.feats != nil {
-				it.factor, it.err = s.safePredictFeatures(st, it.feats)
+				it.factor, it.err = s.safePredictFeatures(st, it)
 			} else {
 				ar.loops = append(ar.loops, it.loop)
 				ar.loopItems = append(ar.loopItems, it)
@@ -539,7 +688,7 @@ func (s *Server) runBatch(ar *batchArena) {
 	if len(ar.loops) > 0 {
 		hBatchItems.Observe(int64(len(ar.loops)))
 		ctx, cancel := batchContext(live)
-		factors, err := s.safePredictBatch(ctx, st, ar.loops, ar.factors)
+		factors, err := s.safePredictBatch(ctx, st, batchReqID(live), ar.loops, ar.factors)
 		if err == nil {
 			ar.factors = factors
 			for i, it := range ar.loopItems {
@@ -550,7 +699,7 @@ func (s *Server) runBatch(ar *batchArena) {
 			// by predicting each member individually, each behind its own
 			// panic barrier.
 			for _, it := range ar.loopItems {
-				it.factor, it.err = s.safePredictLoop(ctx, st, it.loop)
+				it.factor, it.err = s.safePredictLoop(ctx, st, it)
 			}
 		}
 		cancel()
@@ -563,6 +712,7 @@ func (s *Server) runBatch(ar *batchArena) {
 				if it.key != "" {
 					s.cache.put(it.key, it.factor)
 				}
+				s.maybeShadow(it)
 			}
 		}
 		j.finish()
@@ -643,10 +793,25 @@ func newItem(st *modelState, req client.PredictRequest) (it *item, status int, e
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	defer func() { hLatencyUS.Observe(time.Since(start).Microseconds()) }()
 	mReqs.Inc()
-	reqID := nextRequestID()
+	reqID := requestID(r)
 	w.Header().Set("X-Request-Id", reqID)
+	tr := obs.AcquireRequestTrace(reqID)
+	srvOK := true      // no 5xx answered: counts toward availability
+	abandoned := false // worker may still be marking the trace
+	defer func() {
+		total := time.Since(start)
+		hLatencyUS.Observe(total.Microseconds())
+		s.slo.Record(total.Microseconds(), srvOK)
+		if abandoned {
+			// A deadline-abandoned request leaves its trace to the garbage
+			// collector — the worker may still write stage marks into it —
+			// exactly like the batch buffers below.
+			return
+		}
+		obs.DefaultRequests.Add(tr, total)
+		obs.ReleaseRequestTrace(tr)
+	}()
 
 	var req client.PredictRequest
 	if !decodeBody(w, r, &req) {
@@ -658,32 +823,51 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err.Error())
 		return
 	}
-	if factor, ok := s.cache.get(it.key); ok {
+	it.reqID = reqID
+	tr.BeginStage(obs.StageCacheLookup)
+	factor, hit := s.cache.get(it.key)
+	tr.EndStage(obs.StageCacheLookup)
+	if hit {
 		mCacheHits.Inc()
+		tr.BeginStage(obs.StageEncode)
 		writeJSON(w, http.StatusOK, predictResponse(st, it, factor, true))
+		tr.EndStage(obs.StageEncode)
 		return
 	}
 	mCacheMiss.Inc()
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	j := &job{ctx: ctx, items: []*item{it}, done: make(chan struct{})}
-	if !s.enqueue(j) {
-		rejectOverloaded(w, s.draining.Load())
+	j := &job{ctx: ctx, items: []*item{it}, trace: tr, enqueued: time.Now(), done: make(chan struct{})}
+	// Queue wait opens before the enqueue so the worker (which ends it)
+	// can never race the begin mark; if admission fails the span simply
+	// never closes and is omitted from the record.
+	tr.BeginStage(obs.StageQueueWait)
+	tr.BeginStage(obs.StageAdmission)
+	admitted := s.enqueue(j)
+	tr.EndStage(obs.StageAdmission)
+	if !admitted {
+		srvOK = false
+		s.rejectOverloaded(w)
 		return
 	}
 	select {
 	case <-j.done:
 	case <-ctx.Done():
 		mDeadlines.Inc()
+		srvOK, abandoned = false, true
 		writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the prediction completed")
 		return
 	}
 	if it.err != nil {
-		writeError(w, statusFor(it.err), publicError(it.err, reqID))
+		code := statusFor(it.err)
+		srvOK = code < 500
+		writeError(w, code, publicError(it.err, reqID))
 		return
 	}
+	tr.BeginStage(obs.StageEncode)
 	writeJSON(w, http.StatusOK, predictResponse(j.st, it, it.factor, false))
+	tr.EndStage(obs.StageEncode)
 }
 
 // batchBuffers is one batch request's slice storage — the results, the
@@ -718,11 +902,23 @@ func (bb *batchBuffers) prep(n int) {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	defer func() { hLatencyUS.Observe(time.Since(start).Microseconds()) }()
 	mReqs.Inc()
 	mBatchReqs.Inc()
-	reqID := nextRequestID()
+	reqID := requestID(r)
 	w.Header().Set("X-Request-Id", reqID)
+	tr := obs.AcquireRequestTrace(reqID)
+	srvOK := true
+	abandoned := false
+	defer func() {
+		total := time.Since(start)
+		hLatencyUS.Observe(total.Microseconds())
+		s.slo.Record(total.Microseconds(), srvOK)
+		if abandoned {
+			return
+		}
+		obs.DefaultRequests.Add(tr, total)
+		obs.ReleaseRequestTrace(tr)
+	}()
 
 	var req client.BatchRequest
 	if !decodeBody(w, r, &req) {
@@ -747,12 +943,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}()
 	results := bb.results
 	items := bb.items // nil where already resolved
+	tr.BeginStage(obs.StageCacheLookup)
 	for i, lr := range req.Loops {
 		it, _, err := newItem(st, lr)
 		if err != nil {
 			results[i] = client.BatchResult{Error: err.Error()}
 			continue
 		}
+		it.reqID = reqID
 		if factor, ok := s.cache.get(it.key); ok {
 			mCacheHits.Inc()
 			results[i] = batchResult(it, factor, true, nil, reqID)
@@ -762,22 +960,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		items[i] = it
 		bb.pending = append(bb.pending, it)
 	}
+	tr.EndStage(obs.StageCacheLookup)
 	respSt := st
 	if len(bb.pending) > 0 {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
-		j := &job{ctx: ctx, items: bb.pending, done: make(chan struct{})}
-		if !s.enqueue(j) {
-			rejectOverloaded(w, s.draining.Load())
+		j := &job{ctx: ctx, items: bb.pending, trace: tr, enqueued: time.Now(), done: make(chan struct{})}
+		tr.BeginStage(obs.StageQueueWait)
+		tr.BeginStage(obs.StageAdmission)
+		admitted := s.enqueue(j)
+		tr.EndStage(obs.StageAdmission)
+		if !admitted {
+			srvOK = false
+			s.rejectOverloaded(w)
 			return
 		}
 		select {
 		case <-j.done:
 		case <-ctx.Done():
 			mDeadlines.Inc()
-			// The worker may still be writing into the pending slice;
-			// abandon this buffer set rather than recycling a live one.
+			// The worker may still be writing into the pending slice and
+			// the trace; abandon both rather than recycling live storage.
 			recycle = false
+			srvOK, abandoned = false, true
 			writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the batch completed")
 			return
 		}
@@ -788,11 +993,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	tr.BeginStage(obs.StageEncode)
 	writeJSON(w, http.StatusOK, client.BatchResponse{
 		Results:      results,
 		ModelVersion: respSt.pred.Version(),
 		Fingerprint:  respSt.pred.Fingerprint(),
 	})
+	tr.EndStage(obs.StageEncode)
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -831,6 +1038,16 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// readyzDetail is the 200 body of GET /readyz: readiness plus the
+// rolling-window SLO reading, so a fleet dashboard gets burn-rate context
+// from the same probe the load balancer uses. SLO violations do not flip
+// readiness — burning error budget is an alert, not a reason to shed the
+// instance.
+type readyzDetail struct {
+	Status string        `json:"status"`
+	SLO    obs.SLOStatus `json:"slo"`
+}
+
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
@@ -841,7 +1058,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 			fmt.Sprintf("unready: %d consecutive worker panics (threshold %d); reload a healthy model to restore readiness", n, s.cfg.PanicThreshold))
 		return
 	}
-	w.Write([]byte("ok\n"))
+	writeJSON(w, http.StatusOK, readyzDetail{Status: "ok", SLO: s.slo.Status()})
 }
 
 func predictResponse(st *modelState, it *item, factor int, cached bool) client.PredictResponse {
@@ -895,12 +1112,62 @@ func statusFor(err error) int {
 	}
 }
 
-// rejectOverloaded answers a shed request: 503 plus a Retry-After hint.
-func rejectOverloaded(w http.ResponseWriter, draining bool) {
+// drainRate samples the completed-jobs counter into a recent
+// jobs-per-second rate. Sampling is lazy — it happens on the reject path,
+// which is not hot in healthy operation — and a sample younger than the
+// floor returns the previous rate so a burst of rejects cannot divide by
+// a near-zero interval.
+type drainRate struct {
+	mu     sync.Mutex
+	lastNS int64
+	lastN  int64
+	rate   float64
+}
+
+// perSec returns the drain rate given the current completed-total.
+func (d *drainRate) perSec(completed int64, now time.Time) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ns := now.UnixNano()
+	if d.lastNS == 0 {
+		d.lastNS, d.lastN = ns, completed
+		return d.rate
+	}
+	dt := ns - d.lastNS
+	if dt < int64(250*time.Millisecond) {
+		return d.rate
+	}
+	d.rate = float64(completed-d.lastN) * 1e9 / float64(dt)
+	d.lastNS, d.lastN = ns, completed
+	return d.rate
+}
+
+// retryAfterHint derives a Retry-After value from the queue backlog and
+// the observed drain rate: roughly how long until the queue has room,
+// clamped to [1,30] seconds. An unknown or zero rate hints the maximum —
+// a stalled server should not invite an immediate retry storm.
+func retryAfterHint(depth int, perSec float64) int {
+	if perSec <= 0 {
+		return 30
+	}
+	secs := int(math.Ceil(float64(depth+1) / perSec))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// rejectOverloaded answers a shed request: 503 plus a Retry-After hint
+// derived from the current backlog and recent drain rate.
+func (s *Server) rejectOverloaded(w http.ResponseWriter) {
 	mRejects.Inc()
-	w.Header().Set("Retry-After", "1")
+	hint := retryAfterHint(len(s.queue), s.drain.perSec(s.completed.Load(), time.Now()))
+	w.Header().Set("Retry-After", strconv.Itoa(hint))
 	msg := "admission queue full; retry with backoff"
-	if draining {
+	if s.draining.Load() {
 		msg = "server is draining for shutdown"
 	}
 	writeError(w, http.StatusServiceUnavailable, msg)

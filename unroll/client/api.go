@@ -3,6 +3,8 @@
 // marshal the same structs, so the two cannot drift.
 package client
 
+import "time"
+
 // PredictRequest asks for the unroll factor of one loop: either LoopLang
 // source containing exactly one kernel, or a pre-extracted feature vector
 // (the full 38-element vector or one already projected onto the served
@@ -70,6 +72,63 @@ type ModelInfo struct {
 	// Compiled is the versioned fingerprint of the compiled lowering
 	// answering queries, empty when the interpreted model serves.
 	Compiled string `json:"compiled,omitempty"`
+}
+
+// ShadowRequest is the body of POST /v1/admin/shadow: load the artifact
+// at Path as the shadow candidate and mirror Fraction (0,1] of predict
+// traffic to it. Fraction 0 disables shadowing.
+type ShadowRequest struct {
+	Path     string  `json:"path,omitempty"`
+	Fraction float64 `json:"fraction"`
+}
+
+// ShadowResponse reports the shadow candidate that was loaded (or that
+// shadowing was disabled). Compiled carries the candidate's compiled
+// fingerprint, empty when it shadows interpreted.
+type ShadowResponse struct {
+	Enabled      bool    `json:"enabled"`
+	Fingerprint  string  `json:"fingerprint,omitempty"`
+	ModelVersion int     `json:"model_version,omitempty"`
+	Fraction     float64 `json:"fraction,omitempty"`
+	Compiled     string  `json:"compiled,omitempty"`
+}
+
+// ShadowConfusionCell is one nonzero cell of the decision confusion
+// matrix: Count mirrored requests where the live model answered Primary
+// and the shadow answered Shadow.
+type ShadowConfusionCell struct {
+	Primary int   `json:"primary"`
+	Shadow  int   `json:"shadow"`
+	Count   int64 `json:"count"`
+}
+
+// ShadowReport answers GET /v1/shadow/report: the accumulated agreement
+// between the live model and the shadow candidate. Sampled counts the
+// requests eligible for mirroring; Mirrored the ones actually scored;
+// Dropped the ones shed because the mirror queue was full. Latency means
+// are measured back-to-back on the same inputs off the serving path, so
+// MeanDeltaUS isolates the model cost difference.
+type ShadowReport struct {
+	Enabled      bool      `json:"enabled"`
+	Path         string    `json:"path,omitempty"`
+	Fingerprint  string    `json:"fingerprint,omitempty"`
+	ModelVersion int       `json:"model_version,omitempty"`
+	Fraction     float64   `json:"fraction,omitempty"`
+	StartedAt    time.Time `json:"started_at,omitempty"`
+
+	Sampled  int64 `json:"sampled"`
+	Mirrored int64 `json:"mirrored"`
+	Agree    int64 `json:"agree"`
+	Disagree int64 `json:"disagree"`
+	Errors   int64 `json:"errors"`
+	Dropped  int64 `json:"dropped"`
+
+	AgreementRate float64 `json:"agreement_rate"`
+	MeanPrimaryUS float64 `json:"mean_primary_us"`
+	MeanShadowUS  float64 `json:"mean_shadow_us"`
+	MeanDeltaUS   float64 `json:"mean_delta_us"`
+
+	Confusion []ShadowConfusionCell `json:"confusion,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

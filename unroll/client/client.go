@@ -10,10 +10,63 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"metaopt/internal/faults"
+	"metaopt/internal/obs"
 )
+
+// epMetrics is one endpoint's client-side telemetry: attempts, failed
+// attempts, and per-attempt latency. Resolved once at init so the request
+// path never hits the registry maps.
+type epMetrics struct {
+	reqs *obs.Counter
+	errs *obs.Counter
+	lat  *obs.Histogram
+}
+
+func newEPMetrics(name string) *epMetrics {
+	return &epMetrics{
+		reqs: obs.C("client." + name + ".requests"),
+		errs: obs.C("client." + name + ".errors"),
+		lat:  obs.H("client."+name+".latency_us", obs.ExpBounds(50, 2, 16)),
+	}
+}
+
+// epByPath maps request paths to their metric set; unknown paths fall
+// into the "other" bucket rather than minting unbounded metric names.
+var epByPath = map[string]*epMetrics{
+	"/v1/predict":       newEPMetrics("predict"),
+	"/v1/predict/batch": newEPMetrics("batch"),
+	"/v1/admin/reload":  newEPMetrics("reload"),
+	"/v1/admin/shadow":  newEPMetrics("shadow"),
+	"/v1/shadow/report": newEPMetrics("shadow_report"),
+	"/v1/model":         newEPMetrics("model"),
+	"/healthz":          newEPMetrics("healthz"),
+	"/readyz":           newEPMetrics("readyz"),
+}
+
+var epOther = newEPMetrics("other")
+
+func endpointMetrics(path string) *epMetrics {
+	if m, ok := epByPath[path]; ok {
+		return m
+	}
+	return epOther
+}
+
+// Client-side request IDs: one per logical call, reused verbatim across
+// retry attempts so the server's logs and trace ring show every attempt
+// of a call under the same ID.
+var (
+	clientIDPrefix = fmt.Sprintf("c%07x", time.Now().UnixNano()&0xfffffff)
+	clientIDSeq    atomic.Int64
+)
+
+func nextClientRequestID() string {
+	return fmt.Sprintf("%s-%06d", clientIDPrefix, clientIDSeq.Add(1))
+}
 
 // APIError is a non-2xx answer from the service. For 503s RetryAfter
 // carries the server's backoff hint, clamped to MaxRetryAfter.
@@ -116,6 +169,28 @@ func (c *Client) Model(ctx context.Context) (*ModelInfo, error) {
 	return &out, nil
 }
 
+// Shadow asks the server to load the artifact at path as a shadow
+// candidate mirroring fraction (0,1] of predict traffic; fraction 0
+// disables shadowing. Shadow mutates server state, so it is never
+// retried.
+func (c *Client) Shadow(ctx context.Context, path string, fraction float64) (*ShadowResponse, error) {
+	var out ShadowResponse
+	if err := c.post(ctx, "/v1/admin/shadow", ShadowRequest{Path: path, Fraction: fraction}, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ShadowReport fetches the accumulated live-vs-shadow decision
+// comparison.
+func (c *Client) ShadowReport(ctx context.Context) (*ShadowReport, error) {
+	var out ShadowReport
+	if err := c.get(ctx, "/v1/shadow/report", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Healthz reports liveness.
 func (c *Client) Healthz(ctx context.Context) error { return c.get(ctx, "/healthz", nil) }
 
@@ -142,6 +217,9 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 	if idempotent && c.retry != nil {
 		attempts = c.retry.policy.MaxAttempts
 	}
+	// One ID per logical call: every retry attempt carries the same
+	// X-Request-Id, so server-side logs and traces group the attempts.
+	reqID := nextClientRequestID()
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
@@ -156,7 +234,7 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 				return err
 			}
 		}
-		err := c.doOnce(ctx, method, path, body, out)
+		err := c.doOnce(ctx, method, path, body, out, reqID)
 		if c.breaker != nil {
 			c.breaker.record(err != nil && serverFault(err))
 		}
@@ -174,8 +252,18 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 	return lastErr
 }
 
-// doOnce performs a single HTTP exchange.
-func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+// doOnce performs a single HTTP exchange, feeding the endpoint's
+// client-side counters and latency histogram.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any, reqID string) (err error) {
+	ep := endpointMetrics(path)
+	ep.reqs.Inc()
+	start := time.Now()
+	defer func() {
+		ep.lat.Observe(time.Since(start).Microseconds())
+		if err != nil {
+			ep.errs.Inc()
+		}
+	}()
 	if err := faults.Check("client.request"); err != nil {
 		return err
 	}
@@ -187,6 +275,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 	if err != nil {
 		return err
 	}
+	req.Header.Set("X-Request-Id", reqID)
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
