@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"metaopt/unroll"
@@ -174,7 +175,9 @@ func cmdPredict(args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ExitOnError)
 	data := fs.String("data", "", "deprecated: retrain from this dataset per invocation (use 'metaopt train' + -model)")
 	model := fs.String("model", "", "predictor artifact from 'metaopt train'")
-	remote := fs.String("remote", "", "query a running unrolld service at this base URL")
+	remote := fs.String("remote", "", "query a running unrolld fleet at these comma-separated base URLs")
+	pin := fs.String("pin", "", "with -remote: pin a served model version by alias or fingerprint")
+	tenant := fs.String("tenant", "", "with -remote: tenant label for per-tenant accounting")
 	save := fs.String("save", "", "save the trained predictor to this path")
 	alg := fs.String("alg", "svm", "algorithm when retraining: nn, svm, svm-ecoc, smo, regress, tree, boosted-tree")
 	mach := fs.String("mach", "itanium2", "machine model: itanium2, embedded2, wide8")
@@ -189,7 +192,10 @@ func cmdPredict(args []string) error {
 		if *model != "" || *data != "" {
 			return fmt.Errorf("predict: -remote is exclusive of -model and -data")
 		}
-		return predictRemote(*remote, *mach, fs.Arg(0))
+		return predictRemote(*remote, *mach, *pin, *tenant, fs.Arg(0))
+	}
+	if *pin != "" || *tenant != "" {
+		return fmt.Errorf("predict: -pin and -tenant need -remote")
 	}
 	m, err := machByName(*mach)
 	if err != nil {
@@ -233,9 +239,11 @@ func cmdPredict(args []string) error {
 }
 
 // predictRemote extracts each kernel's feature vector locally and asks a
-// running unrolld service for the factors in one batch round trip. The
-// -mach flag must match the machine the served model was trained for.
-func predictRemote(base, mach, path string) error {
+// running unrolld fleet for the factors in one batch round trip. Multiple
+// comma-separated endpoints are balanced and failed over by the client;
+// pin and tenant route through the v2 protocol when set. The -mach flag
+// must match the machine the served model was trained for.
+func predictRemote(endpoints, mach, pin, tenant, path string) error {
 	m, err := machByName(mach)
 	if err != nil {
 		return err
@@ -248,9 +256,23 @@ func predictRemote(base, mach, path string) error {
 	for i, l := range loops {
 		reqs[i] = client.PredictRequest{Features: unroll.Features(l, m)}
 	}
+	c, err := client.NewClient(client.Config{
+		Endpoints: strings.Split(endpoints, ","),
+		Retry:     &client.RetryPolicy{MaxAttempts: 3},
+		Model:     pin,
+		Tenant:    tenant,
+	})
+	if err != nil {
+		return err
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	resp, err := client.New(base).PredictBatch(ctx, reqs)
+	var resp *client.BatchResponse
+	if pin != "" || tenant != "" {
+		resp, err = c.PredictBatchV2(ctx, client.BatchV2Request{Loops: reqs})
+	} else {
+		resp, err = c.PredictBatch(ctx, reqs)
+	}
 	if err != nil {
 		return err
 	}

@@ -11,13 +11,25 @@
 //
 //	POST /v1/predict        {"source": "kernel ..."} or {"features": [...]}
 //	POST /v1/predict/batch  {"loops": [{...}, ...]}
+//	POST /v2/predict        v1 body + optional "model" pin and "tenant" label
+//	POST /v2/predict/batch  v1 body + optional "model" pin and "tenant" label
 //	POST /v1/admin/reload   {"path": "new-model.json"} (empty = re-read -model)
 //	POST /v1/admin/shadow   {"path": "candidate.json", "fraction": 0.1}
 //	GET  /v1/shadow/report  live-vs-shadow decision comparison
-//	GET  /v1/model          identity of the served artifact
+//	GET  /v1/model          identity of the served (default) artifact
+//	GET  /v1/admin/models   every version resident in the model registry
+//	POST /v1/admin/models/load     {"path": "...", "alias": "canary", "pin": true}
+//	POST /v1/admin/models/promote  {"model": "<alias or fingerprint>"}
+//	POST /v1/admin/models/evict    {"model": "<alias or fingerprint>"}
 //	GET  /metrics           Prometheus text exposition
 //	GET  /debug/traces      recent request traces (?format=chrome)
 //	GET  /healthz, /readyz  liveness and readiness (+SLO detail)
+//
+// The registry holds up to -max-models versions at once (LRU-evicting
+// unpinned, non-default ones); v2 requests pin any resident version by
+// alias or fingerprint without touching the promoted default. With
+// -registry-state the registry persists a manifest and restores resident
+// versions across restarts.
 //
 // SIGTERM or SIGINT triggers a graceful drain: readiness flips to 503, new
 // predictions are refused, admitted ones complete, then the process exits.
@@ -53,19 +65,36 @@ func main() {
 	sloAvailability := flag.Float64("slo-availability", 0, "availability objective in (0,1), e.g. 0.999 (0 = default)")
 	sloP99 := flag.Duration("slo-p99", 0, "p99 latency objective, e.g. 250ms (0 = default)")
 	slowTrace := flag.Duration("slow-trace", 0, "keep only request traces at least this slow in /debug/traces (0 = keep most recent)")
+	maxModels := flag.Int("max-models", 0, "registry residency bound; unpinned non-default versions are LRU-evicted past it (0 = default)")
+	registryState := flag.String("registry-state", "", "persist the model-registry manifest here and restore it on startup")
 	flag.Parse()
 
 	if err := faults.InstallFromEnv(); err != nil {
 		fmt.Fprintf(os.Stderr, "unrolld: %v\n", err)
 		os.Exit(1)
 	}
-	if err := run(*addr, *model, *queue, *workers, *maxBatch, *cache, *panicThreshold, *timeout, *drainTimeout, *debugAddr, *sloAvailability, *sloP99, *slowTrace); err != nil {
+	cfg := serve.Config{
+		ModelPath:      *model,
+		QueueDepth:     *queue,
+		Workers:        *workers,
+		MaxBatch:       *maxBatch,
+		CacheSize:      *cache,
+		PanicThreshold: *panicThreshold,
+		RequestTimeout: *timeout,
+		MaxModels:      *maxModels,
+		RegistryState:  *registryState,
+
+		SLOAvailability: *sloAvailability,
+		SLOLatencyP99:   *sloP99,
+		SlowTrace:       *slowTrace,
+	}
+	if err := run(*addr, *model, *debugAddr, *drainTimeout, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "unrolld: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, model string, queue, workers, maxBatch, cache, panicThreshold int, timeout, drainTimeout time.Duration, debugAddr string, sloAvailability float64, sloP99, slowTrace time.Duration) error {
+func run(addr, model, debugAddr string, drainTimeout time.Duration, cfg serve.Config) error {
 	if model == "" {
 		return fmt.Errorf("-model is required: train an artifact with 'metaopt train -o model.json'")
 	}
@@ -73,21 +102,9 @@ func run(addr, model string, queue, workers, maxBatch, cache, panicThreshold int
 	if err != nil {
 		return err
 	}
+	cfg.Model = pred
 
-	srv, err := serve.New(serve.Config{
-		Model:          pred,
-		ModelPath:      model,
-		QueueDepth:     queue,
-		Workers:        workers,
-		MaxBatch:       maxBatch,
-		CacheSize:      cache,
-		PanicThreshold: panicThreshold,
-		RequestTimeout: timeout,
-
-		SLOAvailability: sloAvailability,
-		SLOLatencyP99:   sloP99,
-		SlowTrace:       slowTrace,
-	})
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}

@@ -44,6 +44,7 @@ import (
 
 	"metaopt/internal/faults"
 	"metaopt/internal/obs"
+	"metaopt/internal/registry"
 	"metaopt/unroll"
 	"metaopt/unroll/client"
 )
@@ -77,6 +78,12 @@ type Config struct {
 	// SlowTrace keeps only request traces at least this slow in the
 	// /debug/traces ring; 0 keeps the most recent requests outright.
 	SlowTrace time.Duration
+
+	// MaxModels bounds the model registry's resident versions (default 8,
+	// see registry.Config); RegistryState optionally persists registry
+	// residency across restarts.
+	MaxModels     int
+	RegistryState string
 }
 
 func (c *Config) fill() error {
@@ -187,32 +194,25 @@ func validRequestID(s string) bool {
 	return true
 }
 
-// modelState is one immutable loaded model; reload swaps the pointer.
-// comp is the serve-optimized lowering of pred — nil when the predictor
-// has no compiled form, in which case every path falls back to the
-// interpreted model.
-type modelState struct {
-	pred     *unroll.Predictor
-	comp     *unroll.CompiledPredictor
-	path     string
-	loadedAt time.Time
+// modelInfo renders one registry version in the common admin envelope.
+func modelInfo(m *registry.Model) client.ModelInfo {
+	return client.ModelInfo{
+		Algorithm:    string(m.Pred.Algorithm()),
+		ModelVersion: m.Pred.Version(),
+		Fingerprint:  m.Fingerprint(),
+		Path:         m.Path,
+		Compiled:     m.Compiled(),
+		LoadedAt:     m.LoadedAt,
+	}
 }
 
-// newModelState compiles the predictor for serving. Compilation failure is
-// not fatal — the interpreted model still answers — but it is counted and
-// logged, and the serve.compiled gauge reports which path is live.
-func newModelState(pred *unroll.Predictor, path string) *modelState {
-	st := &modelState{pred: pred, path: path, loadedAt: time.Now()}
-	comp, err := unroll.Compile(pred)
-	if err != nil {
-		mCompileErr.Inc()
-		log.Printf("serve: compile: %v; serving interpreted model", err)
-		mCompiled.Set(0)
-		return st
-	}
-	st.comp = comp
-	mCompiled.Set(1)
-	return st
+// snapInfo is modelInfo plus the version's registry placement.
+func snapInfo(snap registry.Snapshot) client.ModelInfo {
+	mi := modelInfo(snap.Model)
+	mi.Default = snap.Default
+	mi.Pinned = snap.Pinned
+	mi.Aliases = snap.Aliases
+	return mi
 }
 
 // item is one loop awaiting prediction.
@@ -232,7 +232,7 @@ type item struct {
 type job struct {
 	ctx      context.Context
 	items    []*item
-	st       *modelState
+	st       *registry.Model
 	trace    *obs.RequestTrace // nil-safe; shared with the waiting handler
 	enqueued time.Time
 	done     chan struct{}
@@ -265,7 +265,7 @@ func (j *job) pickup() {
 // Handler, stop with Shutdown.
 type Server struct {
 	cfg   Config
-	model atomic.Pointer[modelState]
+	reg   *registry.Registry
 	cache *lru
 
 	qmu      sync.RWMutex // guards queue against close-during-enqueue
@@ -294,6 +294,16 @@ type Server struct {
 	shadowWG   sync.WaitGroup
 	shadowOnce sync.Once
 
+	// tenants holds bounded per-tenant accounting for v2 traffic: a
+	// request counter and an SLO slice per label, overflowing into
+	// "other" past maxTenants so a label-spraying client cannot mint
+	// unbounded metric names.
+	tmu     sync.Mutex
+	tenants map[string]*tenantStats
+
+	// modelReqs caches per-model request counters keyed by fingerprint.
+	modelReqs sync.Map // fingerprint → *obs.Counter
+
 	reloadMu sync.Mutex
 	httpSrv  *http.Server
 
@@ -312,6 +322,7 @@ func New(cfg Config) (*Server, error) {
 		cache:   newLRU(cfg.CacheSize),
 		queue:   make(chan *job, cfg.QueueDepth),
 		shadowq: make(chan shadowTask, 256),
+		tenants: make(map[string]*tenantStats),
 	}
 	s.slo = obs.NewSLO(obs.SLOConfig{
 		Name:         "serve.slo",
@@ -320,7 +331,21 @@ func New(cfg Config) (*Server, error) {
 		LatencyP99US: cfg.SLOLatencyP99.Microseconds(),
 	})
 	obs.DefaultRequests.SetSlowThreshold(cfg.SlowTrace)
-	s.model.Store(newModelState(cfg.Model, cfg.ModelPath))
+	s.reg = registry.New(registry.Config{MaxModels: cfg.MaxModels, StatePath: cfg.RegistryState})
+	if n, err := s.reg.Restore(); err != nil {
+		log.Printf("serve: registry restore: %v; continuing with the boot model only", err)
+	} else if n > 0 {
+		log.Printf("serve: registry restored %d model version(s) from %s", n, cfg.RegistryState)
+	}
+	boot, err := s.reg.Insert(cfg.Model, cfg.ModelPath, "", false)
+	if err != nil {
+		return nil, err
+	}
+	// The boot artifact serves, whatever a restored manifest recorded.
+	if _, err := s.reg.Promote(boot.Fingerprint()); err != nil {
+		return nil, err
+	}
+	s.noteDefault()
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -347,7 +372,13 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/predict/batch", s.handleBatch)
+	mux.HandleFunc("POST /v2/predict", s.handlePredictV2)
+	mux.HandleFunc("POST /v2/predict/batch", s.handleBatchV2)
 	mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
+	mux.HandleFunc("GET /v1/admin/models", s.handleModels)
+	mux.HandleFunc("POST /v1/admin/models/load", s.handleModelLoad)
+	mux.HandleFunc("POST /v1/admin/models/promote", s.handleModelPromote)
+	mux.HandleFunc("POST /v1/admin/models/evict", s.handleModelEvict)
 	mux.HandleFunc("POST /v1/admin/shadow", s.handleShadow)
 	mux.HandleFunc("GET /v1/shadow/report", s.handleShadowReport)
 	mux.HandleFunc("GET /v1/model", s.handleModel)
@@ -399,38 +430,59 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return nil
 }
 
-// Reload loads the artifact at path (or the startup path when empty) and
-// atomically swaps it in. In-flight batches finish on the old snapshot;
-// no request is dropped.
-func (s *Server) Reload(path string) (previous, current *modelState, err error) {
+// Reload loads the artifact at path (or the startup path when empty) into
+// the registry and atomically promotes it. In-flight batches finish on the
+// version they resolved; no request is dropped, and the displaced default
+// stays resident for rollback until the LRU bound claims it.
+func (s *Server) Reload(path string) (previous, current *registry.Model, err error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	old := s.model.Load()
+	old := s.reg.Default()
 	if path == "" {
-		path = old.path
+		path = old.Path
 	}
 	if path == "" {
 		return nil, nil, errors.New("serve: no artifact path: server was started from an in-memory model and the reload request named no path")
 	}
-	pred, err := unroll.LoadPredictorFile(path)
+	m, err := s.reg.Load(path, "", false)
 	if err != nil {
 		return nil, nil, fmt.Errorf("serve: reload: %w", err)
 	}
-	st := newModelState(pred, path)
-	s.model.Store(st)
+	if _, err := s.reg.Promote(m.Fingerprint()); err != nil {
+		return nil, nil, fmt.Errorf("serve: reload promote: %w", err)
+	}
 	mReloads.Inc()
-	// A fresh model gets a fresh chance: the panic streak belongs to the
-	// model that earned it, so a reload clears the unready latch.
+	s.modelPromoted()
+	return old, m, nil
+}
+
+// modelPromoted runs after every default swap: a fresh model gets a fresh
+// chance — the panic streak belongs to the model that earned it, so
+// promotion clears the unready latch — and the serve.compiled gauge tracks
+// which prediction path the new default answers on.
+func (s *Server) modelPromoted() {
 	s.panicStreak.Store(0)
 	mUnready.Set(0)
-	return old, st, nil
+	s.noteDefault()
 }
+
+// noteDefault refreshes the serve.compiled gauge from the default version.
+func (s *Server) noteDefault() {
+	if m := s.reg.Default(); m != nil && m.Comp != nil {
+		mCompiled.Set(1)
+	} else {
+		mCompiled.Set(0)
+	}
+}
+
+// Registry exposes the server's model registry (CLI wiring and tests).
+func (s *Server) Registry() *registry.Registry { return s.reg }
 
 // CompiledFingerprint reports the versioned fingerprint of the compiled
 // lowering currently serving, or "" when the interpreted model answers.
 func (s *Server) CompiledFingerprint() string {
-	if st := s.model.Load(); st.comp != nil {
-		return st.comp.Fingerprint()
+	if m := s.reg.Default(); m != nil {
+		return m.Compiled()
 	}
 	return ""
 }
@@ -454,10 +506,20 @@ func (s *Server) enqueue(j *job) bool {
 
 // batchArena is one worker's reusable dispatch storage. Every micro-batch
 // runs entirely within the worker's goroutine and every handler it touches
-// is released before the next iteration, so the gathered-job list, the
-// merged loop slices, and the factor output can all be recycled without
-// synchronization.
+// is released before the next iteration, so the gathered-job list and the
+// per-model groups can all be recycled without synchronization.
 type batchArena struct {
+	jobs   []*job
+	groups []modelGroup
+}
+
+// modelGroup collects one model version's share of a merged dispatch: jobs
+// that resolved to the same version, their un-cached loops, and the factor
+// output. A gather that spans versions (v2 pins mid-stream, a promotion
+// between admissions) dispatches once per version instead of forcing the
+// whole batch onto one snapshot.
+type modelGroup struct {
+	st        *registry.Model
 	jobs      []*job
 	loops     []*unroll.Loop
 	loopItems []*item
@@ -466,9 +528,36 @@ type batchArena struct {
 
 func (ar *batchArena) reset() {
 	clearPtrs(ar.jobs)
-	clearPtrs(ar.loops)
-	clearPtrs(ar.loopItems)
-	ar.jobs, ar.loops, ar.loopItems = ar.jobs[:0], ar.loops[:0], ar.loopItems[:0]
+	ar.jobs = ar.jobs[:0]
+	for i := range ar.groups {
+		g := &ar.groups[i]
+		g.st = nil
+		clearPtrs(g.jobs)
+		clearPtrs(g.loops)
+		clearPtrs(g.loopItems)
+		g.jobs, g.loops, g.loopItems = g.jobs[:0], g.loops[:0], g.loopItems[:0]
+	}
+	ar.groups = ar.groups[:0]
+}
+
+// group finds or opens the arena slot for one model version. The linear
+// scan is exact-fit for MaxBatch-sized gathers (a handful of versions at
+// most); re-extending into the truncated tail keeps each slot's slice
+// capacity across dispatches.
+func (ar *batchArena) group(st *registry.Model) *modelGroup {
+	for i := range ar.groups {
+		if ar.groups[i].st == st {
+			return &ar.groups[i]
+		}
+	}
+	if len(ar.groups) < cap(ar.groups) {
+		ar.groups = ar.groups[:len(ar.groups)+1]
+	} else {
+		ar.groups = append(ar.groups, modelGroup{})
+	}
+	g := &ar.groups[len(ar.groups)-1]
+	g.st = st
+	return g
 }
 
 // clearPtrs nils a pointer slice so recycled arena storage doesn't pin
@@ -576,7 +665,7 @@ func batchReqID(jobs []*job) string {
 // safePredictFeatures runs one feature-vector prediction with per-item
 // panic containment, through the compiled exact path (bit-identical to the
 // interpreted answer, zero-allocation) when the model has one.
-func (s *Server) safePredictFeatures(st *modelState, it *item) (factor int, err error) {
+func (s *Server) safePredictFeatures(st *registry.Model, it *item) (factor int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = s.recordPanic(it.reqID, r)
@@ -585,14 +674,14 @@ func (s *Server) safePredictFeatures(st *modelState, it *item) (factor int, err 
 	if err := faults.Check("serve.predict"); err != nil {
 		return 0, err
 	}
-	if st.comp != nil {
-		return st.comp.PredictFeatures(it.feats)
+	if st.Comp != nil {
+		return st.Comp.PredictFeatures(it.feats)
 	}
-	return st.pred.PredictFeatures(it.feats)
+	return st.Pred.PredictFeatures(it.feats)
 }
 
 // safePredictLoop runs one loop prediction with per-item panic containment.
-func (s *Server) safePredictLoop(ctx context.Context, st *modelState, it *item) (factor int, err error) {
+func (s *Server) safePredictLoop(ctx context.Context, st *registry.Model, it *item) (factor int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = s.recordPanic(it.reqID, r)
@@ -601,10 +690,10 @@ func (s *Server) safePredictLoop(ctx context.Context, st *modelState, it *item) 
 	if err := faults.Check("serve.predict"); err != nil {
 		return 0, err
 	}
-	if st.comp != nil {
-		return st.comp.PredictCtx(ctx, it.loop)
+	if st.Comp != nil {
+		return st.Comp.PredictCtx(ctx, it.loop)
 	}
-	return st.pred.PredictCtx(ctx, it.loop)
+	return st.Pred.PredictCtx(ctx, it.loop)
 }
 
 // safePredictBatch runs the merged model dispatch with panic containment;
@@ -612,7 +701,7 @@ func (s *Server) safePredictLoop(ctx context.Context, st *modelState, it *item) 
 // prediction, isolating the offending loop. A compiled model answers the
 // whole batch through the float32 distance path into the arena's recycled
 // factor slice; otherwise the interpreted PredictBatch allocates one.
-func (s *Server) safePredictBatch(ctx context.Context, st *modelState, reqID string, loops []*unroll.Loop, out []int) (factors []int, err error) {
+func (s *Server) safePredictBatch(ctx context.Context, st *registry.Model, reqID string, loops []*unroll.Loop, out []int) (factors []int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = s.recordPanic(reqID, r)
@@ -621,18 +710,18 @@ func (s *Server) safePredictBatch(ctx context.Context, st *modelState, reqID str
 	if err := faults.Check("serve.batch"); err != nil {
 		return nil, err
 	}
-	if st.comp != nil {
+	if st.Comp != nil {
 		if cap(out) < len(loops) {
 			out = make([]int, len(loops))
 		} else {
 			out = out[:len(loops)]
 		}
-		if err := st.comp.PredictBatchInto(ctx, loops, out); err != nil {
+		if err := st.Comp.PredictBatchInto(ctx, loops, out); err != nil {
 			return nil, err
 		}
 		return out, nil
 	}
-	return st.pred.PredictBatch(ctx, loops)
+	return st.Pred.PredictBatch(ctx, loops)
 }
 
 // batchContext builds the context a merged micro-batch computes under: the
@@ -654,8 +743,10 @@ func batchContext(jobs []*job) (context.Context, context.CancelFunc) {
 }
 
 // runBatch predicts every live item across the gathered jobs in one
-// PredictBatch dispatch, falling back to per-item prediction if the batch
-// call fails so one bad loop cannot poison its neighbors. All intermediate
+// PredictBatch dispatch per model version, falling back to per-item
+// prediction if a batch call fails so one bad loop cannot poison its
+// neighbors. Each job computes on the version it resolved at admission —
+// a promotion mid-flight never reroutes admitted work. All intermediate
 // storage lives in the worker's arena and is recycled across dispatches.
 func (s *Server) runBatch(ar *batchArena) {
 	if s.preBatch != nil {
@@ -664,10 +755,8 @@ func (s *Server) runBatch(ar *batchArena) {
 	sp := obs.Begin("serve.microbatch")
 	defer sp.End()
 
-	st := s.model.Load()
 	live := ar.jobs[:0]
 	for _, j := range ar.jobs {
-		j.st = st
 		if err := j.ctx.Err(); err != nil {
 			for _, it := range j.items {
 				it.err = err
@@ -676,30 +765,36 @@ func (s *Server) runBatch(ar *batchArena) {
 			continue
 		}
 		live = append(live, j)
+		g := ar.group(j.st)
+		g.jobs = append(g.jobs, j)
 		for _, it := range j.items {
 			if it.feats != nil {
-				it.factor, it.err = s.safePredictFeatures(st, it)
+				it.factor, it.err = s.safePredictFeatures(j.st, it)
 			} else {
-				ar.loops = append(ar.loops, it.loop)
-				ar.loopItems = append(ar.loopItems, it)
+				g.loops = append(g.loops, it.loop)
+				g.loopItems = append(g.loopItems, it)
 			}
 		}
 	}
-	if len(ar.loops) > 0 {
-		hBatchItems.Observe(int64(len(ar.loops)))
-		ctx, cancel := batchContext(live)
-		factors, err := s.safePredictBatch(ctx, st, batchReqID(live), ar.loops, ar.factors)
+	for gi := range ar.groups {
+		g := &ar.groups[gi]
+		if len(g.loops) == 0 {
+			continue
+		}
+		hBatchItems.Observe(int64(len(g.loops)))
+		ctx, cancel := batchContext(g.jobs)
+		factors, err := s.safePredictBatch(ctx, g.st, batchReqID(g.jobs), g.loops, g.factors)
 		if err == nil {
-			ar.factors = factors
-			for i, it := range ar.loopItems {
+			g.factors = factors
+			for i, it := range g.loopItems {
 				it.factor = factors[i]
 			}
 		} else {
 			// The merged dispatch failed or panicked: isolate the offender
 			// by predicting each member individually, each behind its own
 			// panic barrier.
-			for _, it := range ar.loopItems {
-				it.factor, it.err = s.safePredictLoop(ctx, st, it)
+			for _, it := range g.loopItems {
+				it.factor, it.err = s.safePredictLoop(ctx, g.st, it)
 			}
 		}
 		cancel()
@@ -762,7 +857,7 @@ func featureKey(fingerprint string, v []float64) string {
 
 // newItem validates one request entry and prepares it for the queue.
 // The returned status is the HTTP code to answer when err != nil.
-func newItem(st *modelState, req client.PredictRequest) (it *item, status int, err error) {
+func newItem(st *registry.Model, req client.PredictRequest) (it *item, status int, err error) {
 	switch {
 	case req.Source == "" && req.Features == nil:
 		return nil, http.StatusBadRequest, errors.New("one of source or features is required")
@@ -778,7 +873,7 @@ func newItem(st *modelState, req client.PredictRequest) (it *item, status int, e
 		}
 		return &item{
 			feats: req.Features,
-			key:   featureKey(st.pred.Fingerprint(), req.Features),
+			key:   featureKey(st.Fingerprint(), req.Features),
 		}, 0, nil
 	}
 	loop, err := unroll.ParseKernel(req.Source)
@@ -787,11 +882,110 @@ func newItem(st *modelState, req client.PredictRequest) (it *item, status int, e
 	}
 	return &item{
 		loop: loop,
-		key:  cacheKey(st.pred.Fingerprint(), "loop", []byte(loop.String())),
+		key:  cacheKey(st.Fingerprint(), "loop", []byte(loop.String())),
 	}, 0, nil
 }
 
+// tenantStats is one tenant label's accounting: request/error counters and
+// an SLO slice carved from the same objectives as the whole-service SLO.
+type tenantStats struct {
+	reqs *obs.Counter
+	errs *obs.Counter
+	slo  *obs.SLO
+}
+
+// maxTenants bounds distinct tenant labels; excess traffic accounts under
+// "other" so a label-spraying client cannot mint unbounded metric names.
+const maxTenants = 64
+
+// tenant resolves (or creates) the stats slot for a v2 tenant label. Empty
+// labels carry no per-tenant accounting; labels that fail the request-ID
+// charset rule or overflow the bound land in "other".
+func (s *Server) tenant(name string) *tenantStats {
+	if name == "" {
+		return nil
+	}
+	if !validRequestID(name) {
+		name = "other"
+	}
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	t, ok := s.tenants[name]
+	if !ok && len(s.tenants) >= maxTenants {
+		name = "other"
+		t, ok = s.tenants[name]
+	}
+	if !ok {
+		t = &tenantStats{
+			reqs: obs.C("serve.tenant." + name + ".requests"),
+			errs: obs.C("serve.tenant." + name + ".errors"),
+			slo: obs.NewSLO(obs.SLOConfig{
+				Name:         "serve.tenant." + name + ".slo",
+				Window:       s.cfg.SLOWindow,
+				Availability: s.cfg.SLOAvailability,
+				LatencyP99US: s.cfg.SLOLatencyP99.Microseconds(),
+			}),
+		}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// modelCounter resolves the per-model request counter for a version,
+// keyed by a 12-character fingerprint prefix. Cardinality is bounded by
+// registry residency, so the names stay scrapeable.
+func (s *Server) modelCounter(st *registry.Model) *obs.Counter {
+	fp := st.Fingerprint()
+	if c, ok := s.modelReqs.Load(fp); ok {
+		return c.(*obs.Counter)
+	}
+	short := fp
+	if len(short) > 12 {
+		short = short[:12]
+	}
+	c := obs.C("serve.model." + short + ".requests")
+	s.modelReqs.Store(fp, c)
+	return c
+}
+
+// resolveModel maps a v2 model reference (or "" for the default) to the
+// serving version, answering the request itself on failure.
+func (s *Server) resolveModel(w http.ResponseWriter, ref string) (*registry.Model, bool) {
+	st, err := s.reg.Resolve(ref)
+	if err != nil {
+		writeError(w, registryStatus(err), err.Error())
+		return nil, false
+	}
+	return st, true
+}
+
+// registryStatus maps registry errors onto the admin API's statuses:
+// unknown references are 404, refusing to evict the default is 409, and
+// everything else (ambiguous prefixes, bad artifacts) is a 400.
+func registryStatus(err error) int {
+	switch {
+	case errors.Is(err, registry.ErrNotFound), errors.Is(err, registry.ErrNoDefault):
+		return http.StatusNotFound
+	case errors.Is(err, registry.ErrDefault):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// handlePredict serves POST /v1/predict; handlePredictV2 is the same
+// path with the v2 routing fields honored. v1 zeroes Model and Tenant
+// after the shared decode, so its wire behavior — default model, no
+// tenant accounting, byte-identical response encoding — is untouched.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.servePredict(w, r, false)
+}
+
+func (s *Server) handlePredictV2(w http.ResponseWriter, r *http.Request) {
+	s.servePredict(w, r, true)
+}
+
+func (s *Server) servePredict(w http.ResponseWriter, r *http.Request, v2 bool) {
 	start := time.Now()
 	mReqs.Inc()
 	reqID := requestID(r)
@@ -799,10 +993,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	tr := obs.AcquireRequestTrace(reqID)
 	srvOK := true      // no 5xx answered: counts toward availability
 	abandoned := false // worker may still be marking the trace
+	var ten *tenantStats
 	defer func() {
 		total := time.Since(start)
 		hLatencyUS.Observe(total.Microseconds())
 		s.slo.Record(total.Microseconds(), srvOK)
+		if ten != nil {
+			ten.slo.Record(total.Microseconds(), srvOK)
+			if !srvOK {
+				ten.errs.Inc()
+			}
+		}
 		if abandoned {
 			// A deadline-abandoned request leaves its trace to the garbage
 			// collector — the worker may still write stage marks into it —
@@ -813,12 +1014,22 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		obs.ReleaseRequestTrace(tr)
 	}()
 
-	var req client.PredictRequest
+	var req client.PredictV2Request
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	st := s.model.Load()
-	it, status, err := newItem(st, req)
+	if !v2 {
+		req.Model, req.Tenant = "", ""
+	}
+	st, ok := s.resolveModel(w, req.Model)
+	if !ok {
+		return
+	}
+	s.modelCounter(st).Inc()
+	if ten = s.tenant(req.Tenant); ten != nil {
+		ten.reqs.Inc()
+	}
+	it, status, err := newItem(st, req.PredictRequest)
 	if err != nil {
 		writeError(w, status, err.Error())
 		return
@@ -838,7 +1049,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	j := &job{ctx: ctx, items: []*item{it}, trace: tr, enqueued: time.Now(), done: make(chan struct{})}
+	j := &job{ctx: ctx, items: []*item{it}, st: st, trace: tr, enqueued: time.Now(), done: make(chan struct{})}
 	// Queue wait opens before the enqueue so the worker (which ends it)
 	// can never race the begin mark; if admission fails the span simply
 	// never closes and is omitted from the record.
@@ -900,7 +1111,17 @@ func (bb *batchBuffers) prep(n int) {
 	bb.pending = bb.pending[:0]
 }
 
+// handleBatch serves POST /v1/predict/batch; handleBatchV2 adds the v2
+// routing fields (see handlePredict).
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.serveBatch(w, r, false)
+}
+
+func (s *Server) handleBatchV2(w http.ResponseWriter, r *http.Request) {
+	s.serveBatch(w, r, true)
+}
+
+func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, v2 bool) {
 	start := time.Now()
 	mReqs.Inc()
 	mBatchReqs.Inc()
@@ -909,10 +1130,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	tr := obs.AcquireRequestTrace(reqID)
 	srvOK := true
 	abandoned := false
+	var ten *tenantStats
 	defer func() {
 		total := time.Since(start)
 		hLatencyUS.Observe(total.Microseconds())
 		s.slo.Record(total.Microseconds(), srvOK)
+		if ten != nil {
+			ten.slo.Record(total.Microseconds(), srvOK)
+			if !srvOK {
+				ten.errs.Inc()
+			}
+		}
 		if abandoned {
 			return
 		}
@@ -920,9 +1148,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		obs.ReleaseRequestTrace(tr)
 	}()
 
-	var req client.BatchRequest
+	var req client.BatchV2Request
 	if !decodeBody(w, r, &req) {
 		return
+	}
+	if !v2 {
+		req.Model, req.Tenant = "", ""
 	}
 	if len(req.Loops) == 0 {
 		writeError(w, http.StatusBadRequest, "batch request has no loops")
@@ -932,7 +1163,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d loops exceeds the 1024-loop limit", len(req.Loops)))
 		return
 	}
-	st := s.model.Load()
+	st, ok := s.resolveModel(w, req.Model)
+	if !ok {
+		return
+	}
+	s.modelCounter(st).Inc()
+	if ten = s.tenant(req.Tenant); ten != nil {
+		ten.reqs.Inc()
+	}
 	bb := batchBufPool.Get().(*batchBuffers)
 	bb.prep(len(req.Loops))
 	recycle := true
@@ -961,11 +1199,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		bb.pending = append(bb.pending, it)
 	}
 	tr.EndStage(obs.StageCacheLookup)
-	respSt := st
 	if len(bb.pending) > 0 {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
-		j := &job{ctx: ctx, items: bb.pending, trace: tr, enqueued: time.Now(), done: make(chan struct{})}
+		j := &job{ctx: ctx, items: bb.pending, st: st, trace: tr, enqueued: time.Now(), done: make(chan struct{})}
 		tr.BeginStage(obs.StageQueueWait)
 		tr.BeginStage(obs.StageAdmission)
 		admitted := s.enqueue(j)
@@ -986,7 +1223,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the batch completed")
 			return
 		}
-		respSt = j.st
 		for i, it := range items {
 			if it != nil {
 				results[i] = batchResult(it, it.factor, false, it.err, reqID)
@@ -996,8 +1232,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	tr.BeginStage(obs.StageEncode)
 	writeJSON(w, http.StatusOK, client.BatchResponse{
 		Results:      results,
-		ModelVersion: respSt.pred.Version(),
-		Fingerprint:  respSt.pred.Fingerprint(),
+		ModelVersion: st.Pred.Version(),
+		Fingerprint:  st.Fingerprint(),
 	})
 	tr.EndStage(obs.StageEncode)
 }
@@ -1014,28 +1250,96 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := client.ReloadResponse{
-		Fingerprint:  cur.pred.Fingerprint(),
-		Previous:     old.pred.Fingerprint(),
-		ModelVersion: cur.pred.Version(),
-	}
-	if cur.comp != nil {
-		resp.Compiled = cur.comp.Fingerprint()
+		ModelInfo: modelInfo(cur),
+		Previous:  old.Fingerprint(),
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleModel reports the default (serving) model. The response carries
+// the full registry snapshot fields — default flag, pin, aliases — in
+// the same ModelInfo envelope the /v1/admin/models endpoints use.
 func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
-	st := s.model.Load()
-	info := client.ModelInfo{
-		Algorithm:    string(st.pred.Algorithm()),
-		ModelVersion: st.pred.Version(),
-		Fingerprint:  st.pred.Fingerprint(),
-		Path:         st.path,
+	def := s.reg.Default()
+	for _, snap := range s.reg.List() {
+		if snap.Default {
+			writeJSON(w, http.StatusOK, snapInfo(snap))
+			return
+		}
 	}
-	if st.comp != nil {
-		info.Compiled = st.comp.Fingerprint()
+	writeJSON(w, http.StatusOK, modelInfo(def))
+}
+
+// handleModels lists every resident model version.
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	resp := client.ModelsResponse{}
+	if def := s.reg.Default(); def != nil {
+		resp.Default = def.Fingerprint()
 	}
-	writeJSON(w, http.StatusOK, info)
+	for _, snap := range s.reg.List() {
+		resp.Models = append(resp.Models, snapInfo(snap))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleModelLoad loads an artifact into the registry without promoting
+// it: the new version serves only requests that pin it by fingerprint or
+// alias until POST /v1/admin/models/promote makes it the default.
+func (s *Server) handleModelLoad(w http.ResponseWriter, r *http.Request) {
+	var req client.ModelLoadRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Path == "" {
+		writeError(w, http.StatusBadRequest, "model load request names no artifact path")
+		return
+	}
+	m, err := s.reg.Load(req.Path, req.Alias, req.Pin)
+	if err != nil {
+		mErrors.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.writeModelInfo(w, m)
+}
+
+func (s *Server) handleModelPromote(w http.ResponseWriter, r *http.Request) {
+	var req client.ModelRefRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	m, err := s.reg.Promote(req.Model)
+	if err != nil {
+		writeError(w, registryStatus(err), err.Error())
+		return
+	}
+	s.modelPromoted()
+	s.writeModelInfo(w, m)
+}
+
+func (s *Server) handleModelEvict(w http.ResponseWriter, r *http.Request) {
+	var req client.ModelRefRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	m, err := s.reg.Evict(req.Model)
+	if err != nil {
+		writeError(w, registryStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, modelInfo(m))
+}
+
+// writeModelInfo answers with the registry snapshot for m when it is
+// still resident, falling back to the bare model info.
+func (s *Server) writeModelInfo(w http.ResponseWriter, m *registry.Model) {
+	for _, snap := range s.reg.List() {
+		if snap.Model.Fingerprint() == m.Fingerprint() {
+			writeJSON(w, http.StatusOK, snapInfo(snap))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, modelInfo(m))
 }
 
 // readyzDetail is the 200 body of GET /readyz: readiness plus the
@@ -1061,12 +1365,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, readyzDetail{Status: "ok", SLO: s.slo.Status()})
 }
 
-func predictResponse(st *modelState, it *item, factor int, cached bool) client.PredictResponse {
+func predictResponse(st *registry.Model, it *item, factor int, cached bool) client.PredictResponse {
 	resp := client.PredictResponse{
 		Factor:       factor,
 		Cached:       cached,
-		ModelVersion: st.pred.Version(),
-		Fingerprint:  st.pred.Fingerprint(),
+		ModelVersion: st.Pred.Version(),
+		Fingerprint:  st.Fingerprint(),
 	}
 	if it.loop != nil {
 		resp.Loop = it.loop.Name

@@ -105,10 +105,10 @@ func (s *Server) runShadow(t shadowTask) {
 			log.Printf("serve: shadow panic: %v", r)
 		}
 	}()
-	prim := s.model.Load()
+	prim := s.reg.Default()
 
 	start := time.Now()
-	_, primErr := predictOn(prim.comp, prim.pred, t)
+	_, primErr := predictOn(prim.Comp, prim.Pred, t)
 	primNS := time.Since(start).Nanoseconds()
 
 	start = time.Now()
@@ -208,10 +208,15 @@ func (s *Server) handleShadow(w http.ResponseWriter, r *http.Request) {
 	s.shadow.Store(st)
 	mShadowActive.Set(1)
 	resp := client.ShadowResponse{
-		Enabled:      true,
-		Fingerprint:  pred.Fingerprint(),
-		ModelVersion: pred.Version(),
-		Fraction:     float64(st.mille) / 1000,
+		Enabled:  true,
+		Fraction: float64(st.mille) / 1000,
+		ModelInfo: client.ModelInfo{
+			Algorithm:    string(pred.Algorithm()),
+			ModelVersion: pred.Version(),
+			Fingerprint:  pred.Fingerprint(),
+			Path:         req.Path,
+			LoadedAt:     st.startedAt,
+		},
 	}
 	if st.comp != nil {
 		resp.Compiled = st.comp.Fingerprint()

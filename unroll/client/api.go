@@ -25,9 +25,27 @@ type PredictResponse struct {
 	Fingerprint  string `json:"fingerprint"`
 }
 
+// PredictV2Request is the body of POST /v2/predict: a v1 request plus the
+// multi-model routing fields. Model pins a registry version by fingerprint
+// or alias (empty means the promoted default); Tenant labels the request
+// for per-tenant accounting and SLO slices.
+type PredictV2Request struct {
+	PredictRequest
+	Model  string `json:"model,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+}
+
 // BatchRequest is the body of POST /v1/predict/batch.
 type BatchRequest struct {
 	Loops []PredictRequest `json:"loops"`
+}
+
+// BatchV2Request is the body of POST /v2/predict/batch; Model and Tenant
+// apply to every loop in the batch.
+type BatchV2Request struct {
+	Loops  []PredictRequest `json:"loops"`
+	Model  string           `json:"model,omitempty"`
+	Tenant string           `json:"tenant,omitempty"`
 }
 
 // BatchResult is one loop's outcome inside a batch response. Factor is
@@ -52,18 +70,10 @@ type ReloadRequest struct {
 	Path string `json:"path,omitempty"`
 }
 
-// ReloadResponse reports the model swap. Compiled is the versioned
-// fingerprint of the serve-optimized lowering of the new model, empty if
-// the server fell back to interpreted prediction.
-type ReloadResponse struct {
-	Fingerprint  string `json:"fingerprint"`
-	Previous     string `json:"previous"`
-	ModelVersion int    `json:"model_version"`
-	Compiled     string `json:"compiled,omitempty"`
-}
-
-// ModelInfo answers GET /v1/model: the identity of the currently served
-// artifact.
+// ModelInfo is the common envelope every admin surface answers with: the
+// identity of one model version. GET /v1/model returns the promoted
+// default; Reload, Shadow, and the registry endpoints embed or return the
+// version they acted on.
 type ModelInfo struct {
 	Algorithm    string `json:"algorithm,omitempty"`
 	ModelVersion int    `json:"model_version"`
@@ -71,7 +81,20 @@ type ModelInfo struct {
 	Path         string `json:"path,omitempty"`
 	// Compiled is the versioned fingerprint of the compiled lowering
 	// answering queries, empty when the interpreted model serves.
-	Compiled string `json:"compiled,omitempty"`
+	Compiled string    `json:"compiled,omitempty"`
+	LoadedAt time.Time `json:"loaded_at"`
+	// Registry placement: Default marks the promoted version, Pinned a
+	// version protected from LRU eviction, Aliases its bound names.
+	Default bool     `json:"default,omitempty"`
+	Pinned  bool     `json:"pinned,omitempty"`
+	Aliases []string `json:"aliases,omitempty"`
+}
+
+// ReloadResponse reports the model swap: the ModelInfo of the newly
+// promoted version plus the fingerprint it displaced.
+type ReloadResponse struct {
+	ModelInfo
+	Previous string `json:"previous"`
 }
 
 // ShadowRequest is the body of POST /v1/admin/shadow: load the artifact
@@ -83,14 +106,12 @@ type ShadowRequest struct {
 }
 
 // ShadowResponse reports the shadow candidate that was loaded (or that
-// shadowing was disabled). Compiled carries the candidate's compiled
-// fingerprint, empty when it shadows interpreted.
+// shadowing was disabled), as the common ModelInfo envelope plus the
+// mirroring state.
 type ShadowResponse struct {
-	Enabled      bool    `json:"enabled"`
-	Fingerprint  string  `json:"fingerprint,omitempty"`
-	ModelVersion int     `json:"model_version,omitempty"`
-	Fraction     float64 `json:"fraction,omitempty"`
-	Compiled     string  `json:"compiled,omitempty"`
+	Enabled  bool    `json:"enabled"`
+	Fraction float64 `json:"fraction,omitempty"`
+	ModelInfo
 }
 
 // ShadowConfusionCell is one nonzero cell of the decision confusion
@@ -129,6 +150,29 @@ type ShadowReport struct {
 	MeanDeltaUS   float64 `json:"mean_delta_us"`
 
 	Confusion []ShadowConfusionCell `json:"confusion,omitempty"`
+}
+
+// ModelLoadRequest is the body of POST /v1/admin/models/load: stage the
+// artifact at Path in the registry without promoting it. Alias optionally
+// binds a stable name ("canary", "tenant-a") to the version; Pin protects
+// it from LRU eviction.
+type ModelLoadRequest struct {
+	Path  string `json:"path"`
+	Alias string `json:"alias,omitempty"`
+	Pin   bool   `json:"pin,omitempty"`
+}
+
+// ModelRefRequest names one registry version by fingerprint (or unique
+// prefix) or alias; the body of promote and evict.
+type ModelRefRequest struct {
+	Model string `json:"model"`
+}
+
+// ModelsResponse answers GET /v1/admin/models: every resident version,
+// default first.
+type ModelsResponse struct {
+	Default string      `json:"default,omitempty"`
+	Models  []ModelInfo `json:"models"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

@@ -4,12 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
-	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -17,7 +17,7 @@ import (
 	"metaopt/internal/obs"
 )
 
-// epMetrics is one endpoint's client-side telemetry: attempts, failed
+// epMetrics is one route's client-side telemetry: attempts, failed
 // attempts, and per-attempt latency. Resolved once at init so the request
 // path never hits the registry maps.
 type epMetrics struct {
@@ -37,14 +37,20 @@ func newEPMetrics(name string) *epMetrics {
 // epByPath maps request paths to their metric set; unknown paths fall
 // into the "other" bucket rather than minting unbounded metric names.
 var epByPath = map[string]*epMetrics{
-	"/v1/predict":       newEPMetrics("predict"),
-	"/v1/predict/batch": newEPMetrics("batch"),
-	"/v1/admin/reload":  newEPMetrics("reload"),
-	"/v1/admin/shadow":  newEPMetrics("shadow"),
-	"/v1/shadow/report": newEPMetrics("shadow_report"),
-	"/v1/model":         newEPMetrics("model"),
-	"/healthz":          newEPMetrics("healthz"),
-	"/readyz":           newEPMetrics("readyz"),
+	"/v1/predict":              newEPMetrics("predict"),
+	"/v1/predict/batch":        newEPMetrics("batch"),
+	"/v2/predict":              newEPMetrics("predict_v2"),
+	"/v2/predict/batch":        newEPMetrics("batch_v2"),
+	"/v1/admin/reload":         newEPMetrics("reload"),
+	"/v1/admin/shadow":         newEPMetrics("shadow"),
+	"/v1/admin/models":         newEPMetrics("models"),
+	"/v1/admin/models/load":    newEPMetrics("models_load"),
+	"/v1/admin/models/promote": newEPMetrics("models_promote"),
+	"/v1/admin/models/evict":   newEPMetrics("models_evict"),
+	"/v1/shadow/report":        newEPMetrics("shadow_report"),
+	"/v1/model":                newEPMetrics("model"),
+	"/healthz":                 newEPMetrics("healthz"),
+	"/readyz":                  newEPMetrics("readyz"),
 }
 
 var epOther = newEPMetrics("other")
@@ -68,52 +74,32 @@ func nextClientRequestID() string {
 	return fmt.Sprintf("%s-%06d", clientIDPrefix, clientIDSeq.Add(1))
 }
 
-// APIError is a non-2xx answer from the service. For 503s RetryAfter
-// carries the server's backoff hint, clamped to MaxRetryAfter.
-type APIError struct {
-	Status     int
-	Message    string
-	RetryAfter time.Duration
-}
-
-func (e *APIError) Error() string {
-	return fmt.Sprintf("unrolld: %s (HTTP %d)", e.Message, e.Status)
-}
-
-// IsOverloaded reports whether an error is the service shedding load
-// (backpressure or drain); callers should back off and retry. It sees
-// through retry-loop wrapping.
-func IsOverloaded(err error) bool {
-	var ae *APIError
-	return errors.As(err, &ae) && ae.Status == http.StatusServiceUnavailable
-}
-
-// Client talks to one unrolld server. Options arm per-client resilience:
-// WithRetry for backoff on idempotent requests, WithBreaker to fail fast
-// while the server is down. A Client is safe for concurrent use.
+// Client talks to a fleet of unrolld replicas. Requests are spread with
+// power-of-two-choices over in-flight counts; idempotent requests fail
+// over to a different replica on retryable errors, and each endpoint
+// carries its own circuit breaker, retry budget, and Retry-After hold so
+// one sick replica never poisons the others. A Client is safe for
+// concurrent use.
 type Client struct {
-	base    string
-	hc      *http.Client
-	retry   *retrier
-	breaker *breaker
+	hc    *http.Client
+	eps   []*endpoint
+	retry *retrier
+
+	model  string // default v2 model pin
+	tenant string // default v2 tenant label
+
+	pmu  sync.Mutex
+	prng *rand.Rand
 }
 
-// Option configures a Client.
-type Option func(*Client)
-
-// WithHTTPClient substitutes the underlying HTTP client (pooling,
-// timeouts, instrumentation).
-func WithHTTPClient(hc *http.Client) Option {
-	return func(c *Client) { c.hc = hc }
-}
-
-// New returns a client for the server at base, e.g. "http://127.0.0.1:8080".
-func New(base string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
-	for _, o := range opts {
-		o(c)
+// Endpoints returns the replica base URLs the client balances over, in
+// configuration order.
+func (c *Client) Endpoints() []string {
+	out := make([]string, len(c.eps))
+	for i, e := range c.eps {
+		out[i] = e.base
 	}
-	return c
+	return out
 }
 
 // Predict asks for one loop's unroll factor. Predictions are pure reads of
@@ -149,6 +135,43 @@ func (c *Client) PredictBatch(ctx context.Context, reqs []PredictRequest) (*Batc
 	return &out, nil
 }
 
+// PredictV2 is Predict on the v2 protocol: the request may pin a model
+// version (fingerprint or alias) and carry a tenant label. Empty Model and
+// Tenant fields inherit the client's configured defaults; the response
+// always stamps the fingerprint of the version that answered.
+func (c *Client) PredictV2(ctx context.Context, req PredictV2Request) (*PredictResponse, error) {
+	if req.Model == "" {
+		req.Model = c.model
+	}
+	if req.Tenant == "" {
+		req.Tenant = c.tenant
+	}
+	var out PredictResponse
+	if err := c.post(ctx, "/v2/predict", req, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PredictBatchV2 is PredictBatch on the v2 protocol; Model and Tenant
+// default like PredictV2's.
+func (c *Client) PredictBatchV2(ctx context.Context, req BatchV2Request) (*BatchResponse, error) {
+	if req.Model == "" {
+		req.Model = c.model
+	}
+	if req.Tenant == "" {
+		req.Tenant = c.tenant
+	}
+	var out BatchResponse
+	if err := c.post(ctx, "/v2/predict/batch", req, &out, true); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(req.Loops) {
+		return nil, fmt.Errorf("unrolld: batch returned %d results for %d loops", len(out.Results), len(req.Loops))
+	}
+	return &out, nil
+}
+
 // Reload asks the server to swap in the artifact at path (or re-read its
 // startup artifact when path is empty). Reload mutates server state, so it
 // is never retried — a timed-out reload may have landed.
@@ -160,10 +183,51 @@ func (c *Client) Reload(ctx context.Context, path string) (*ReloadResponse, erro
 	return &out, nil
 }
 
-// Model fetches the identity of the currently served artifact.
+// Model fetches the identity of the currently served default artifact.
 func (c *Client) Model(ctx context.Context) (*ModelInfo, error) {
 	var out ModelInfo
 	if err := c.get(ctx, "/v1/model", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Models lists every version resident in the server's model registry.
+func (c *Client) Models(ctx context.Context) (*ModelsResponse, error) {
+	var out ModelsResponse
+	if err := c.get(ctx, "/v1/admin/models", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ModelLoad loads the artifact at req.Path into the registry without
+// promoting it, optionally binding an alias and pinning it against LRU
+// eviction. Mutates server state; never retried.
+func (c *Client) ModelLoad(ctx context.Context, req ModelLoadRequest) (*ModelInfo, error) {
+	var out ModelInfo
+	if err := c.post(ctx, "/v1/admin/models/load", req, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ModelPromote atomically makes the named version (fingerprint or alias)
+// the default that unpinned requests are served by. Mutates server state;
+// never retried.
+func (c *Client) ModelPromote(ctx context.Context, model string) (*ModelInfo, error) {
+	var out ModelInfo
+	if err := c.post(ctx, "/v1/admin/models/promote", ModelRefRequest{Model: model}, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ModelEvict removes the named version from the registry. The default
+// version cannot be evicted. Mutates server state; never retried.
+func (c *Client) ModelEvict(ctx context.Context, model string) (*ModelInfo, error) {
+	var out ModelInfo
+	if err := c.post(ctx, "/v1/admin/models/evict", ModelRefRequest{Model: model}, &out, false); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -209,39 +273,67 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 	return c.roundTrip(ctx, http.MethodGet, path, nil, out, true)
 }
 
-// roundTrip is the resilient request loop: breaker gate, one attempt, and
-// — for idempotent requests under an armed RetryPolicy — backoff-with-
-// jitter retries honoring the server's (clamped) Retry-After hints.
+// roundTrip is the resilient request loop. Each attempt picks an endpoint
+// (power-of-two-choices, avoiding the one that just failed). Failing over
+// to a different replica retries immediately — the failed endpoint's
+// Retry-After parks that endpoint alone, never its siblings; only when the
+// same endpoint is retried does the backoff sleep (with the hint as floor)
+// apply. Retries beyond the first attempt draw on the target endpoint's
+// retry budget, and non-idempotent requests get exactly one attempt.
 func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte, out any, idempotent bool) error {
 	attempts := 1
-	if idempotent && c.retry != nil {
-		attempts = c.retry.policy.MaxAttempts
+	if idempotent {
+		if c.retry != nil {
+			attempts = c.retry.policy.MaxAttempts
+		} else if len(c.eps) > 1 {
+			// No retry policy armed: still give each replica one shot.
+			attempts = len(c.eps)
+		}
 	}
 	// One ID per logical call: every retry attempt carries the same
 	// X-Request-Id, so server-side logs and traces group the attempts.
 	reqID := nextClientRequestID()
 	var lastErr error
+	var lastEP *endpoint
 	for attempt := 0; attempt < attempts; attempt++ {
+		ep := c.pick(lastEP)
 		if attempt > 0 {
 			mRetries.Inc()
-			if err := c.retry.sleep(ctx, attempt-1, retryAfterOf(lastErr)); err != nil {
-				mRetryGiveUps.Inc()
-				return fmt.Errorf("%w (gave up retrying: %v)", lastErr, err)
+			if ep.budget != nil && !ep.budget.take() {
+				mBudgetExhausted.Inc()
+				return fmt.Errorf("%w (retry budget exhausted for %s)", lastErr, ep.base)
+			}
+			if ep == lastEP {
+				if c.retry != nil {
+					if err := c.retry.sleep(ctx, attempt-1, retryAfterOf(lastErr)); err != nil {
+						mRetryGiveUps.Inc()
+						return fmt.Errorf("%w (gave up retrying: %v)", lastErr, err)
+					}
+				}
+			} else {
+				mFailovers.Inc()
 			}
 		}
-		if c.breaker != nil {
-			if err := c.breaker.allow(); err != nil {
-				return err
+		if ep.breaker != nil {
+			if err := ep.breaker.allow(); err != nil {
+				if len(c.eps) == 1 {
+					return err
+				}
+				lastErr, lastEP = err, ep
+				continue
 			}
 		}
-		err := c.doOnce(ctx, method, path, body, out, reqID)
-		if c.breaker != nil {
-			c.breaker.record(err != nil && serverFault(err))
+		err := c.doOnce(ctx, ep, method, path, body, out, reqID)
+		if ep.breaker != nil {
+			ep.breaker.record(err != nil && serverFault(err))
 		}
 		if err == nil {
+			if ep.budget != nil {
+				ep.budget.deposit()
+			}
 			return nil
 		}
-		lastErr = err
+		lastErr, lastEP = err, ep
 		if !retryable(err) {
 			return err
 		}
@@ -252,15 +344,22 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 	return lastErr
 }
 
-// doOnce performs a single HTTP exchange, feeding the endpoint's
-// client-side counters and latency histogram.
-func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any, reqID string) (err error) {
-	ep := endpointMetrics(path)
+// doOnce performs a single HTTP exchange against one endpoint, feeding the
+// route's client-side counters, the endpoint's health estimate, and its
+// in-flight gauge (the balancing signal).
+func (c *Client) doOnce(ctx context.Context, ep *endpoint, method, path string, body []byte, out any, reqID string) (err error) {
+	pm := endpointMetrics(path)
+	pm.reqs.Inc()
 	ep.reqs.Inc()
+	ep.inflight.Add(1)
 	start := time.Now()
 	defer func() {
-		ep.lat.Observe(time.Since(start).Microseconds())
+		lat := time.Since(start).Microseconds()
+		pm.lat.Observe(lat)
+		ep.inflight.Add(-1)
+		ep.observe(float64(lat), err != nil && serverFault(err))
 		if err != nil {
+			pm.errs.Inc()
 			ep.errs.Inc()
 		}
 	}()
@@ -271,7 +370,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, ep.base+path, rd)
 	if err != nil {
 		return err
 	}
@@ -291,7 +390,15 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 		resp.Body.Close()
 	}()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		ae := &APIError{Status: resp.StatusCode}
+		ae := &APIError{
+			Status:    resp.StatusCode,
+			Code:      codeForStatus(resp.StatusCode),
+			Endpoint:  ep.base,
+			RequestID: resp.Header.Get("X-Request-Id"),
+		}
+		if ae.RequestID == "" {
+			ae.RequestID = reqID
+		}
 		var body ErrorResponse
 		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.Error != "" {
 			ae.Message = body.Error
@@ -299,6 +406,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 			ae.Message = http.StatusText(resp.StatusCode)
 		}
 		ae.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+		// The hint parks this endpoint alone; siblings stay eligible for
+		// the immediate failover attempt.
+		ep.hold(ae.RetryAfter, time.Now())
 		return ae
 	}
 	if out == nil {

@@ -1,0 +1,155 @@
+package client
+
+import (
+	"errors"
+	"math/rand"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Config describes a Client: the replica set it spreads load over and the
+// resilience machinery armed on each endpoint. Build one directly or
+// through the With* functional options; NewClient accepts both styles and
+// they compose (options are applied on top of the struct).
+type Config struct {
+	// Endpoints are the replica base URLs, e.g. "http://10.0.0.1:8080".
+	// At least one is required. Requests are balanced across them with
+	// power-of-two-choices over in-flight counts; idempotent requests
+	// fail over to a different replica on retryable errors.
+	Endpoints []string
+
+	// HTTPClient substitutes the underlying *http.Client (pooling,
+	// timeouts, instrumentation). Default http.DefaultClient.
+	HTTPClient *http.Client
+
+	// Transport overrides the transport of the HTTP client actually used.
+	// The HTTPClient is shallow-copied before the override, never mutated.
+	Transport http.RoundTripper
+
+	// Retry arms exponential-backoff retries (with failover across
+	// endpoints) for idempotent requests. nil disables retries; multi-
+	// endpoint clients still fail over once per remaining endpoint.
+	Retry *RetryPolicy
+
+	// Budget bounds retries per endpoint to a fraction of successful
+	// request volume, so a browning-out fleet is not hammered with
+	// multiplied load. nil leaves retries bounded only by Retry.
+	Budget *RetryBudget
+
+	// Breaker arms an independent circuit breaker per endpoint. nil
+	// disables breaking.
+	Breaker *BreakerPolicy
+
+	// Model and Tenant are stamped onto every v2 request that does not
+	// set its own: Model pins a registry version (fingerprint or alias),
+	// Tenant labels traffic for per-tenant accounting.
+	Model  string
+	Tenant string
+}
+
+// BreakerPolicy configures the per-endpoint circuit breakers: after
+// Threshold consecutive server faults an endpoint fails fast for Cooldown,
+// then admits a single half-open probe whose outcome closes or reopens the
+// circuit. Each endpoint trips independently — one dead replica never
+// blinds the client to its healthy siblings.
+type BreakerPolicy struct {
+	Threshold int           // consecutive faults to open (default 5)
+	Cooldown  time.Duration // open duration before the probe (default 1s)
+}
+
+// Option configures a Client's Config.
+type Option func(*Config)
+
+// WithEndpoints appends replica base URLs to the set the client balances
+// over.
+func WithEndpoints(urls ...string) Option {
+	return func(c *Config) { c.Endpoints = append(c.Endpoints, urls...) }
+}
+
+// WithHTTPClient substitutes the underlying HTTP client.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Config) { c.HTTPClient = hc }
+}
+
+// WithTransport overrides the HTTP transport (the client is copied, the
+// caller's http.Client is never mutated).
+func WithTransport(rt http.RoundTripper) Option {
+	return func(c *Config) { c.Transport = rt }
+}
+
+// WithRetry arms the retry loop for idempotent requests.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Config) { c.Retry = &p }
+}
+
+// WithRetryBudget bounds retries per endpoint to Ratio tokens per
+// successful request with a Burst starting balance.
+func WithRetryBudget(b RetryBudget) Option {
+	return func(c *Config) { c.Budget = &b }
+}
+
+// WithBreaker arms a circuit breaker on every endpoint: after threshold
+// consecutive failures an endpoint fails fast with ErrCircuitOpen for
+// cooldown, then lets a single probe through (half-open); the probe's
+// outcome closes or reopens its circuit.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *Config) { c.Breaker = &BreakerPolicy{Threshold: threshold, Cooldown: cooldown} }
+}
+
+// WithModel sets the default model pin (fingerprint or alias) stamped on
+// v2 requests.
+func WithModel(model string) Option {
+	return func(c *Config) { c.Model = model }
+}
+
+// WithTenant sets the default tenant label stamped on v2 requests.
+func WithTenant(tenant string) Option {
+	return func(c *Config) { c.Tenant = tenant }
+}
+
+// NewClient builds a client for a replica set. At least one endpoint is
+// required; options are applied on top of cfg.
+func NewClient(cfg Config, opts ...Option) (*Client, error) {
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(cfg.Endpoints) == 0 {
+		return nil, errors.New("client: Config.Endpoints is empty; name at least one replica")
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	if cfg.Transport != nil {
+		cp := *hc
+		cp.Transport = cfg.Transport
+		hc = &cp
+	}
+	c := &Client{hc: hc, model: cfg.Model, tenant: cfg.Tenant}
+	seed := time.Now().UnixNano()
+	if cfg.Retry != nil {
+		p := cfg.Retry.withDefaults()
+		c.retry = &retrier{policy: p, rng: rand.New(rand.NewSource(p.Seed))}
+		seed = p.Seed + 1 // deterministic picker under a seeded policy
+	}
+	c.prng = rand.New(rand.NewSource(seed))
+	for i, base := range cfg.Endpoints {
+		c.eps = append(c.eps, newEndpoint(strings.TrimRight(base, "/"), i, &cfg))
+	}
+	return c, nil
+}
+
+// New returns a client for the single server at base, e.g.
+// "http://127.0.0.1:8080".
+//
+// Deprecated: Use NewClient with Config.Endpoints (or WithEndpoints),
+// which this shim wraps; New cannot express a replica set.
+func New(base string, opts ...Option) *Client {
+	c, err := NewClient(Config{Endpoints: []string{base}}, opts...)
+	if err != nil {
+		// Unreachable: exactly one endpoint is always supplied above.
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,214 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"metaopt/internal/obs"
+)
+
+// endpoint is one replica of the fleet plus the client-side state that
+// drives balancing and failover: the in-flight count (the power-of-two-
+// choices signal), a circuit breaker, a retry budget, the Retry-After hold
+// that parks the endpoint after a load-shed answer, and a health score
+// blended from observed latency and errors.
+type endpoint struct {
+	base string
+	idx  int
+
+	inflight atomic.Int64
+	breaker  *breaker     // nil: breaker not armed
+	budget   *retryBudget // nil: retries bounded only by the policy
+
+	// holdUntilNS parks this endpoint until the given wall-clock nanos:
+	// its own Retry-After hint applies to it alone, never to siblings.
+	holdUntilNS atomic.Int64
+
+	reqs *obs.Counter // client.endpoint.<i>.requests
+	errs *obs.Counter // client.endpoint.<i>.errors
+
+	mu        sync.Mutex
+	ewmaLatUS float64
+	ewmaErr   float64
+	samples   int64
+}
+
+func newEndpoint(base string, idx int, cfg *Config) *endpoint {
+	ep := &endpoint{
+		base: base,
+		idx:  idx,
+		reqs: obs.C(fmt.Sprintf("client.endpoint.%d.requests", idx)),
+		errs: obs.C(fmt.Sprintf("client.endpoint.%d.errors", idx)),
+	}
+	if cfg.Breaker != nil {
+		th, cd := cfg.Breaker.Threshold, cfg.Breaker.Cooldown
+		if th <= 0 {
+			th = 5
+		}
+		if cd <= 0 {
+			cd = time.Second
+		}
+		ep.breaker = &breaker{threshold: th, cooldown: cd, now: time.Now}
+	}
+	if cfg.Budget != nil {
+		ep.budget = newRetryBudget(*cfg.Budget)
+	}
+	return ep
+}
+
+// healthAlpha is the EWMA smoothing factor for the latency and error-rate
+// estimates: recent observations dominate within ~5 samples.
+const healthAlpha = 0.2
+
+// observe feeds one attempt's outcome into the endpoint's health estimate.
+// Only server faults (transport failures, 5xx) count as errors — a 4xx
+// proves the replica is alive and fast.
+func (e *endpoint) observe(latUS float64, failed bool) {
+	f := 0.0
+	if failed {
+		f = 1.0
+	}
+	e.mu.Lock()
+	if e.samples == 0 {
+		e.ewmaLatUS, e.ewmaErr = latUS, f
+	} else {
+		e.ewmaLatUS += healthAlpha * (latUS - e.ewmaLatUS)
+		e.ewmaErr += healthAlpha * (f - e.ewmaErr)
+	}
+	e.samples++
+	e.mu.Unlock()
+}
+
+// score is the endpoint's badness — EWMA latency inflated by the error
+// rate; lower is better. An endpoint that has never been tried scores 0,
+// so fresh replicas win ties and get probed immediately.
+func (e *endpoint) score() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ewmaLatUS * (1 + 9*e.ewmaErr)
+}
+
+// available reports whether the picker should consider this endpoint:
+// not parked by its own Retry-After hold, and its breaker (if armed)
+// would admit a request.
+func (e *endpoint) available(now time.Time) bool {
+	if e.holdUntilNS.Load() > now.UnixNano() {
+		return false
+	}
+	return e.breaker == nil || e.breaker.canAttempt()
+}
+
+// hold parks the endpoint for d: after a 503/429 with a Retry-After hint
+// the picker steers traffic to siblings until the hint expires. The hold
+// only ever extends — concurrent shorter hints never un-park.
+func (e *endpoint) hold(d time.Duration, now time.Time) {
+	if d <= 0 {
+		return
+	}
+	until := now.Add(d).UnixNano()
+	for {
+		cur := e.holdUntilNS.Load()
+		if cur >= until || e.holdUntilNS.CompareAndSwap(cur, until) {
+			return
+		}
+	}
+}
+
+// RetryBudget bounds retries to a fraction of successful request volume
+// per endpoint (plus a small burst) — the standard defense against retry
+// storms: when a replica browns out, each client may retry a little, not
+// multiply the offered load. A retry withdraws one token; every successful
+// request deposits Ratio tokens up to the Burst cap.
+type RetryBudget struct {
+	Ratio float64 // tokens earned per successful request (default 0.1)
+	Burst int     // token cap and starting balance (default 10)
+}
+
+type retryBudget struct {
+	ratio float64
+	burst float64
+
+	mu     sync.Mutex
+	tokens float64
+}
+
+func newRetryBudget(p RetryBudget) *retryBudget {
+	if p.Ratio <= 0 {
+		p.Ratio = 0.1
+	}
+	if p.Burst <= 0 {
+		p.Burst = 10
+	}
+	return &retryBudget{ratio: p.Ratio, burst: float64(p.Burst), tokens: float64(p.Burst)}
+}
+
+func (b *retryBudget) deposit() {
+	b.mu.Lock()
+	if b.tokens += b.ratio; b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+func (b *retryBudget) take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// pick selects the endpoint for the next attempt: power-of-two-choices
+// over in-flight counts among available endpoints (score breaks ties),
+// avoiding the endpoint that just failed whenever an alternative exists.
+// With every endpoint parked or broken it falls back to the full set and
+// lets the breaker answer.
+func (c *Client) pick(avoid *endpoint) *endpoint {
+	if len(c.eps) == 1 {
+		return c.eps[0]
+	}
+	now := time.Now()
+	cand := make([]*endpoint, 0, len(c.eps))
+	for _, e := range c.eps {
+		if e != avoid && e.available(now) {
+			cand = append(cand, e)
+		}
+	}
+	if len(cand) == 0 {
+		if avoid != nil && avoid.available(now) {
+			return avoid
+		}
+		cand = c.eps
+	}
+	if len(cand) == 1 {
+		return cand[0]
+	}
+	c.pmu.Lock()
+	i := c.prng.Intn(len(cand))
+	j := c.prng.Intn(len(cand) - 1)
+	c.pmu.Unlock()
+	if j >= i {
+		j++
+	}
+	return better(cand[i], cand[j])
+}
+
+// better compares two endpoints: fewer in-flight requests wins; on a tie,
+// the healthier score.
+func better(a, b *endpoint) *endpoint {
+	ai, bi := a.inflight.Load(), b.inflight.Load()
+	if ai != bi {
+		if ai < bi {
+			return a
+		}
+		return b
+	}
+	if a.score() <= b.score() {
+		return a
+	}
+	return b
+}

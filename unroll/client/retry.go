@@ -14,11 +14,13 @@ import (
 
 // Client-side resilience telemetry.
 var (
-	mRetries        = obs.C("client.retries")
-	mRetryGiveUps   = obs.C("client.retry.giveups")
-	mBreakerOpens   = obs.C("client.breaker.opens")
-	mBreakerRejects = obs.C("client.breaker.rejects")
-	mBreakerProbes  = obs.C("client.breaker.probes")
+	mRetries         = obs.C("client.retries")
+	mRetryGiveUps    = obs.C("client.retry.giveups")
+	mFailovers       = obs.C("client.failovers")
+	mBudgetExhausted = obs.C("client.retry.budget_exhausted")
+	mBreakerOpens    = obs.C("client.breaker.opens")
+	mBreakerRejects  = obs.C("client.breaker.rejects")
+	mBreakerProbes   = obs.C("client.breaker.probes")
 )
 
 // MaxRetryAfter caps how long a server-sent Retry-After hint is honored.
@@ -59,31 +61,6 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 		p.Seed = time.Now().UnixNano()
 	}
 	return p
-}
-
-// WithRetry arms the client's retry loop for idempotent requests.
-func WithRetry(p RetryPolicy) Option {
-	return func(c *Client) {
-		pd := p.withDefaults()
-		c.retry = &retrier{policy: pd, rng: rand.New(rand.NewSource(pd.Seed))}
-	}
-}
-
-// WithBreaker arms a circuit breaker: after threshold consecutive failures
-// the client fails fast with ErrCircuitOpen for cooldown, then lets a
-// single probe through (half-open); the probe's outcome closes or reopens
-// the circuit. A breaker keeps a dead or drowning server from absorbing
-// every caller's full retry budget.
-func WithBreaker(threshold int, cooldown time.Duration) Option {
-	return func(c *Client) {
-		if threshold <= 0 {
-			threshold = 5
-		}
-		if cooldown <= 0 {
-			cooldown = time.Second
-		}
-		c.breaker = &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
-	}
 }
 
 // ErrCircuitOpen is returned (wrapped) while the breaker is open; the
@@ -136,9 +113,9 @@ func (r *retrier) sleep(ctx context.Context, attempt int, hint time.Duration) er
 }
 
 // retryable reports whether an error is worth another attempt: transport
-// failures and the load-shedding statuses (502/503/504). Client mistakes
-// (4xx), prediction failures (422), server bugs (500), and context
-// cancellation are not.
+// failures and the load-shedding statuses (429/502/503/504). Client
+// mistakes (4xx), prediction failures (422), server bugs (500), and
+// context cancellation are not.
 func retryable(err error) bool {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
@@ -146,7 +123,7 @@ func retryable(err error) bool {
 	var ae *APIError
 	if errors.As(err, &ae) {
 		switch ae.Status {
-		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
 			return true
 		}
 		return false
@@ -206,6 +183,22 @@ func (b *breaker) allow() error {
 	b.probing = true
 	mBreakerProbes.Inc()
 	return nil
+}
+
+// canAttempt is the endpoint picker's non-mutating preview of allow: true
+// when a request would be admitted right now (closed, or open past its
+// cooldown with no probe in flight). It never claims the probe slot and
+// bumps no counters, so scanning candidates has no side effects.
+func (b *breaker) canAttempt() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.openedAt.Add(b.cooldown).After(b.now()) {
+		return false
+	}
+	return !b.probing
 }
 
 // record feeds a request's outcome back into the breaker.

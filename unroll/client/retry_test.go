@@ -162,7 +162,7 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 	srv, calls := flakyServer(t, 3, "0")
 	now := time.Unix(0, 0)
 	c := New(srv.URL, WithBreaker(3, time.Second))
-	c.breaker.now = func() time.Time { return now }
+	c.eps[0].breaker.now = func() time.Time { return now }
 	ctx := context.Background()
 
 	// Three consecutive failures trip the breaker.
@@ -197,7 +197,7 @@ func TestBreakerProbeFailureReopens(t *testing.T) {
 	srv, _ := flakyServer(t, 100, "0")
 	now := time.Unix(0, 0)
 	c := New(srv.URL, WithBreaker(2, time.Second))
-	c.breaker.now = func() time.Time { return now }
+	c.eps[0].breaker.now = func() time.Time { return now }
 	ctx := context.Background()
 
 	for i := 0; i < 2; i++ {
