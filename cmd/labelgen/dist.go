@@ -1,0 +1,65 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"metaopt/internal/dist"
+)
+
+// runCoordinator boots the labeling coordinator: it shards the corpus,
+// leases shards to workers over HTTP, and — once every shard checkpoint is
+// sealed — merges them into a dataset byte-identical to a serial labelgen
+// run. Restarting over the same -dir resumes from the manifest.
+func runCoordinator(addr string, rc dist.RunConfig, shards int, dir, out, format string,
+	leaseTTL, linger time.Duration) error {
+	c, err := dist.NewCoordinator(dist.CoordinatorConfig{
+		Run:      rc,
+		Shards:   shards,
+		Dir:      dir,
+		Out:      out,
+		Format:   format,
+		LeaseTTL: leaseTTL,
+		Linger:   linger,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := c.Run(ctx, addr); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	return nil
+}
+
+// runWorker boots a labeling worker against a coordinator. The run
+// configuration comes from the coordinator's lease responses, so a fleet
+// can never mix measurement setups.
+func runWorker(url, name, dir string, heartbeat time.Duration, saveEvery int) error {
+	if name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w, err := dist.NewWorker(dist.WorkerConfig{
+		Name:        name,
+		Coordinator: url,
+		Dir:         dir,
+		Heartbeat:   heartbeat,
+		SaveEvery:   saveEvery,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return w.Run(ctx)
+}

@@ -9,12 +9,25 @@
 // atomically every few benchmarks, and -resume continues from the snapshot
 // with output bit-identical to an uninterrupted run.
 //
+// At 100× corpus scale one process is not enough; labelgen then runs as a
+// fault-tolerant cluster. -coordinator serves the corpus as leased shards
+// and merges the uploaded shard checkpoints into a dataset byte-identical
+// to a serial run, surviving kills of itself (manifest replay) and of any
+// worker (lease expiry, fencing, re-lease). -worker labels leased shards
+// with the resumable collector and uploads them.
+//
 // Usage:
 //
-//	labelgen [-scale 1.0] [-seed 2005] [-runs 30] [-swp] \
+//	labelgen [-scale 1.0] [-seed 2005] [-runs 30] [-swp] [-workers n] \
 //	         [-out dataset.json] [-dump-kernels dir] \
 //	         [-checkpoint labels.ckpt] [-resume] [-checkpoint-every 8] \
 //	         [-manifest out.json] [-debugaddr :0]
+//
+//	labelgen -coordinator 127.0.0.1:9471 -dir coord [-shards 16] \
+//	         [-lease-ttl 10s] [-linger 2s] [-scale ...] [-out dataset.json]
+//
+//	labelgen -worker http://127.0.0.1:9471 -dir w1 [-name w1] \
+//	         [-heartbeat 2s] [-checkpoint-every 1]
 package main
 
 import (
@@ -22,8 +35,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"metaopt/internal/atomicio"
+	"metaopt/internal/dist"
 	"metaopt/internal/faults"
 	"metaopt/internal/obs"
 	"metaopt/internal/par"
@@ -45,6 +60,16 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 8, "benchmarks between checkpoint snapshots")
 		manifest  = flag.String("manifest", "", "write a machine-readable run manifest to this file")
 		debugAddr = flag.String("debugaddr", "", "serve live /debug/metrics and /debug/pprof on this address while running (\":0\" picks a port)")
+		workers   = flag.Int("workers", 0, "parallel labeling workers in this process (0 = GOMAXPROCS); not label-affecting, so checkpoints resume across different values")
+
+		coordAddr = flag.String("coordinator", "", "run as the cluster coordinator, serving the shard protocol on this address")
+		workerURL = flag.String("worker", "", "run as a cluster worker against this coordinator URL")
+		name      = flag.String("name", "", "worker name; keep it stable across restarts to resume a lease (default host-pid)")
+		dir       = flag.String("dir", "", "cluster state directory (coordinator: shards+manifest; worker: local checkpoints)")
+		shards    = flag.Int("shards", 16, "coordinator: number of shards to split the corpus into")
+		leaseTTL  = flag.Duration("lease-ttl", 10*time.Second, "coordinator: heartbeat-extended lease deadline")
+		linger    = flag.Duration("linger", 2*time.Second, "coordinator: keep telling workers to stop for this long after the merge")
+		heartbeat = flag.Duration("heartbeat", 2*time.Second, "worker: lease renewal cadence")
 	)
 	flag.Parse()
 
@@ -52,8 +77,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "labelgen: %v\n", err)
 		os.Exit(1)
 	}
+	if *workers > 0 {
+		par.SetLimit(*workers)
+	}
 	if *resume && *ckpt == "" {
 		fmt.Fprintln(os.Stderr, "labelgen: -resume needs -checkpoint")
+		os.Exit(1)
+	}
+	if *coordAddr != "" && *workerURL != "" {
+		fmt.Fprintln(os.Stderr, "labelgen: -coordinator and -worker are mutually exclusive")
 		os.Exit(1)
 	}
 	if *debugAddr != "" {
@@ -66,6 +98,29 @@ func main() {
 	}
 	if *stats {
 		if err := runStats(*scale, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "labelgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *coordAddr != "" {
+		rc := dist.RunConfig{Seed: *seed, Scale: *scale, Runs: *runs, SWP: *swp}
+		stateDir := *dir
+		if stateDir == "" {
+			stateDir = "dist-coordinator"
+		}
+		if err := runCoordinator(*coordAddr, rc, *shards, stateDir, *out, *format, *leaseTTL, *linger); err != nil {
+			fmt.Fprintf(os.Stderr, "labelgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *workerURL != "" {
+		stateDir := *dir
+		if stateDir == "" {
+			stateDir = "dist-worker"
+		}
+		if err := runWorker(*workerURL, *name, stateDir, *heartbeat, *ckptEvery); err != nil {
 			fmt.Fprintf(os.Stderr, "labelgen: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,71 @@
+package atomicio
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"metaopt/internal/faults"
+)
+
+// TestWriteFileTornAtEveryOffset proves the all-or-nothing contract
+// exhaustively: for every byte offset a crash-torn write can stop at, the
+// reader afterwards sees either the complete old content or the complete
+// new content — never a prefix, and never a missing file.
+func TestWriteFileTornAtEveryOffset(t *testing.T) {
+	defer faults.Reset()
+	const oldContent = "v1: the original artifact, intact"
+	const newContent = "v2: replacement payload that a crash may tear anywhere"
+
+	for off := 0; off <= len(newContent); off++ {
+		t.Run(fmt.Sprintf("offset=%d", off), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "artifact.json")
+			if err := WriteFile(path, write(oldContent)); err != nil {
+				t.Fatal(err)
+			}
+
+			faults.Reset()
+			faults.MustInstall(faults.Spec{
+				Site: WriteSite, Kind: faults.KindTorn, Bytes: int64(off), Count: 1,
+			})
+			err := WriteFile(path, write(newContent))
+			faults.Reset()
+
+			// The payload lands in one Write call, so the torn budget only
+			// suffices when it covers the whole payload.
+			wantTorn := off < len(newContent)
+			if wantTorn && !errors.Is(err, faults.ErrInjected) {
+				t.Fatalf("offset %d: %v, want ErrInjected", off, err)
+			}
+			if !wantTorn && err != nil {
+				t.Fatalf("offset %d: %v, want success", off, err)
+			}
+
+			got, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatalf("offset %d: target unreadable after torn write: %v", off, rerr)
+			}
+			want := newContent
+			if wantTorn {
+				want = oldContent
+			}
+			if string(got) != want {
+				t.Fatalf("offset %d: read back %q, want %q — torn write was observable", off, got, want)
+			}
+
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if strings.Contains(e.Name(), ".tmp-") {
+					t.Fatalf("offset %d: temp file %s leaked", off, e.Name())
+				}
+			}
+		})
+	}
+}

@@ -35,11 +35,17 @@ type LoopRecord struct {
 // stream is seeded by its name, resuming from a checkpoint yields output
 // bit-identical to an uninterrupted run.
 type Checkpoint struct {
-	Version    int                     `json:"version"`
-	Seed       int64                   `json:"seed"`
-	Runs       int                     `json:"runs"`
-	SWP        bool                    `json:"swp"`
-	Machine    string                  `json:"machine"`
+	Version int    `json:"version"`
+	Seed    int64  `json:"seed"`
+	Runs    int    `json:"runs"`
+	SWP     bool   `json:"swp"`
+	Machine string `json:"machine"`
+	// Workers records the parallelism of the run that wrote the checkpoint.
+	// It is provenance only: worker count never affects which cycles are
+	// measured (each benchmark's noise stream is seeded by its name), so
+	// Compatible deliberately ignores it and a checkpoint written with
+	// -workers 1 resumes cleanly under -workers 32.
+	Workers    int                     `json:"workers,omitempty"`
 	Benchmarks map[string][]LoopRecord `json:"benchmarks"`
 }
 
@@ -52,6 +58,7 @@ func NewCheckpoint(t *sim.Timer, seed int64) *Checkpoint {
 		Runs:       t.Cfg.Runs,
 		SWP:        t.Cfg.SWP,
 		Machine:    t.Cfg.Mach.Name,
+		Workers:    par.Limit(),
 		Benchmarks: map[string][]LoopRecord{},
 	}
 }
@@ -60,6 +67,8 @@ func NewCheckpoint(t *sim.Timer, seed int64) *Checkpoint {
 // configuration as the run trying to resume from it. Resuming under a
 // different seed, machine, or measurement setup would splice measurements
 // from two different experiments into one dataset, so it is refused.
+// Worker count (Checkpoint.Workers) is not label-affecting configuration
+// and is never compared.
 func (ck *Checkpoint) Compatible(t *sim.Timer, seed int64) error {
 	if ck.Version > CheckpointVersion {
 		return fmt.Errorf("core: checkpoint uses format v%d but this build understands up to v%d", ck.Version, CheckpointVersion)
@@ -73,6 +82,47 @@ func (ck *Checkpoint) Compatible(t *sim.Timer, seed int64) error {
 		return fmt.Errorf("core: checkpoint was collected with swp=%v, this run uses swp=%v", ck.SWP, t.Cfg.SWP)
 	case ck.Machine != t.Cfg.Mach.Name:
 		return fmt.Errorf("core: checkpoint was collected on machine %q, this run targets %q", ck.Machine, t.Cfg.Mach.Name)
+	}
+	return nil
+}
+
+// CompatibleWith reports whether two checkpoints come from the same
+// experiment configuration, the merge-side analogue of Compatible: shard
+// checkpoints produced by different seeds, run counts, pipelining modes, or
+// machines must never be spliced into one dataset. Worker count is ignored
+// for the same reason Compatible ignores it.
+func (ck *Checkpoint) CompatibleWith(other *Checkpoint) error {
+	if other.Version > CheckpointVersion {
+		return fmt.Errorf("core: checkpoint uses format v%d but this build understands up to v%d", other.Version, CheckpointVersion)
+	}
+	switch {
+	case other.Seed != ck.Seed:
+		return fmt.Errorf("core: checkpoint seed %d, want %d", other.Seed, ck.Seed)
+	case other.Runs != ck.Runs:
+		return fmt.Errorf("core: checkpoint has %d runs per timing, want %d", other.Runs, ck.Runs)
+	case other.SWP != ck.SWP:
+		return fmt.Errorf("core: checkpoint has swp=%v, want swp=%v", other.SWP, ck.SWP)
+	case other.Machine != ck.Machine:
+		return fmt.Errorf("core: checkpoint targets machine %q, want %q", other.Machine, ck.Machine)
+	}
+	return nil
+}
+
+// Merge folds another checkpoint's measurements into ck. The two must be
+// config-compatible, and no benchmark may appear in both: a duplicate means
+// the same shard of work is being merged twice, which Merge refuses rather
+// than silently letting one copy win.
+func (ck *Checkpoint) Merge(other *Checkpoint) error {
+	if err := ck.CompatibleWith(other); err != nil {
+		return err
+	}
+	for name := range other.Benchmarks {
+		if _, dup := ck.Benchmarks[name]; dup {
+			return fmt.Errorf("core: merge: benchmark %q already merged", name)
+		}
+	}
+	for name, recs := range other.Benchmarks {
+		ck.Benchmarks[name] = recs
 	}
 	return nil
 }

@@ -1,0 +1,119 @@
+// Package dist is the fault-tolerant distributed labeling cluster: a
+// coordinator that splits the loopgen corpus into shards of benchmarks and
+// leases them to worker processes over HTTP/JSON, and the worker that labels
+// its leased shard with core.CollectLabelsResumable and uploads the shard
+// checkpoint back.
+//
+// The design is lease-based with fencing:
+//
+//   - every lease grant carries a fencing token from one monotonically
+//     increasing counter; heartbeats extend the lease deadline only while
+//     the token is current;
+//   - a lease whose deadline passes is expired and its shard returned to
+//     the pending pool; the next grant mints a larger token, so a zombie
+//     worker's late heartbeat or upload (stale token) is rejected — a shard
+//     is merged at most once;
+//   - workers that keep failing (expired leases, reported errors) exhaust a
+//     bounded failure budget and are quarantined: their lease requests are
+//     refused instead of feeding a crash loop forever;
+//   - uploads land through internal/atomicio and are sealed by an
+//     append-only, fsynced manifest of (shard, fence, file, sha256)
+//     records. The manifest is the coordinator's only durable state:
+//     killing the coordinator at any instant — including mid-merge — and
+//     restarting it replays the manifest, re-verifies every shard file
+//     against its digest, re-leases whatever is missing, and produces a
+//     merged dataset byte-identical to a single-process labelgen run.
+//
+// Byte-identity with the serial pipeline is structural, not incidental:
+// each benchmark's noise stream is seeded by its name, so it does not
+// matter which process measures it, and the final merge path is the
+// existing checkpoint-resume path (unroll.CollectDatasetCheckpointed over a
+// fully populated checkpoint), which recomputes every derived field exactly
+// as an uninterrupted run would.
+package dist
+
+import (
+	"time"
+
+	"metaopt/internal/obs"
+	"metaopt/internal/sim"
+	"metaopt/unroll"
+)
+
+// Fault-injection sites, armed by chaos tests and the FAULTS env on the
+// real binaries (cmd/labelgen installs specs in both modes).
+const (
+	// SiteUpload fires in the coordinator's upload handler before the shard
+	// file is written; an error here answers 500 and the worker retries.
+	SiteUpload = "dist.upload"
+	// SiteMerge fires when the coordinator enters the final merge; a
+	// latency spec parks it there so a chaos harness can SIGKILL it
+	// mid-merge deterministically.
+	SiteMerge = "dist.merge"
+	// SiteManifestAppend wraps the manifest append writer; a torn spec
+	// leaves a partial trailing line, which replay must tolerate.
+	SiteManifestAppend = "dist.manifest.append"
+)
+
+// Coordinator-side telemetry.
+var (
+	mLeasesGranted  = obs.C("dist.leases.granted")
+	mLeasesExpired  = obs.C("dist.leases.expired")
+	mLeasesFenced   = obs.C("dist.leases.fenced")
+	mUploadsOK      = obs.C("dist.uploads.accepted")
+	mUploadsFenced  = obs.C("dist.uploads.fenced")
+	mUploadsBad     = obs.C("dist.uploads.rejected")
+	mShardRetries   = obs.C("dist.shard_retries")
+	mQuarantined    = obs.C("dist.workers.quarantined")
+	mManifestReplay = obs.C("dist.manifest.replayed")
+	mManifestDrop   = obs.C("dist.manifest.dropped")
+	mShardCorrupt   = obs.C("dist.shards.corrupt")
+	gShardsPending  = obs.G("dist.shards.pending")
+	gShardsLeased   = obs.G("dist.shards.leased")
+	gShardsDone     = obs.G("dist.shards.done")
+	gShardsMerged   = obs.G("dist.shards.merged")
+	gWorkersLive    = obs.G("dist.workers.live")
+)
+
+// Worker-side telemetry.
+var (
+	mWorkerLeases    = obs.C("dist.worker.leases")
+	mWorkerShardsOK  = obs.C("dist.worker.shards_done")
+	mWorkerFenced    = obs.C("dist.worker.fenced")
+	mWorkerRetries   = obs.C("dist.worker.rpc_retries")
+	mWorkerHeartbeat = obs.C("dist.worker.heartbeats")
+)
+
+// RunConfig is the labeling configuration the coordinator owns and workers
+// inherit through their lease responses, so a fleet can never mix
+// measurement setups. It mirrors the serial labelgen flags.
+type RunConfig struct {
+	Seed  int64   `json:"seed"`
+	Scale float64 `json:"scale"`
+	Runs  int     `json:"runs"`
+	SWP   bool    `json:"swp"`
+}
+
+// timerFor builds the measurement timer for a run configuration, exactly
+// as the serial collection path does (default Itanium-2 machine).
+func timerFor(rc RunConfig) *sim.Timer {
+	cfg := sim.DefaultConfig()
+	cfg.SWP = rc.SWP
+	if rc.Runs > 0 {
+		cfg.Runs = rc.Runs
+	}
+	return sim.NewTimer(cfg)
+}
+
+// collectOptions is the unroll-level equivalent of a RunConfig.
+func collectOptions(rc RunConfig) unroll.CollectOptions {
+	return unroll.CollectOptions{Seed: rc.Seed, Runs: rc.Runs, SWP: rc.SWP}
+}
+
+// defaultDur returns d, or def when d is zero.
+func defaultDur(d, def time.Duration) time.Duration {
+	if d <= 0 {
+		return def
+	}
+	return d
+}

@@ -1,0 +1,244 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"metaopt/internal/faults"
+	"metaopt/unroll"
+	"metaopt/unroll/client"
+)
+
+// testRun is the scaled-down labeling configuration every cluster test
+// uses; small enough that a full serial baseline takes well under a second.
+var testRun = RunConfig{Seed: 7, Scale: 0.02, Runs: 2}
+
+// serialBytes runs the single-process pipeline and returns the dataset
+// bytes the cluster must reproduce exactly.
+func serialBytes(t *testing.T) []byte {
+	t.Helper()
+	corpus, err := unroll.GenerateCorpus(testRun.Seed, testRun.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := unroll.CollectDataset(corpus, collectOptions(testRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// testCoordinator builds a coordinator over dir with test-friendly knobs.
+func testCoordinator(t *testing.T, dir string, mut func(*CoordinatorConfig)) *Coordinator {
+	t.Helper()
+	cfg := CoordinatorConfig{
+		Run:    testRun,
+		Shards: 5,
+		Dir:    dir,
+		Out:    filepath.Join(dir, "dataset.json"),
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// testWorker builds a worker against the coordinator URL with fast retries
+// and heartbeats.
+func testWorker(t *testing.T, name, url string) *Worker {
+	t.Helper()
+	w, err := NewWorker(WorkerConfig{
+		Name:        name,
+		Coordinator: url,
+		Dir:         t.TempDir(),
+		Heartbeat:   25 * time.Millisecond,
+		Retry:       client.RetryPolicy{MaxAttempts: 4, BaseDelay: 5 * time.Millisecond, MaxDelay: 40 * time.Millisecond, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// runWorkers runs n workers concurrently until each exits, failing the
+// test on any non-nil return.
+func runWorkers(t *testing.T, url string, n int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		w := testWorker(t, "w"+string(rune('1'+i)), url)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.Run(context.Background())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+}
+
+// TestDistClusterMatchesSerial is the core guarantee: three workers label
+// five shards through the full lease/heartbeat/upload protocol and the
+// coordinator's merged dataset is byte-identical to the serial pipeline.
+func TestDistClusterMatchesSerial(t *testing.T) {
+	want := serialBytes(t)
+	dir := t.TempDir()
+	c := testCoordinator(t, dir, nil)
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	runWorkers(t, srv.URL, 3)
+
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("all workers exited but the coordinator is not done")
+	}
+	if err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(c.cfg.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("cluster dataset differs from serial run (%d vs %d bytes)", len(got), len(want))
+	}
+	st := c.Status()
+	if st.Done != st.Shards || !st.Merged {
+		t.Fatalf("status after merge: %+v", st)
+	}
+}
+
+// TestDistCoordinatorCrashRestartMidMerge kills the coordinator's merge
+// with an injected fault, then "restarts" it as a fresh Coordinator over
+// the same state dir: the manifest replay must restore every sealed shard
+// and the re-run merge must produce byte-identical output.
+func TestDistCoordinatorCrashRestartMidMerge(t *testing.T) {
+	defer faults.Reset()
+	want := serialBytes(t)
+	dir := t.TempDir()
+	c := testCoordinator(t, dir, nil)
+	srv := httptest.NewServer(c.Handler())
+	runWorkers(t, srv.URL, 2)
+	srv.Close()
+
+	// The merge dies at its fault site — the process would be gone here.
+	faults.MustInstall(faults.Spec{Site: SiteMerge, Kind: faults.KindError, Nth: 1})
+	if err := c.Finish(); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("merge under injected crash: %v, want ErrInjected", err)
+	}
+	faults.Reset()
+	if _, err := os.Stat(filepath.Join(dir, "dataset.json")); !os.IsNotExist(err) {
+		t.Fatal("crashed merge left a dataset behind")
+	}
+
+	// Restart: a brand-new coordinator over the same directory.
+	c2 := testCoordinator(t, dir, nil)
+	select {
+	case <-c2.Done():
+	default:
+		t.Fatal("manifest replay did not restore the sealed shards")
+	}
+	if err := c2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(c2.cfg.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("restarted merge differs from serial run (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestDistWorkerCrashMidShardThenRecovery FAULTS-kills one worker partway
+// through its shard (the labeling site errors, the worker reports the
+// failure and dies) and then lets a healthy worker finish the whole run;
+// the dataset must still match the serial bytes and the dead worker's
+// failure must be on the books.
+func TestDistWorkerCrashMidShardThenRecovery(t *testing.T) {
+	defer faults.Reset()
+	want := serialBytes(t)
+	dir := t.TempDir()
+	c := testCoordinator(t, dir, nil)
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	faults.MustInstall(faults.Spec{Site: "labels.benchmark", Kind: faults.KindError, Nth: 2, Count: 1})
+	w1 := testWorker(t, "crashy", srv.URL)
+	if err := w1.Run(context.Background()); err == nil {
+		t.Fatal("injected labeling fault did not kill the worker")
+	}
+	faults.Reset()
+
+	st := c.Status()
+	if len(st.Workers) == 0 || st.Workers[0].Failures == 0 {
+		t.Fatalf("coordinator did not record the crashed worker's failure: %+v", st)
+	}
+	if st.Leased != 0 {
+		t.Fatalf("failed shard was not released: %+v", st)
+	}
+
+	runWorkers(t, srv.URL, 1)
+	<-c.Done()
+	if err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(c.cfg.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("dataset after worker crash and recovery differs from serial run")
+	}
+}
+
+// TestDistUploadSealRetry injects a coordinator-side seal failure on the
+// first upload; the worker must retry the (idempotent) upload and the run
+// must complete with byte-identical output.
+func TestDistUploadSealRetry(t *testing.T) {
+	defer faults.Reset()
+	want := serialBytes(t)
+	dir := t.TempDir()
+	c := testCoordinator(t, dir, nil)
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	faults.MustInstall(faults.Spec{Site: SiteUpload, Kind: faults.KindError, Nth: 1, Count: 1})
+	runWorkers(t, srv.URL, 2)
+	<-c.Done()
+	if err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(c.cfg.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("dataset after seal retry differs from serial run")
+	}
+	if mWorkerRetries.Value() == 0 {
+		t.Error("worker never retried the failed upload")
+	}
+}

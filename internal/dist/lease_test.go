@@ -1,0 +1,300 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"metaopt/internal/core"
+	"metaopt/unroll"
+)
+
+// fakeClock is an injectable coordinator clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// postJSON drives one protocol endpoint directly, decoding the answer into
+// out and returning the HTTP status.
+func postJSON(t *testing.T, url string, msg, out any) int {
+	t.Helper()
+	body, err := json.Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode
+}
+
+func leaseAs(t *testing.T, url, worker string) *LeaseResponse {
+	t.Helper()
+	var lr LeaseResponse
+	if code := postJSON(t, url+"/v1/dist/lease", &LeaseRequest{Worker: worker}, &lr); code != http.StatusOK {
+		t.Fatalf("lease: HTTP %d", code)
+	}
+	return &lr
+}
+
+// emptyCheckpointBody encodes a config-valid but empty checkpoint; enough
+// to exercise the fence checks, which run before content validation.
+func emptyCheckpointBody(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := core.NewCheckpoint(timerFor(testRun), testRun.Seed).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDistLeaseExpiryFencesZombie is the acceptance scenario: a lease
+// expires, the shard is re-leased under a strictly larger fence, and the
+// original holder's late upload and heartbeat are rejected and counted —
+// the shard is sealed exactly once, by the new holder's fence.
+func TestDistLeaseExpiryFencesZombie(t *testing.T) {
+	clock := newFakeClock()
+	c := testCoordinator(t, t.TempDir(), func(cfg *CoordinatorConfig) {
+		cfg.LeaseTTL = time.Second
+		cfg.Now = clock.Now
+		cfg.MaxWorkerFailures = 100 // supervision is not under test here
+	})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	fencedBefore := mUploadsFenced.Value()
+	expiredBefore := mLeasesExpired.Value()
+
+	l1 := leaseAs(t, srv.URL, "zombie")
+	if l1.Status != StatusLease {
+		t.Fatalf("first lease: %+v", l1)
+	}
+
+	clock.Advance(2 * time.Second)
+	c.ExpireLeases()
+	if got := mLeasesExpired.Value() - expiredBefore; got != 1 {
+		t.Fatalf("expired leases counted %d, want 1", got)
+	}
+
+	l2 := leaseAs(t, srv.URL, "successor")
+	if l2.Status != StatusLease || l2.Shard != l1.Shard {
+		t.Fatalf("re-lease did not grant the expired shard: %+v", l2)
+	}
+	if l2.Fence <= l1.Fence {
+		t.Fatalf("fence not monotonic: %d then %d", l1.Fence, l2.Fence)
+	}
+
+	// The zombie wakes up and tries to finish: heartbeat and upload both
+	// carry the dead fence and must bounce.
+	var ack Ack
+	postJSON(t, srv.URL+"/v1/dist/heartbeat",
+		&HeartbeatRequest{Worker: "zombie", Shard: l1.Shard, Fence: l1.Fence}, &ack)
+	if ack.Status != StatusFenced {
+		t.Fatalf("zombie heartbeat: %+v", ack)
+	}
+	postJSON(t, srv.URL+"/v1/dist/upload",
+		&UploadRequest{Worker: "zombie", Shard: l1.Shard, Fence: l1.Fence, Checkpoint: emptyCheckpointBody(t)}, &ack)
+	if ack.Status != StatusFenced {
+		t.Fatalf("zombie upload: %+v", ack)
+	}
+	if got := mUploadsFenced.Value() - fencedBefore; got != 1 {
+		t.Fatalf("fenced uploads counted %d, want 1", got)
+	}
+
+	st := c.Status()
+	if st.Done != 0 || st.Leased != 1 {
+		t.Fatalf("zombie messages disturbed the shard state: %+v", st)
+	}
+}
+
+// TestDistUploadSealsOnceIdempotently labels one shard by hand, uploads it
+// twice under the sealing fence (second ack must be an idempotent OK), and
+// tries a third time under a stale fence (rejected). The manifest must hold
+// exactly one record and the merge must accept the run — no shard is ever
+// merged twice.
+func TestDistUploadSealsOnceIdempotently(t *testing.T) {
+	c := testCoordinator(t, t.TempDir(), func(cfg *CoordinatorConfig) {
+		cfg.Shards = 1
+	})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	lease := leaseAs(t, srv.URL, "solo")
+	if lease.Status != StatusLease {
+		t.Fatalf("lease: %+v", lease)
+	}
+
+	// Label the leased benchmarks exactly as a worker would.
+	corpus, err := unroll.GenerateCorpus(lease.Config.Seed, lease.Config.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := subCorpusByName(t, corpus, lease.Benchmarks)
+	timer := timerFor(lease.Config)
+	state := core.NewCheckpoint(timer, lease.Config.Seed)
+	pr := &core.Progress{Checkpoint: state, Every: 1 << 30, Save: func(*core.Checkpoint) error { return nil }}
+	if _, err := core.CollectLabelsResumable(sub, timer, lease.Config.Seed, pr); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := state.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	okBefore := mUploadsOK.Value()
+	up := &UploadRequest{Worker: "solo", Shard: lease.Shard, Fence: lease.Fence, Checkpoint: buf.Bytes()}
+	var ack Ack
+	for i := 0; i < 2; i++ {
+		if code := postJSON(t, srv.URL+"/v1/dist/upload", up, &ack); code != http.StatusOK || ack.Status != StatusOK {
+			t.Fatalf("upload %d: HTTP %d %+v", i+1, code, ack)
+		}
+	}
+	if got := mUploadsOK.Value() - okBefore; got != 1 {
+		t.Fatalf("accepted uploads counted %d, want 1 (the retry must be idempotent)", got)
+	}
+	stale := *up
+	stale.Fence = up.Fence + 1
+	postJSON(t, srv.URL+"/v1/dist/upload", &stale, &ack)
+	if ack.Status != StatusFenced {
+		t.Fatalf("stale-fence re-upload of a sealed shard: %+v", ack)
+	}
+
+	recs, err := loadManifest(c.man.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Shard != lease.Shard {
+		t.Fatalf("manifest holds %d records, want exactly 1 for shard %d", len(recs), lease.Shard)
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("single sealed shard did not finish the run")
+	}
+	if err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func subCorpusByName(t *testing.T, corpus *unroll.Corpus, names []string) *unroll.Corpus {
+	t.Helper()
+	byName := map[string]int{}
+	for i, b := range corpus.Benchmarks {
+		byName[b.Name] = i
+	}
+	sub := &unroll.Corpus{}
+	for _, name := range names {
+		i, ok := byName[name]
+		if !ok {
+			t.Fatalf("leased benchmark %q not in corpus", name)
+		}
+		sub.Benchmarks = append(sub.Benchmarks, corpus.Benchmarks[i])
+	}
+	return sub
+}
+
+// TestDistQuarantineAfterFailureBudget burns a worker's whole failure
+// budget through lease expiries and asserts both the protocol answer and
+// Worker.Run's error.
+func TestDistQuarantineAfterFailureBudget(t *testing.T) {
+	clock := newFakeClock()
+	c := testCoordinator(t, t.TempDir(), func(cfg *CoordinatorConfig) {
+		cfg.LeaseTTL = time.Second
+		cfg.Now = clock.Now
+		cfg.MaxWorkerFailures = 2
+		cfg.MaxShardAttempts = 100 // worker budget, not shard budget, under test
+	})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	quarantinedBefore := mQuarantined.Value()
+	for i := 0; i < 2; i++ {
+		if lr := leaseAs(t, srv.URL, "flaky"); lr.Status != StatusLease {
+			t.Fatalf("lease %d: %+v", i+1, lr)
+		}
+		clock.Advance(2 * time.Second)
+		c.ExpireLeases()
+	}
+	if got := mQuarantined.Value() - quarantinedBefore; got != 1 {
+		t.Fatalf("quarantined workers counted %d, want 1", got)
+	}
+	if lr := leaseAs(t, srv.URL, "flaky"); lr.Status != StatusQuarantined {
+		t.Fatalf("post-quarantine lease: %+v", lr)
+	}
+	// A healthy name still gets work.
+	if lr := leaseAs(t, srv.URL, "healthy"); lr.Status != StatusLease {
+		t.Fatalf("healthy worker refused: %+v", lr)
+	}
+
+	// The real worker loop surfaces the quarantine as ErrQuarantined.
+	w := testWorker(t, "flaky", srv.URL)
+	if err := w.Run(context.Background()); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("quarantined Worker.Run: %v, want ErrQuarantined", err)
+	}
+}
+
+// TestDistPoisonShardAbortsRun exhausts one shard's lease-attempt budget
+// (three different workers, so no quarantine interferes) and asserts the
+// run fails closed: stop answers, a sticky error, and a refused merge.
+func TestDistPoisonShardAbortsRun(t *testing.T) {
+	clock := newFakeClock()
+	c := testCoordinator(t, t.TempDir(), func(cfg *CoordinatorConfig) {
+		cfg.Shards = 1
+		cfg.LeaseTTL = time.Second
+		cfg.Now = clock.Now
+		cfg.MaxWorkerFailures = 100
+		cfg.MaxShardAttempts = 2
+	})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	for _, name := range []string{"a", "b"} {
+		if lr := leaseAs(t, srv.URL, name); lr.Status != StatusLease {
+			t.Fatalf("lease by %s: %+v", name, lr)
+		}
+		clock.Advance(2 * time.Second)
+		c.ExpireLeases()
+	}
+	if lr := leaseAs(t, srv.URL, "c"); lr.Status != StatusStop {
+		t.Fatalf("lease past the shard budget: %+v", lr)
+	}
+	if c.Err() == nil {
+		t.Fatal("poison shard did not fail the run")
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("failed run did not close Done")
+	}
+	if err := c.Finish(); err == nil {
+		t.Fatal("merge of a failed run must refuse")
+	}
+}

@@ -1,0 +1,180 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"metaopt/internal/faults"
+)
+
+// ManifestName is the append-only merge manifest inside the coordinator's
+// state directory.
+const ManifestName = "MANIFEST.jsonl"
+
+// ManifestRecord seals one completed shard: which fence completed it, the
+// shard checkpoint file (a bare name inside the state dir), the SHA-256 of
+// that file's bytes, and the benchmarks it covers. A record is only
+// believed on replay if the file still hashes to the digest — a torn or
+// tampered shard file demotes the shard back to pending instead of
+// poisoning the merge.
+type ManifestRecord struct {
+	Shard      int      `json:"shard"`
+	Fence      uint64   `json:"fence"`
+	File       string   `json:"file"`
+	SHA256     string   `json:"sha256"`
+	Benchmarks []string `json:"benchmarks"`
+}
+
+// validate rejects records no coordinator could have written. Replay treats
+// an invalid record as log corruption, not as state.
+func (mr *ManifestRecord) validate() error {
+	if mr.Shard < 0 {
+		return fmt.Errorf("dist: manifest record has negative shard %d", mr.Shard)
+	}
+	if mr.Fence == 0 {
+		return fmt.Errorf("dist: manifest record for shard %d has no fence", mr.Shard)
+	}
+	if mr.File == "" || mr.File != filepath.Base(mr.File) || strings.HasPrefix(mr.File, ".") {
+		return fmt.Errorf("dist: manifest record for shard %d has bad file %q", mr.Shard, mr.File)
+	}
+	if len(mr.SHA256) != sha256.Size*2 {
+		return fmt.Errorf("dist: manifest record for shard %d has bad digest", mr.Shard)
+	}
+	if _, err := hex.DecodeString(mr.SHA256); err != nil {
+		return fmt.Errorf("dist: manifest record for shard %d has non-hex digest", mr.Shard)
+	}
+	if len(mr.Benchmarks) == 0 {
+		return fmt.Errorf("dist: manifest record for shard %d covers no benchmarks", mr.Shard)
+	}
+	return nil
+}
+
+// manifestLog is the coordinator's append handle. Appends are one
+// marshal + one write + one fsync; the record only counts once the line is
+// durable. Appends are not atomic — a crash mid-append leaves a partial
+// trailing line, which loadManifest tolerates by treating the first
+// malformed line as the end of the log (a crash can only tear the tail).
+type manifestLog struct {
+	path string
+	f    *os.File
+}
+
+// openManifest opens (creating if needed) the append-only log in dir. A
+// crash mid-append leaves an unterminated partial line at the tail; it is
+// truncated away here so the next append starts on a fresh line instead of
+// joining onto the torn one. Replay already ignores that tail, so nothing
+// durable is lost.
+func openManifest(dir string) (*manifestLog, error) {
+	path := filepath.Join(dir, ManifestName)
+	if raw, err := os.ReadFile(path); err == nil {
+		if keep := bytes.LastIndexByte(raw, '\n') + 1; keep < len(raw) {
+			if err := os.Truncate(path, int64(keep)); err != nil {
+				return nil, fmt.Errorf("dist: trim torn manifest tail: %w", err)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("dist: open manifest: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dist: open manifest: %w", err)
+	}
+	return &manifestLog{path: path, f: f}, nil
+}
+
+// append seals one record: marshal to a single line, write through the
+// torn-IO fault site, fsync. An error means the record may not be durable
+// and the caller must not mark the shard done.
+func (m *manifestLog) append(rec ManifestRecord) error {
+	if err := rec.validate(); err != nil {
+		return err
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("dist: manifest append: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := faults.WrapWriter(SiteManifestAppend, m.f).Write(line); err != nil {
+		return fmt.Errorf("dist: manifest append: %w", err)
+	}
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("dist: manifest sync: %w", err)
+	}
+	return nil
+}
+
+func (m *manifestLog) close() error { return m.f.Close() }
+
+// loadManifest replays the log at path. The first malformed or invalid
+// line ends the replay (dropped lines are counted on
+// dist.manifest.dropped); duplicate shard entries keep the first. A
+// missing file is an empty log. This is the merged-dataset manifest
+// decoder FuzzMergeManifest drives.
+func loadManifest(path string) ([]ManifestRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dist: read manifest: %w", err)
+	}
+	defer f.Close()
+	return decodeManifest(f)
+}
+
+// decodeManifest is loadManifest over any reader.
+func decodeManifest(r io.Reader) ([]ManifestRecord, error) {
+	var out []ManifestRecord
+	seen := map[int]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxWireBody)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec ManifestRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			mManifestDrop.Inc()
+			break // torn tail: everything from here on never became durable
+		}
+		if err := rec.validate(); err != nil {
+			mManifestDrop.Inc()
+			break
+		}
+		if seen[rec.Shard] {
+			mManifestDrop.Inc()
+			continue
+		}
+		seen[rec.Shard] = true
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil && len(out) == 0 {
+		return nil, fmt.Errorf("dist: scan manifest: %w", err)
+	}
+	return out, nil
+}
+
+// fileSHA256 hashes a shard file's bytes for manifest verification.
+func fileSHA256(path string) (string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// sha256Of hashes in-memory bytes.
+func sha256Of(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,178 @@
+package dist
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"metaopt/internal/faults"
+)
+
+func testRecord(shard int, fence uint64) ManifestRecord {
+	return ManifestRecord{
+		Shard:      shard,
+		Fence:      fence,
+		File:       "shard-0000.ckpt",
+		SHA256:     strings.Repeat("ab", 32),
+		Benchmarks: []string{"bench-a", "bench-b"},
+	}
+}
+
+func manifestLines(t *testing.T, recs ...ManifestRecord) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestManifestReplayToleratesTornTail: a crash can only tear the trailing
+// line; everything before it must replay.
+func TestManifestReplayToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), ManifestName)
+	body := manifestLines(t, testRecord(0, 1), testRecord(1, 2)) + `{"shard":2,"fen`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := loadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Shard != 0 || recs[1].Shard != 1 {
+		t.Fatalf("replayed %+v, want shards 0 and 1", recs)
+	}
+}
+
+// TestManifestReplayStopsAtInvalidRecord: a line that parses but could not
+// have been written by a coordinator (bad digest here) ends the replay —
+// fail towards re-labeling, never towards trusting corrupt state.
+func TestManifestReplayStopsAtInvalidRecord(t *testing.T) {
+	bad := testRecord(1, 2)
+	bad.SHA256 = "not-a-digest"
+	path := filepath.Join(t.TempDir(), ManifestName)
+	body := manifestLines(t, testRecord(0, 1), bad, testRecord(2, 3))
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := loadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Shard != 0 {
+		t.Fatalf("replayed %+v, want only shard 0", recs)
+	}
+}
+
+// TestManifestDuplicateShardKeepsFirst: the first seal of a shard wins;
+// later records for the same shard are dropped, not merged twice.
+func TestManifestDuplicateShardKeepsFirst(t *testing.T) {
+	first := testRecord(0, 1)
+	second := testRecord(0, 9)
+	path := filepath.Join(t.TempDir(), ManifestName)
+	if err := os.WriteFile(path, []byte(manifestLines(t, first, second, testRecord(1, 2))), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := loadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Fence != 1 || recs[1].Shard != 1 {
+		t.Fatalf("replayed %+v, want first record of shard 0 then shard 1", recs)
+	}
+}
+
+// TestManifestMissingFileIsEmptyLog: a fresh state dir replays as empty.
+func TestManifestMissingFileIsEmptyLog(t *testing.T) {
+	recs, err := loadManifest(filepath.Join(t.TempDir(), ManifestName))
+	if err != nil || recs != nil {
+		t.Fatalf("missing manifest: %v, %v", recs, err)
+	}
+}
+
+// TestManifestTornAppendThenReopen injects a torn write into an append (the
+// crash-mid-append case): the append must error, replay must see nothing,
+// and reopening the log must trim the torn tail so the next append lands on
+// its own line and replays cleanly.
+func TestManifestTornAppendThenReopen(t *testing.T) {
+	defer faults.Reset()
+	dir := t.TempDir()
+	m, err := openManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.MustInstall(faults.Spec{Site: SiteManifestAppend, Kind: faults.KindTorn, Bytes: 10, Count: 1})
+	if err := m.append(testRecord(0, 1)); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	m.close()
+	faults.Reset()
+
+	recs, err := loadManifest(filepath.Join(dir, ManifestName))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("torn-only manifest replayed %+v, %v", recs, err)
+	}
+
+	m2, err := openManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.close()
+	if err := m2.append(testRecord(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = loadManifest(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Fence != 2 {
+		t.Fatalf("replay after reopen: %+v, want the one post-crash record", recs)
+	}
+}
+
+// TestDistCorruptShardFileReLeases flips a byte in a sealed shard file; the
+// restarted coordinator must fail its digest check and demote the shard to
+// pending instead of merging corrupt data.
+func TestDistCorruptShardFileReLeases(t *testing.T) {
+	dir := t.TempDir()
+	c := testCoordinator(t, dir, func(cfg *CoordinatorConfig) { cfg.Shards = 2 })
+	srv := httptest.NewServer(c.Handler())
+	runWorkers(t, srv.URL, 1)
+	srv.Close()
+
+	// Corrupt the first sealed shard file.
+	recs, err := loadManifest(filepath.Join(dir, ManifestName))
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("expected 2 sealed shards: %+v, %v", recs, err)
+	}
+	path := filepath.Join(dir, recs[0].File)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	corruptBefore := mShardCorrupt.Value()
+	c2 := testCoordinator(t, dir, func(cfg *CoordinatorConfig) { cfg.Shards = 2 })
+	if got := mShardCorrupt.Value() - corruptBefore; got != 1 {
+		t.Fatalf("corrupt shards counted %d, want 1", got)
+	}
+	st := c2.Status()
+	if st.Done != 1 || st.Pending != 1 {
+		t.Fatalf("corrupt shard was not demoted: %+v", st)
+	}
+	if err := c2.Finish(); err == nil {
+		t.Fatal("merge with a demoted shard must refuse")
+	}
+}

@@ -1,0 +1,94 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"metaopt/internal/atomicio"
+	"metaopt/internal/core"
+	"metaopt/internal/faults"
+	"metaopt/unroll"
+)
+
+// MergedCheckpointName is the fully merged checkpoint the final dataset is
+// reconstituted from, inside the coordinator's state directory.
+const MergedCheckpointName = "merged.ckpt"
+
+// Finish merges every sealed shard checkpoint into one full-run checkpoint
+// and writes the final dataset to cfg.Out. It is a pure function of the
+// sealed shard files, so it is safe to die anywhere inside it: a restarted
+// coordinator replays the manifest, calls Finish again, and writes the
+// same bytes (every file write is atomic, so a half-finished previous
+// attempt is invisible).
+//
+// The reconstitution itself is the serial pipeline's checkpoint-resume
+// path — unroll.CollectDatasetCheckpointed over a checkpoint in which
+// every benchmark is present re-attaches the measurements and recomputes
+// all derived fields exactly as an uninterrupted CollectDataset would,
+// which is what makes the merged dataset byte-identical to a
+// single-process labelgen run.
+func (c *Coordinator) Finish() error {
+	c.mu.Lock()
+	if c.doneN != len(c.shards) {
+		n := c.doneN
+		c.mu.Unlock()
+		return fmt.Errorf("dist: cannot merge with %d/%d shards sealed", n, len(c.shards))
+	}
+	shards := make([]*shardState, len(c.shards))
+	copy(shards, c.shards)
+	c.mu.Unlock()
+
+	// Chaos hook: a latency spec parks the coordinator here so a harness
+	// can SIGKILL it mid-merge; an error spec aborts the merge, which a
+	// restart must complete identically.
+	if err := faults.Check(SiteMerge); err != nil {
+		return fmt.Errorf("dist: merge: %w", err)
+	}
+
+	merged := core.NewCheckpoint(timerFor(c.cfg.Run), c.cfg.Run.Seed)
+	for i, sh := range shards {
+		f, err := os.Open(filepath.Join(c.cfg.Dir, sh.file))
+		if err != nil {
+			return fmt.Errorf("dist: merge shard %d: %w", sh.id, err)
+		}
+		ck, err := core.DecodeCheckpoint(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("dist: merge shard %d: %w", sh.id, err)
+		}
+		// Merge refuses duplicated benchmarks, so a shard can never be
+		// folded in twice even if the state dir was tampered with.
+		if err := merged.Merge(ck); err != nil {
+			return fmt.Errorf("dist: merge shard %d: %w", sh.id, err)
+		}
+		gShardsMerged.Set(int64(i + 1))
+	}
+
+	mergedPath := filepath.Join(c.cfg.Dir, MergedCheckpointName)
+	if err := atomicio.WriteFile(mergedPath, merged.Encode); err != nil {
+		return err
+	}
+
+	ds, err := unroll.CollectDatasetCheckpointed(c.corpus, collectOptions(c.cfg.Run),
+		unroll.CheckpointOptions{Path: mergedPath, Resume: true})
+	if err != nil {
+		return fmt.Errorf("dist: reconstitute merged dataset: %w", err)
+	}
+	var write func(io.Writer) error
+	if c.cfg.Format == "csv" {
+		write = ds.SaveCSV
+	} else {
+		write = ds.Save
+	}
+	if err := atomicio.WriteFile(c.cfg.Out, write); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.mergedFlag = true
+	c.mu.Unlock()
+	log.Printf("dist: merged %d shards into %s (%d examples)", len(shards), c.cfg.Out, ds.Len())
+	return nil
+}

@@ -1,0 +1,220 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Wire protocol between coordinator and workers. Everything is HTTP/JSON,
+// one request type per endpoint under /v1/dist/. The messages are small and
+// boring on purpose: every field is validated on decode, and the fuzzers
+// (FuzzShardWire) hold the decoders to "never panic, and anything accepted
+// round-trips".
+
+// Lease statuses a coordinator can answer.
+const (
+	// StatusLease grants a shard; the response carries the shard, its
+	// fencing token, the benchmark names, and the run configuration.
+	StatusLease = "lease"
+	// StatusWait means no shard is grantable right now (all leased); poll
+	// again after a backoff.
+	StatusWait = "wait"
+	// StatusStop means the run is over (merged or aborted); exit cleanly.
+	StatusStop = "stop"
+	// StatusQuarantined refuses a worker that exhausted its failure budget.
+	StatusQuarantined = "quarantined"
+	// StatusOK acknowledges a heartbeat or upload.
+	StatusOK = "ok"
+	// StatusFenced rejects a stale fencing token: the lease expired and the
+	// shard was (or will be) reassigned. The worker must abandon the shard.
+	StatusFenced = "fenced"
+)
+
+// Wire size limits, enforced at decode.
+const (
+	maxWorkerName = 128
+	maxWireBody   = 1 << 20  // control messages
+	maxUploadBody = 64 << 20 // shard checkpoint uploads
+)
+
+// LeaseRequest asks for a shard.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse answers a lease request; Status selects which fields are
+// meaningful.
+type LeaseResponse struct {
+	Status     string    `json:"status"`
+	Shard      int       `json:"shard,omitempty"`
+	Fence      uint64    `json:"fence,omitempty"`
+	Benchmarks []string  `json:"benchmarks,omitempty"`
+	TTLMillis  int64     `json:"ttl_ms,omitempty"`
+	Config     RunConfig `json:"config,omitempty"`
+}
+
+// HeartbeatRequest renews a lease.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+	Shard  int    `json:"shard"`
+	Fence  uint64 `json:"fence"`
+}
+
+// Ack is the coordinator's answer to a heartbeat, upload, or failure
+// report: StatusOK or StatusFenced, plus a human-readable reason on
+// rejection.
+type Ack struct {
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// UploadRequest delivers a completed shard's checkpoint.
+type UploadRequest struct {
+	Worker     string          `json:"worker"`
+	Shard      int             `json:"shard"`
+	Fence      uint64          `json:"fence"`
+	Checkpoint json.RawMessage `json:"checkpoint"`
+}
+
+// FailRequest reports that a worker could not finish its shard, so the
+// coordinator can re-lease it promptly instead of waiting out the deadline.
+type FailRequest struct {
+	Worker string `json:"worker"`
+	Shard  int    `json:"shard"`
+	Fence  uint64 `json:"fence"`
+	Error  string `json:"error"`
+}
+
+// validWorkerName enforces the naming rules: non-empty, bounded, printable,
+// no whitespace or path separators (names appear in logs, metrics, and
+// file names).
+func validWorkerName(s string) error {
+	if s == "" {
+		return fmt.Errorf("dist: empty worker name")
+	}
+	if len(s) > maxWorkerName {
+		return fmt.Errorf("dist: worker name longer than %d bytes", maxWorkerName)
+	}
+	if strings.ContainsAny(s, " \t\n\r/\\") {
+		return fmt.Errorf("dist: worker name %q contains whitespace or path separators", s)
+	}
+	for _, r := range s {
+		if r < 0x20 || r == 0x7f {
+			return fmt.Errorf("dist: worker name contains control characters")
+		}
+	}
+	return nil
+}
+
+// decodeWire decodes one JSON message with a byte limit, rejecting trailing
+// garbage so a framing bug cannot smuggle a second message.
+func decodeWire(r io.Reader, limit int64, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, limit))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("dist: decode: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("dist: decode: trailing data after message")
+	}
+	return nil
+}
+
+// DecodeLeaseRequest reads and validates a lease request.
+func DecodeLeaseRequest(r io.Reader) (*LeaseRequest, error) {
+	var lr LeaseRequest
+	if err := decodeWire(r, maxWireBody, &lr); err != nil {
+		return nil, err
+	}
+	if err := validWorkerName(lr.Worker); err != nil {
+		return nil, err
+	}
+	return &lr, nil
+}
+
+// DecodeLeaseResponse reads and validates a lease response (worker side).
+func DecodeLeaseResponse(r io.Reader) (*LeaseResponse, error) {
+	var lr LeaseResponse
+	if err := decodeWire(r, maxWireBody, &lr); err != nil {
+		return nil, err
+	}
+	switch lr.Status {
+	case StatusLease:
+		if lr.Shard < 0 || lr.Fence == 0 || len(lr.Benchmarks) == 0 || lr.TTLMillis <= 0 {
+			return nil, fmt.Errorf("dist: malformed lease grant (shard %d, fence %d, %d benchmarks, ttl %dms)",
+				lr.Shard, lr.Fence, len(lr.Benchmarks), lr.TTLMillis)
+		}
+		for _, b := range lr.Benchmarks {
+			if b == "" || len(b) > maxWorkerName {
+				return nil, fmt.Errorf("dist: malformed benchmark name in lease grant")
+			}
+		}
+	case StatusWait, StatusStop, StatusQuarantined:
+	default:
+		return nil, fmt.Errorf("dist: unknown lease status %q", lr.Status)
+	}
+	return &lr, nil
+}
+
+// DecodeHeartbeatRequest reads and validates a heartbeat.
+func DecodeHeartbeatRequest(r io.Reader) (*HeartbeatRequest, error) {
+	var hb HeartbeatRequest
+	if err := decodeWire(r, maxWireBody, &hb); err != nil {
+		return nil, err
+	}
+	if err := validWorkerName(hb.Worker); err != nil {
+		return nil, err
+	}
+	if hb.Shard < 0 || hb.Fence == 0 {
+		return nil, fmt.Errorf("dist: malformed heartbeat (shard %d, fence %d)", hb.Shard, hb.Fence)
+	}
+	return &hb, nil
+}
+
+// DecodeUploadRequest reads and validates a shard upload.
+func DecodeUploadRequest(r io.Reader) (*UploadRequest, error) {
+	var up UploadRequest
+	if err := decodeWire(r, maxUploadBody, &up); err != nil {
+		return nil, err
+	}
+	if err := validWorkerName(up.Worker); err != nil {
+		return nil, err
+	}
+	if up.Shard < 0 || up.Fence == 0 {
+		return nil, fmt.Errorf("dist: malformed upload (shard %d, fence %d)", up.Shard, up.Fence)
+	}
+	if len(up.Checkpoint) == 0 {
+		return nil, fmt.Errorf("dist: upload carries no checkpoint")
+	}
+	return &up, nil
+}
+
+// DecodeFailRequest reads and validates a failure report.
+func DecodeFailRequest(r io.Reader) (*FailRequest, error) {
+	var fr FailRequest
+	if err := decodeWire(r, maxWireBody, &fr); err != nil {
+		return nil, err
+	}
+	if err := validWorkerName(fr.Worker); err != nil {
+		return nil, err
+	}
+	if fr.Shard < 0 || fr.Fence == 0 {
+		return nil, fmt.Errorf("dist: malformed failure report (shard %d, fence %d)", fr.Shard, fr.Fence)
+	}
+	return &fr, nil
+}
+
+// DecodeAck reads and validates an acknowledgement (worker side).
+func DecodeAck(r io.Reader) (*Ack, error) {
+	var a Ack
+	if err := decodeWire(r, maxWireBody, &a); err != nil {
+		return nil, err
+	}
+	switch a.Status {
+	case StatusOK, StatusFenced:
+	default:
+		return nil, fmt.Errorf("dist: unknown ack status %q", a.Status)
+	}
+	return &a, nil
+}

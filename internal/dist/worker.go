@@ -1,0 +1,384 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"metaopt/internal/atomicio"
+	"metaopt/internal/core"
+	"metaopt/internal/loopgen"
+	"metaopt/internal/sim"
+	"metaopt/unroll"
+	"metaopt/unroll/client"
+)
+
+// ErrQuarantined is returned by Worker.Run when the coordinator refuses
+// the worker for exhausting its failure budget.
+var ErrQuarantined = errors.New("dist: worker quarantined by the coordinator")
+
+// errFenced aborts a shard whose lease was revoked; the worker abandons
+// the shard silently and asks for the next one.
+var errFenced = errors.New("dist: lease fenced")
+
+// WorkerConfig configures a labeling worker.
+type WorkerConfig struct {
+	Name        string // worker identity; must be stable across restarts to resume a lease
+	Coordinator string // coordinator base URL, e.g. "http://127.0.0.1:9471"
+	Dir         string // local state dir for per-shard checkpoints
+
+	Heartbeat time.Duration      // lease renewal cadence (default 2s)
+	SaveEvery int                // benchmarks between local checkpoint snapshots (default 1)
+	Retry     client.RetryPolicy // backoff schedule for every coordinator RPC
+	HTTP      *http.Client       // transport (default http.DefaultClient)
+}
+
+func (cfg *WorkerConfig) fill() error {
+	if err := validWorkerName(cfg.Name); err != nil {
+		return err
+	}
+	if cfg.Coordinator == "" {
+		return errors.New("dist: worker needs a coordinator URL")
+	}
+	if cfg.Dir == "" {
+		return errors.New("dist: worker needs a state dir")
+	}
+	cfg.Heartbeat = defaultDur(cfg.Heartbeat, 2*time.Second)
+	if cfg.SaveEvery <= 0 {
+		cfg.SaveEvery = 1
+	}
+	if cfg.HTTP == nil {
+		cfg.HTTP = http.DefaultClient
+	}
+	return nil
+}
+
+// Worker leases shards, labels them with the resumable collector, and
+// uploads the shard checkpoints. Crash-first: any labeling or upload
+// failure is reported to the coordinator (so the shard is re-leased
+// promptly) and then surfaces from Run — the supervisor restarting the
+// process is the recovery path, and the local shard checkpoint makes the
+// restart cheap.
+type Worker struct {
+	cfg    WorkerConfig
+	bo     *client.Backoff
+	corpus *loopgen.Corpus // generated on first lease; config-keyed
+	ckey   RunConfig
+	timer  *sim.Timer
+}
+
+// NewWorker builds a worker.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	return &Worker{cfg: cfg, bo: client.NewBackoff(cfg.Retry)}, nil
+}
+
+// Run leases and labels until the coordinator says the run is over, the
+// context ends, or a shard fails. A clean "stop" returns nil.
+func (w *Worker) Run(ctx context.Context) error {
+	waits := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lease, err := w.lease(ctx)
+		if err != nil {
+			return err
+		}
+		switch lease.Status {
+		case StatusStop:
+			return nil
+		case StatusQuarantined:
+			return ErrQuarantined
+		case StatusWait:
+			waits++
+			hint := time.Duration(lease.TTLMillis) * time.Millisecond / 4
+			if err := w.bo.Sleep(ctx, min(waits, 6), hint); err != nil {
+				return err
+			}
+			continue
+		}
+		waits = 0
+		mWorkerLeases.Inc()
+		err = w.runShard(ctx, lease)
+		switch {
+		case err == nil:
+			mWorkerShardsOK.Inc()
+		case errors.Is(err, errFenced):
+			// The lease was revoked under us; the shard belongs to someone
+			// else now. Not a worker failure.
+			mWorkerFenced.Inc()
+			log.Printf("dist: worker %s: shard %d fenced; moving on", w.cfg.Name, lease.Shard)
+		default:
+			w.reportFail(ctx, lease, err)
+			return fmt.Errorf("dist: worker %s: shard %d: %w", w.cfg.Name, lease.Shard, err)
+		}
+	}
+}
+
+// runShard labels one leased shard and uploads its checkpoint.
+func (w *Worker) runShard(ctx context.Context, lease *LeaseResponse) error {
+	sub, err := w.subCorpus(lease)
+	if err != nil {
+		return err
+	}
+	ckptPath := filepath.Join(w.cfg.Dir, fmt.Sprintf("shard-%04d.ckpt", lease.Shard))
+	state, err := w.loadLocal(ckptPath, lease.Config)
+	if err != nil {
+		return err
+	}
+
+	// Heartbeats renew the lease while labeling runs; a fenced answer trips
+	// the flag, and the next local checkpoint save aborts the collection
+	// (Save errors abort CollectLabelsResumable).
+	var fenced atomic.Bool
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go w.heartbeatLoop(hbCtx, lease, &fenced)
+
+	pr := &core.Progress{
+		Checkpoint: state,
+		Every:      w.cfg.SaveEvery,
+		Save: func(s *core.Checkpoint) error {
+			if fenced.Load() {
+				return errFenced
+			}
+			return atomicio.WriteFile(ckptPath, s.Encode)
+		},
+	}
+	if _, err := core.CollectLabelsResumable(sub, w.timer, lease.Config.Seed, pr); err != nil {
+		if errors.Is(err, errFenced) {
+			return errFenced
+		}
+		return err
+	}
+	stopHB()
+	if fenced.Load() {
+		return errFenced
+	}
+	return w.upload(ctx, lease, state)
+}
+
+// subCorpus regenerates the corpus for the leased configuration (cached
+// across leases) and carves out the leased benchmarks.
+func (w *Worker) subCorpus(lease *LeaseResponse) (*loopgen.Corpus, error) {
+	if w.corpus == nil || w.ckey != lease.Config {
+		c, err := unroll.GenerateCorpus(lease.Config.Seed, lease.Config.Scale)
+		if err != nil {
+			return nil, err
+		}
+		w.corpus = c
+		w.ckey = lease.Config
+		w.timer = timerFor(lease.Config)
+	}
+	byName := make(map[string]*loopgen.Benchmark, len(w.corpus.Benchmarks))
+	for _, b := range w.corpus.Benchmarks {
+		byName[b.Name] = b
+	}
+	sub := &loopgen.Corpus{}
+	for _, name := range lease.Benchmarks {
+		b, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("dist: leased benchmark %q is not in the generated corpus (config drift?)", name)
+		}
+		sub.Benchmarks = append(sub.Benchmarks, b)
+	}
+	return sub, nil
+}
+
+// loadLocal resumes the shard's local checkpoint when present and
+// compatible; an incompatible or unreadable one is discarded (it is a
+// cache of raw measurements, never the source of truth).
+func (w *Worker) loadLocal(path string, rc RunConfig) (*core.Checkpoint, error) {
+	fresh := core.NewCheckpoint(w.timer, rc.Seed)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return fresh, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	state, err := core.DecodeCheckpoint(f)
+	if err != nil || state.Compatible(w.timer, rc.Seed) != nil {
+		log.Printf("dist: worker %s: discarding stale local checkpoint %s", w.cfg.Name, path)
+		return fresh, nil
+	}
+	return state, nil
+}
+
+// heartbeatLoop renews the lease until the shard is finished or the lease
+// is fenced. Transport errors are ignored — a missed heartbeat only risks
+// the deadline, and the next one may get through.
+func (w *Worker) heartbeatLoop(ctx context.Context, lease *LeaseResponse, fenced *atomic.Bool) {
+	t := time.NewTicker(w.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		var ack Ack
+		err := w.post(ctx, "/v1/dist/heartbeat",
+			&HeartbeatRequest{Worker: w.cfg.Name, Shard: lease.Shard, Fence: lease.Fence}, 1, &ack)
+		if err != nil {
+			continue
+		}
+		mWorkerHeartbeat.Inc()
+		if ack.Status == StatusFenced {
+			fenced.Store(true)
+			return
+		}
+	}
+}
+
+// lease asks for work, retrying transport failures on the shared backoff.
+func (w *Worker) lease(ctx context.Context) (*LeaseResponse, error) {
+	var resp LeaseResponse
+	err := w.post(ctx, "/v1/dist/lease", &LeaseRequest{Worker: w.cfg.Name}, w.bo.MaxAttempts(), &resp)
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %s: lease: %w", w.cfg.Name, err)
+	}
+	return &resp, nil
+}
+
+// upload delivers the finished shard, retrying on the shared backoff; a
+// fenced answer abandons the shard.
+func (w *Worker) upload(ctx context.Context, lease *LeaseResponse, state *core.Checkpoint) error {
+	var buf bytes.Buffer
+	if err := state.Encode(&buf); err != nil {
+		return err
+	}
+	req := &UploadRequest{Worker: w.cfg.Name, Shard: lease.Shard, Fence: lease.Fence, Checkpoint: buf.Bytes()}
+	var ack Ack
+	if err := w.post(ctx, "/v1/dist/upload", req, w.bo.MaxAttempts(), &ack); err != nil {
+		return fmt.Errorf("upload: %w", err)
+	}
+	if ack.Status == StatusFenced {
+		return errFenced
+	}
+	return nil
+}
+
+// reportFail tells the coordinator the shard cannot be finished here, so
+// it re-leases promptly instead of waiting out the deadline. Best-effort.
+func (w *Worker) reportFail(ctx context.Context, lease *LeaseResponse, cause error) {
+	var ack Ack
+	// The worker is about to exit; do not inherit a cancelled context.
+	if ctx.Err() != nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	err := w.post(ctx, "/v1/dist/fail",
+		&FailRequest{Worker: w.cfg.Name, Shard: lease.Shard, Fence: lease.Fence, Error: cause.Error()}, 2, &ack)
+	if err != nil {
+		log.Printf("dist: worker %s: failure report undelivered: %v", w.cfg.Name, err)
+	}
+}
+
+// post sends one JSON request to a coordinator endpoint with up to
+// attempts tries, sleeping the client package's full-jitter backoff
+// (honoring Retry-After hints) between them. Retried failures are
+// transport errors and 5xx; a 4xx answer is returned as-is after decoding
+// the Ack when possible.
+func (w *Worker) post(ctx context.Context, path string, msg any, attempts int, out any) error {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			mWorkerRetries.Inc()
+			if err := w.bo.Sleep(ctx, attempt-1, retryHint(lastErr)); err != nil {
+				return err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := w.cfg.HTTP.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		lastErr = w.decodeResponse(resp, out)
+		if lastErr == nil {
+			return nil
+		}
+		var he *httpError
+		if errors.As(lastErr, &he) && he.status < 500 {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+// httpError is a non-2xx coordinator answer.
+type httpError struct {
+	status     int
+	retryAfter time.Duration
+	body       string
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("coordinator answered %d: %s", e.status, e.body)
+}
+
+func retryHint(err error) time.Duration {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.retryAfter
+	}
+	return 0
+}
+
+func (w *Worker) decodeResponse(resp *http.Response, out any) error {
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		he := &httpError{status: resp.StatusCode, body: string(bytes.TrimSpace(raw))}
+		if ra, err := time.ParseDuration(resp.Header.Get("Retry-After") + "s"); err == nil {
+			he.retryAfter = ra
+		}
+		return he
+	}
+	switch v := out.(type) {
+	case *LeaseResponse:
+		lr, err := DecodeLeaseResponse(resp.Body)
+		if err != nil {
+			return err
+		}
+		*v = *lr
+	case *Ack:
+		a, err := DecodeAck(resp.Body)
+		if err != nil {
+			return err
+		}
+		*v = *a
+	default:
+		return decodeWire(resp.Body, maxWireBody, out)
+	}
+	return nil
+}

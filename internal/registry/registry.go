@@ -32,8 +32,9 @@ var (
 	mPromotions  = obs.C("registry.promotions")
 	mCompileErr  = obs.C("registry.compile_errors")
 	mResident    = obs.G("registry.models")
-	mOverBound   = obs.C("registry.overbound")
-	mStateWrites = obs.C("registry.state_writes")
+	mOverBound    = obs.C("registry.overbound")
+	mStateWrites  = obs.C("registry.state_writes")
+	mStateCorrupt = obs.C("registry.state_corrupt")
 )
 
 // Model is one immutable loaded version: the interpreted predictor, its
@@ -413,8 +414,11 @@ func (r *Registry) saveLocked() {
 // Restore reloads the manifest at StatePath, if present, re-inserting
 // every version whose artifact still loads and re-promoting the recorded
 // default. Missing or unreadable artifacts are skipped with a log line;
-// a missing manifest is not an error. Returns the number of versions
-// restored.
+// a missing manifest is not an error; a corrupted manifest degrades to an
+// empty registry (counted on registry.state_corrupt) rather than failing
+// the boot — the state file is a residency cache, and a node that comes up
+// empty can be reloaded, while a node that refuses to boot serves nobody.
+// Returns the number of versions restored.
 func (r *Registry) Restore() (int, error) {
 	if r.cfg.StatePath == "" {
 		return 0, nil
@@ -428,7 +432,9 @@ func (r *Registry) Restore() (int, error) {
 	}
 	var man manifest
 	if err := json.Unmarshal(raw, &man); err != nil {
-		return 0, fmt.Errorf("registry: state %s: %w", r.cfg.StatePath, err)
+		mStateCorrupt.Inc()
+		log.Printf("registry: state %s is corrupt (%v); starting with an empty registry", r.cfg.StatePath, err)
+		return 0, nil
 	}
 	n := 0
 	for _, me := range man.Models {

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"metaopt/internal/obs"
 	"metaopt/unroll"
 )
 
@@ -246,5 +247,51 @@ func TestManifestRestore(t *testing.T) {
 	r3 := New(Config{StatePath: state})
 	if n, err := r3.Restore(); err != nil || n != 2 {
 		t.Fatalf("restore with missing artifact: n=%d err=%v, want 2, nil", n, err)
+	}
+}
+
+// TestRestoreCorruptStateDegradesToEmpty: a garbage state file must not
+// abort the boot — Restore counts the corruption, logs, and comes up as an
+// empty but fully usable registry.
+func TestRestoreCorruptStateDegradesToEmpty(t *testing.T) {
+	ps := testPredictors(t)
+	state := filepath.Join(t.TempDir(), "registry.json")
+	if err := os.WriteFile(state, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	before := obs.C("registry.state_corrupt").Value()
+	r := New(Config{StatePath: state})
+	n, err := r.Restore()
+	if err != nil {
+		t.Fatalf("corrupt state failed the boot: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("restored %d models from garbage, want 0", n)
+	}
+	if got := obs.C("registry.state_corrupt").Value() - before; got != 1 {
+		t.Fatalf("corruption counter moved by %d, want 1", got)
+	}
+
+	// The empty registry is fully usable — and persisting new state heals
+	// the corrupt file for the next boot.
+	if _, err := r.Insert(ps[0], "", "stable", false); err != nil {
+		t.Fatalf("registry unusable after degraded restore: %v", err)
+	}
+	if d := r.Default(); d == nil {
+		t.Fatal("no default after insert into degraded registry")
+	}
+
+	// An unreadable (as opposed to corrupt) state file is still an error:
+	// degrading there would silently drop real state.
+	if _, err := os.Stat(state); err == nil {
+		unreadable := filepath.Join(t.TempDir(), "dir-not-file")
+		if err := os.MkdirAll(filepath.Join(unreadable, "x"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		r2 := New(Config{StatePath: unreadable})
+		if _, err := r2.Restore(); err == nil {
+			t.Fatal("reading a directory as state must fail, not degrade")
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"metaopt/internal/atomicio"
 	"metaopt/internal/core"
+	"metaopt/internal/par"
 )
 
 // CheckpointOptions arms crash-safe, resumable label collection. Progress
@@ -44,6 +45,10 @@ func CollectDatasetCheckpointed(c *Corpus, opt CollectOptions, ck CheckpointOpti
 			if err := state.Compatible(t, opt.Seed); err != nil {
 				return nil, fmt.Errorf("%w (delete %s to start over)", err, ck.Path)
 			}
+			// Worker count is provenance, not configuration: Compatible
+			// ignores it, and the resuming run stamps its own parallelism so
+			// the record follows the last writer.
+			state.Workers = par.Limit()
 		case os.IsNotExist(err):
 			// Nothing to resume from; a fresh run that checkpoints.
 		default:

@@ -9,6 +9,7 @@ import (
 
 	"metaopt/internal/core"
 	"metaopt/internal/faults"
+	"metaopt/internal/par"
 	"metaopt/unroll"
 )
 
@@ -100,6 +101,83 @@ func TestCheckpointResumeRefusesForeignConfig(t *testing.T) {
 	// The matching config still resumes (now a pure reconstitution pass).
 	if _, err := unroll.CollectDatasetCheckpointed(corpus, unroll.CollectOptions{Seed: 1, Runs: 5}, ck); err != nil {
 		t.Errorf("matching config refused: %v", err)
+	}
+}
+
+// TestCheckpointResumeAcrossWorkerCounts: the in-process worker count is
+// provenance, not configuration — labels are deterministic per benchmark
+// regardless of who measures them — so a checkpoint written under one
+// -workers value must resume under another, bit-identically, even though
+// the recorded Workers values differ.
+func TestCheckpointResumeAcrossWorkerCounts(t *testing.T) {
+	defer faults.Reset()
+	defer par.SetLimit(0)
+	corpus, err := unroll.GenerateCorpus(5, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := unroll.CollectOptions{Seed: 1, Runs: 5}
+
+	clean, err := unroll.CollectDataset(corpus, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := clean.Save(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt a single-worker run...
+	par.SetLimit(1)
+	path := filepath.Join(t.TempDir(), "labels.ckpt")
+	ck := unroll.CheckpointOptions{Path: path, Every: 1}
+	faults.MustInstall(faults.Spec{Site: "labels.benchmark", Kind: faults.KindError, Nth: 4})
+	if _, err := unroll.CollectDatasetCheckpointed(corpus, opt, ck); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("interrupted run: %v, want ErrInjected", err)
+	}
+	faults.Reset()
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := core.DecodeCheckpoint(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Workers != 1 {
+		t.Fatalf("checkpoint recorded Workers=%d, want 1", partial.Workers)
+	}
+
+	// ...and resume it with four workers.
+	par.SetLimit(4)
+	ck.Resume = true
+	resumed, err := unroll.CollectDatasetCheckpointed(corpus, opt, ck)
+	if err != nil {
+		t.Fatalf("resume across worker counts refused: %v", err)
+	}
+	var got bytes.Buffer
+	if err := resumed.Save(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("dataset differs across worker counts (%d vs %d bytes)", got.Len(), want.Len())
+	}
+
+	// The finished checkpoint now records the resuming run's worker count —
+	// provenance follows the last writer.
+	f, err = os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := core.DecodeCheckpoint(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Workers != 4 {
+		t.Fatalf("final checkpoint recorded Workers=%d, want 4", final.Workers)
 	}
 }
 
