@@ -5,8 +5,8 @@
 //
 // Modes:
 //
-//	benchdump -out BENCH_7.json            run the suite, write JSON
-//	benchdump -compare old.json -against new.json -gate LOOCVParallel,PredictBatch,ServeTracedRequest
+//	benchdump -out BENCH_10.json           run the suite, write JSON
+//	benchdump -compare old.json -against new.json -gate LOOCVParallel,PredictBatch,DatasetLoad
 //	                                       diff two dumps; non-zero exit if a
 //	                                       gated benchmark regressed by more
 //	                                       than -threshold (default 10%)
@@ -22,12 +22,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"metaopt/internal/analysis"
+	"metaopt/internal/colstore"
 	"metaopt/internal/experiments"
 	"metaopt/internal/lang"
 	"metaopt/internal/machine"
@@ -78,14 +80,17 @@ func daxpyLoop() (*unroll.Loop, error) {
 
 // suite builds the benchmark closures. The corpus-backed entries share one
 // lazily-built environment (the same configuration the bench_test.go
-// harness uses), so the dump prices the benchmarks, not corpus setup.
+// harness uses), so the dump prices the benchmarks, not corpus setup. The
+// cleanup function removes the on-disk dataset fixtures the persistence
+// benchmarks read.
 func suite() ([]struct {
 	name string
 	fn   func(b *testing.B)
-}, error) {
+}, func(), error) {
+	cleanup := func() {}
 	l, err := daxpyLoop()
 	if err != nil {
-		return nil, err
+		return nil, cleanup, err
 	}
 	env := experiments.NewEnv(experiments.Config{
 		Seed: 2005, Scale: 0.15, Runs: 10,
@@ -93,44 +98,44 @@ func suite() ([]struct {
 	})
 	d, err := env.Dataset(false)
 	if err != nil {
-		return nil, err
+		return nil, cleanup, err
 	}
 	fs, err := env.Features()
 	if err != nil {
-		return nil, err
+		return nil, cleanup, err
 	}
 	sel := d.Select(fs.Union)
 	nnc, err := (&nn.Trainer{}).Train(sel)
 	if err != nil {
-		return nil, err
+		return nil, cleanup, err
 	}
 	m := machine.Itanium2()
 	u8, _, err := transform.Unroll(l, 8)
 	if err != nil {
-		return nil, err
+		return nil, cleanup, err
 	}
 
 	// Serve-path predictors: one trained model, its compiled lowering, and
 	// a corpus-derived 256-query batch.
 	pc, err := unroll.GenerateCorpus(5, 0.08)
 	if err != nil {
-		return nil, err
+		return nil, cleanup, err
 	}
 	pd, err := unroll.CollectDataset(pc, unroll.CollectOptions{Seed: 1, Runs: 5})
 	if err != nil {
-		return nil, err
+		return nil, cleanup, err
 	}
 	pred, err := unroll.Train(pd, unroll.TrainOptions{Algorithm: unroll.NearNeighbor})
 	if err != nil {
-		return nil, err
+		return nil, cleanup, err
 	}
 	comp, err := unroll.Compile(pred)
 	if err != nil {
-		return nil, err
+		return nil, cleanup, err
 	}
 	qc, err := unroll.GenerateCorpus(2005, 0.3)
 	if err != nil {
-		return nil, err
+		return nil, cleanup, err
 	}
 	um := unroll.Itanium2()
 	var queries [][]float64
@@ -144,6 +149,34 @@ collect:
 		}
 	}
 
+	// On-disk dataset fixtures for the persistence benchmarks: the same
+	// serve-path dataset written once in the JSON release format and once
+	// in the binary columnar format.
+	fixtures, err := os.MkdirTemp("", "benchdump")
+	if err != nil {
+		return nil, cleanup, err
+	}
+	cleanup = func() { os.RemoveAll(fixtures) }
+	jsonPath := filepath.Join(fixtures, "dataset.json")
+	colPath := filepath.Join(fixtures, "dataset.cols")
+	jf, err := os.Create(jsonPath)
+	if err != nil {
+		return nil, cleanup, err
+	}
+	if err := pd.Save(jf); err != nil {
+		jf.Close()
+		return nil, cleanup, err
+	}
+	if err := jf.Close(); err != nil {
+		return nil, cleanup, err
+	}
+	if err := pd.SaveColumnar(colPath, "benchdump fixture"); err != nil {
+		return nil, cleanup, err
+	}
+	if sel.UsableCols() == nil {
+		sel.BuildColumns()
+	}
+
 	return []struct {
 		name string
 		fn   func(b *testing.B)
@@ -154,6 +187,51 @@ collect:
 				if _, err := ml.LOOCV(tr, sel); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}},
+		{"LOOCVColumnar", func(b *testing.B) {
+			tr := &nn.Trainer{}
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.LOOCV(sel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"DatasetLoadJSON", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := unroll.LoadDatasetFile(jsonPath); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"DatasetLoad", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := unroll.LoadDatasetFile(colPath); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"DatasetScan", func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				r, err := colstore.Open(colPath)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cols := r.Dataset().Cols
+				for c := 0; c < cols.NumChunks(); c++ {
+					for _, col := range cols.Chunk(c).Feats {
+						for _, v := range col {
+							sink += v
+						}
+					}
+				}
+				if err := r.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if sink != sink { // NaN guard keeps the scan from being elided
+				b.Fatal("scan folded to NaN")
 			}
 		}},
 		{"GreedyParallel", func(b *testing.B) {
@@ -267,11 +345,12 @@ collect:
 				}
 			}
 		}},
-	}, nil
+	}, cleanup, nil
 }
 
 func run(out string) error {
-	benches, err := suite()
+	benches, cleanup, err := suite()
+	defer cleanup()
 	if err != nil {
 		return err
 	}
@@ -361,10 +440,10 @@ func compare(basePath, againstPath, gate string, threshold float64) error {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "output file for benchmark results ('-' for stdout)")
+	out := flag.String("out", "BENCH_10.json", "output file for benchmark results ('-' for stdout)")
 	comparePath := flag.String("compare", "", "baseline dump to compare -against (skips running benchmarks)")
 	againstPath := flag.String("against", "", "candidate dump compared to -compare")
-	gate := flag.String("gate", "LOOCVParallel,PredictBatch,ServeTracedRequest", "comma-separated benchmarks whose regression fails the comparison")
+	gate := flag.String("gate", "LOOCVParallel,PredictBatch,ServeTracedRequest,DatasetLoad,LOOCVColumnar", "comma-separated benchmarks whose regression fails the comparison")
 	threshold := flag.Float64("threshold", 0.10, "maximum allowed relative slowdown for gated benchmarks")
 	flag.Parse()
 

@@ -18,7 +18,7 @@
 //
 // Usage:
 //
-//	labelgen [-scale 1.0] [-seed 2005] [-runs 30] [-swp] [-workers n] \
+//	labelgen [-scale 1.0] [-replicate 1] [-seed 2005] [-runs 30] [-swp] [-workers n] \
 //	         [-out dataset.json] [-dump-kernels dir] \
 //	         [-checkpoint labels.ckpt] [-resume] [-checkpoint-every 8] \
 //	         [-manifest out.json] [-debugaddr :0]
@@ -52,7 +52,8 @@ func main() {
 		runs      = flag.Int("runs", 30, "measurement repetitions per timing")
 		swp       = flag.Bool("swp", false, "label with software pipelining enabled")
 		out       = flag.String("out", "dataset.json", "output dataset path")
-		format    = flag.String("format", "json", "output format: json or csv")
+		format    = flag.String("format", "json", "output format: json, csv or colstore (binary columnar)")
+		replicate = flag.Int("replicate", 1, "deterministically replicate the corpus N times (perturbed seeds, \"@rN\" names) for 10x/100x stress datasets")
 		dump      = flag.String("dump-kernels", "", "directory to write kernel sources into (optional)")
 		stats     = flag.Bool("stats", false, "print corpus composition statistics and exit")
 		ckpt      = flag.String("checkpoint", "", "snapshot labeling progress to this file (atomic writes)")
@@ -104,7 +105,7 @@ func main() {
 		return
 	}
 	if *coordAddr != "" {
-		rc := dist.RunConfig{Seed: *seed, Scale: *scale, Runs: *runs, SWP: *swp}
+		rc := dist.RunConfig{Seed: *seed, Scale: *scale, Runs: *runs, SWP: *swp, Replicate: *replicate}
 		stateDir := *dir
 		if stateDir == "" {
 			stateDir = "dist-coordinator"
@@ -126,7 +127,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*scale, *seed, *runs, *swp, *out, *format, *dump, *ckpt, *resume, *ckptEvery); err != nil {
+	if err := run(*scale, *seed, *runs, *swp, *replicate, *out, *format, *dump, *ckpt, *resume, *ckptEvery); err != nil {
 		fmt.Fprintf(os.Stderr, "labelgen: %v\n", err)
 		os.Exit(1)
 	}
@@ -147,9 +148,9 @@ func main() {
 	}
 }
 
-func run(scale float64, seed int64, runs int, swp bool, out, format, dump, ckpt string, resume bool, ckptEvery int) error {
+func run(scale float64, seed int64, runs int, swp bool, replicate int, out, format, dump, ckpt string, resume bool, ckptEvery int) error {
 	sp := obs.Begin("corpus.generate")
-	corpus, err := unroll.GenerateCorpus(seed, scale)
+	corpus, err := unroll.GenerateCorpusReplicated(seed, scale, replicate)
 	sp.End()
 	if err != nil {
 		return err
@@ -190,6 +191,9 @@ func run(scale float64, seed int64, runs int, swp bool, out, format, dump, ckpt 
 		err = atomicio.WriteFile(out, ds.Save)
 	case "csv":
 		err = atomicio.WriteFile(out, ds.SaveCSV)
+	case "colstore":
+		rc := dist.RunConfig{Seed: seed, Scale: scale, Runs: runs, SWP: swp, Replicate: replicate}
+		err = ds.SaveColumnar(out, rc.Fingerprint())
 	default:
 		err = fmt.Errorf("unknown format %q", format)
 	}

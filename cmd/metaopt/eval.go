@@ -10,21 +10,34 @@ import (
 
 func cmdEval(args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
-	data := fs.String("data", "", "training dataset JSON (from labelgen); empty = generate a small corpus")
+	data := fs.String("data", "", "training dataset (labelgen JSON, CSV-free; columnar .cols detected by magic); empty = generate a small corpus")
 	alg := fs.String("alg", "svm", "algorithm: nn, svm, svm-ecoc, smo, regress, tree, boosted-tree")
 	seed := fs.Int64("seed", 1, "seed for corpus generation and selection")
 	selectFeats := fs.Bool("select", true, "run feature selection before evaluating")
+	outOfCore := fs.Bool("outofcore", false, "mmap a columnar -data file and cross-validate without materializing feature rows (nn or svm, needs -select=false)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *outOfCore {
+		if *data == "" {
+			return fmt.Errorf("eval: -outofcore needs a columnar -data file")
+		}
+		if *selectFeats {
+			return fmt.Errorf("eval: -outofcore needs -select=false (feature selection materializes rows)")
+		}
+	}
 	var ds *unroll.Dataset
-	if *data != "" {
-		f, err := os.Open(*data)
+	if *outOfCore {
+		var closeDS func() error
+		var err error
+		ds, closeDS, err = unroll.OpenDatasetColumnar(*data)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		ds, err = unroll.LoadDataset(f)
+		defer closeDS()
+	} else if *data != "" {
+		var err error
+		ds, err = unroll.LoadDatasetFile(*data)
 		if err != nil {
 			return err
 		}

@@ -12,12 +12,7 @@ import (
 // generates and labels a small corpus at the given scale.
 func loadOrCollectDataset(path string, m *unroll.Machine, seed int64, scale float64, runs int) (*unroll.Dataset, error) {
 	if path != "" {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return unroll.LoadDataset(f)
+		return unroll.LoadDatasetFile(path)
 	}
 	fmt.Fprintln(os.Stderr, "metaopt: no -data given; generating and labeling a small corpus (use cmd/labelgen for the full one)")
 	c, err := unroll.GenerateCorpus(seed, scale)

@@ -1,0 +1,235 @@
+package colstore
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"metaopt/internal/ml"
+)
+
+// testDataset builds a deterministic dataset with enough rows to span
+// multiple chunks when chunkRows is small, including awkward float values.
+func testDataset(n, dim int) *ml.Dataset {
+	d := &ml.Dataset{}
+	for j := 0; j < dim; j++ {
+		d.FeatureNames = append(d.FeatureNames, "feat_"+string(rune('a'+j)))
+	}
+	specials := []float64{0, -0, 1.5, math.Inf(1), math.SmallestNonzeroFloat64, -3.25e-200}
+	for i := 0; i < n; i++ {
+		e := ml.Example{
+			Name:      "loop" + string(rune('0'+i%10)),
+			Benchmark: "bench",
+			Label:     1 + i%ml.NumClasses,
+		}
+		if i%7 == 0 {
+			e.Benchmark = "" // empty strings must frame cleanly
+		}
+		for j := 0; j < dim; j++ {
+			e.Features = append(e.Features, specials[(i*dim+j)%len(specials)]+float64(i)*0.125)
+		}
+		for u := 1; u <= Factors; u++ {
+			e.Cycles[u] = int64(i*100 + u)
+		}
+		d.Examples = append(d.Examples, e)
+	}
+	return d
+}
+
+// encode writes d through the streaming writer into memory.
+func encode(t testing.TB, d *ml.Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, d.FeatureNames, "test-config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Examples {
+		if err := w.Append(&d.Examples[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func assertEqual(t *testing.T, want, got *ml.Dataset) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("rows: got %d want %d", got.Len(), want.Len())
+	}
+	if len(got.FeatureNames) != len(want.FeatureNames) {
+		t.Fatalf("feature names: got %d want %d", len(got.FeatureNames), len(want.FeatureNames))
+	}
+	for i := range want.Examples {
+		w, g := &want.Examples[i], &got.Examples[i]
+		if g.Name != w.Name || g.Benchmark != w.Benchmark || g.Label != w.Label || g.Cycles != w.Cycles {
+			t.Fatalf("row %d metadata mismatch: got %+v want %+v", i, g, w)
+		}
+		for j := range w.Features {
+			if math.Float64bits(g.Features[j]) != math.Float64bits(w.Features[j]) {
+				t.Fatalf("row %d feature %d: got %x want %x", i, j,
+					math.Float64bits(g.Features[j]), math.Float64bits(w.Features[j]))
+			}
+		}
+	}
+}
+
+func TestRoundTripBytes(t *testing.T) {
+	d := testDataset(300, 5)
+	img := encode(t, d)
+	r, err := OpenBytes(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Rows() != 300 {
+		t.Fatalf("rows = %d", r.Rows())
+	}
+	if m := r.Meta(); m.Config != "test-config" || m.Fingerprint != ConfigFingerprint("test-config") {
+		t.Fatalf("meta config/fingerprint mismatch: %+v", m)
+	}
+	assertEqual(t, d, r.Materialize())
+
+	// The out-of-core view serves the same values through the columns.
+	lite := r.Dataset()
+	if lite.HasRows() {
+		t.Fatal("lite dataset materialized rows")
+	}
+	if err := lite.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cols := lite.UsableCols()
+	if cols == nil {
+		t.Fatal("lite dataset has no usable columns")
+	}
+	for i := range d.Examples {
+		for j := range d.Examples[i].Features {
+			if math.Float64bits(cols.At(i, j)) != math.Float64bits(d.Examples[i].Features[j]) {
+				t.Fatalf("column value (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestRoundTripFileMmap(t *testing.T) {
+	d := testDataset(100, 3)
+	path := filepath.Join(t.TempDir(), "ds.mocs")
+	if err := WriteDataset(path, d, "cfg"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqual(t, d, got)
+
+	// Zero-copy open: values must survive reads after the Reader closes a
+	// *different* reader, and the materialized copy must survive Close.
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lite := r.Dataset()
+	if lite.UsableCols() == nil {
+		t.Fatal("no usable columns on mmap dataset")
+	}
+	keep := r.Materialize()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertEqual(t, d, keep)
+}
+
+func TestMultiChunk(t *testing.T) {
+	// More rows than one chunk holds: the directory must record several
+	// chunks and the reassembled row order must be exact.
+	d := testDataset(DefaultChunkRows+513, 2)
+	img := encode(t, d)
+	r, err := OpenBytes(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if n := r.Dataset().UsableCols().NumChunks(); n != 2 {
+		t.Fatalf("chunks = %d, want 2", n)
+	}
+	assertEqual(t, d, r.Materialize())
+}
+
+func TestRejectsCorruption(t *testing.T) {
+	img := encode(t, testDataset(50, 4))
+	cases := map[string][]byte{
+		"empty":      {},
+		"truncated":  img[:len(img)/2],
+		"torn tail":  img[:len(img)-3],
+		"no header":  img[4:],
+		"one short":  img[:len(img)-1],
+		"just magic": img[:4],
+	}
+	for name, b := range cases {
+		if _, err := OpenBytes(b); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Any single flipped byte must fail the CRC (or a structural check).
+	for _, off := range []int{0, 5, 17, len(img) / 2, len(img) - 20, len(img) - 5} {
+		mut := append([]byte(nil), img...)
+		mut[off] ^= 0x40
+		if _, err := OpenBytes(mut); err == nil {
+			t.Errorf("flip at %d: accepted", off)
+		}
+	}
+}
+
+func TestRejectsTornAtomicWrite(t *testing.T) {
+	// A crash mid-write leaves either no file or the old one — never a
+	// torn new file — because the writer streams through atomicio.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ds.mocs")
+	d := testDataset(20, 2)
+	if err := WriteDataset(path, d, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDataset(path, testDataset(30, 2), ""); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 30 {
+		t.Fatalf("rows = %d, want 30", got.Len())
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("%d directory entries, want 1 (no temp litter)", len(ents))
+	}
+}
+
+func FuzzColstoreLoad(f *testing.F) {
+	f.Add(encode(f, testDataset(10, 2)))
+	f.Add([]byte("MOCS"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := OpenBytes(b)
+		if err != nil {
+			return
+		}
+		// A file that parses must serve a self-consistent dataset.
+		d := r.Materialize()
+		if d.Len() > 0 {
+			if err := d.Validate(); err != nil {
+				t.Fatalf("parsed file fails validation: %v", err)
+			}
+		}
+		r.Close()
+	})
+}

@@ -1,0 +1,24 @@
+//go:build linux
+
+package colstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file read-only. The kernel pages columns in on
+// demand and evicts them under pressure, which is what keeps out-of-core
+// scans over a 100× corpus inside a fixed RSS budget.
+func mmapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size <= 0 {
+		return nil, false, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+func munmap(b []byte) error { return syscall.Munmap(b) }

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package colstore
+
+import "os"
+
+// mmapFile reports mapping unavailable on this platform; Open falls back to
+// reading the file into an aligned heap buffer. Column views still work —
+// they just are not demand-paged.
+func mmapFile(f *os.File, size int64) ([]byte, bool, error) {
+	return nil, false, nil
+}
+
+func munmap(b []byte) error { return nil }

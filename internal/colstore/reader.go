@@ -1,0 +1,330 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"unsafe"
+
+	"metaopt/internal/ml"
+)
+
+// Reader is an opened columnar dataset file. Feature columns are served
+// zero-copy as views over the underlying bytes — the mmap'd file on Linux, a
+// read-into-memory buffer elsewhere — while the small per-example metadata
+// (names, labels, cycles) is decoded onto the heap once at open. Column
+// views stay valid until Close.
+type Reader struct {
+	data   []byte
+	mapped bool
+	meta   Meta
+	rows   int
+
+	cols     *ml.Columns
+	examples []ml.Example // metadata only: Features nil
+	closed   bool
+}
+
+// Open maps the file at path and validates it end to end: header magic and
+// version, meta JSON, chunk directory, per-chunk bounds, and the footer CRC
+// over the whole body. A truncated or torn file fails here, never later.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("colstore: %w", err)
+	}
+	data, mapped, err := mmapFile(f, st.Size())
+	if err != nil {
+		return nil, fmt.Errorf("colstore: mmap %s: %w", path, err)
+	}
+	if !mapped {
+		// No mmap on this platform: fall back to one aligned read.
+		data = alignedBuf(int(st.Size()))
+		if _, err := io.ReadFull(f, data); err != nil {
+			return nil, fmt.Errorf("colstore: read %s: %w", path, err)
+		}
+	}
+	r, err := parse(data, mapped)
+	if err != nil {
+		if mapped {
+			munmap(data)
+		}
+		return nil, fmt.Errorf("colstore: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// OpenBytes parses an in-memory image of a columnar file (tests, fuzzing).
+// The bytes are copied into an 8-byte-aligned buffer when needed, since the
+// zero-copy column views reinterpret them as float64/int64 slabs.
+func OpenBytes(b []byte) (*Reader, error) {
+	if len(b) > 0 && uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+		ab := alignedBuf(len(b))
+		copy(ab, b)
+		b = ab
+	}
+	r, err := parse(b, false)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: %w", err)
+	}
+	return r, nil
+}
+
+// alignedBuf allocates n bytes guaranteed to start on an 8-byte boundary by
+// carving them out of a []uint64.
+func alignedBuf(n int) []byte {
+	words := make([]uint64, (n+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(words))), n)
+}
+
+// parse validates the image and decodes metadata. Every offset and length is
+// bounds-checked before use — a corrupt file must produce an error, not a
+// panic — and the footer CRC is verified first so all later checks run over
+// bytes known to be exactly what the writer emitted.
+func parse(data []byte, mapped bool) (*Reader, error) {
+	if len(data) < headerFixed+footerFixed {
+		return nil, fmt.Errorf("file too short (%d bytes)", len(data))
+	}
+	if binary.LittleEndian.Uint32(data[len(data)-4:]) != tailMagic {
+		return nil, fmt.Errorf("missing tail magic: truncated or torn file")
+	}
+	wantCRC := binary.LittleEndian.Uint32(data[len(data)-8:])
+	if got := crc32.Checksum(data[:len(data)-8], crcTable); got != wantCRC {
+		return nil, fmt.Errorf("crc mismatch: file %08x, computed %08x", wantCRC, got)
+	}
+	if m := binary.LittleEndian.Uint32(data[0:]); m != headMagic {
+		return nil, fmt.Errorf("bad magic %08x", m)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != Version {
+		return nil, fmt.Errorf("unsupported version %d", v)
+	}
+	metaLen := binary.LittleEndian.Uint64(data[8:])
+	if metaLen > uint64(len(data)-headerFixed-footerFixed) {
+		return nil, fmt.Errorf("meta length %d out of bounds", metaLen)
+	}
+	r := &Reader{data: data, mapped: mapped}
+	if err := json.Unmarshal(data[headerFixed:headerFixed+int(metaLen)], &r.meta); err != nil {
+		return nil, fmt.Errorf("decode meta: %w", err)
+	}
+	dim := len(r.meta.FeatureNames)
+	if dim == 0 {
+		return nil, fmt.Errorf("meta has no feature names")
+	}
+	if r.meta.Factors != Factors {
+		return nil, fmt.Errorf("file has %d cycles columns, want %d", r.meta.Factors, Factors)
+	}
+
+	totalRows := binary.LittleEndian.Uint64(data[len(data)-16:])
+	chunkCount := binary.LittleEndian.Uint64(data[len(data)-24:])
+	dirLen := chunkCount * 16
+	dirOff := uint64(len(data)) - footerFixed - dirLen
+	if chunkCount > uint64(len(data))/16 || dirOff > uint64(len(data)) {
+		return nil, fmt.Errorf("chunk count %d out of bounds", chunkCount)
+	}
+	if totalRows > uint64(len(data))/8 {
+		return nil, fmt.Errorf("row count %d out of bounds", totalRows)
+	}
+
+	r.rows = int(totalRows)
+	r.examples = make([]ml.Example, 0, r.rows)
+	labels := make([]int, 0, r.rows)
+	chunks := make([]ml.ColChunk, 0, chunkCount)
+	start := 0
+	for c := uint64(0); c < chunkCount; c++ {
+		off := binary.LittleEndian.Uint64(data[dirOff+c*16:])
+		rows := binary.LittleEndian.Uint64(data[dirOff+c*16+8:])
+		ch, err := parseChunk(data[:dirOff], off, rows, dim, start, r)
+		if err != nil {
+			return nil, fmt.Errorf("chunk %d: %w", c, err)
+		}
+		chunks = append(chunks, ch)
+		for _, l := range r.examples[start : start+int(rows)] {
+			labels = append(labels, l.Label)
+		}
+		start += int(rows)
+	}
+	if start != r.rows {
+		return nil, fmt.Errorf("chunks hold %d rows, footer says %d", start, r.rows)
+	}
+	cols, err := ml.NewColumns(dim, labels, chunks)
+	if err != nil {
+		return nil, err
+	}
+	r.cols = cols
+	return r, nil
+}
+
+// parseChunk validates one chunk at off, decodes its name/label/cycles
+// metadata into r.examples, and returns the zero-copy feature column views.
+func parseChunk(data []byte, off, rows uint64, dim, start int, r *Reader) (ml.ColChunk, error) {
+	var ch ml.ColChunk
+	if off%8 != 0 || off+chunkFixed > uint64(len(data)) {
+		return ch, fmt.Errorf("offset %d out of bounds", off)
+	}
+	if m := binary.LittleEndian.Uint32(data[off:]); m != chunkMagic {
+		return ch, fmt.Errorf("bad chunk magic %08x", m)
+	}
+	n := uint64(binary.LittleEndian.Uint32(data[off+4:]))
+	if n != rows || n == 0 {
+		return ch, fmt.Errorf("chunk says %d rows, directory says %d", n, rows)
+	}
+	namesLen := binary.LittleEndian.Uint64(data[off+8:])
+	slabBytes := rows * 8
+	// Bound-check the chunk body piecewise with division, so no adversarial
+	// length can overflow the arithmetic: names blob + padding, then
+	// dim feature slabs + label slab + Factors cycles slabs.
+	rem := uint64(len(data)) - off - chunkFixed
+	pad := uint64(pad8(int(namesLen % 8)))
+	if namesLen > rem || namesLen+pad > rem {
+		return ch, fmt.Errorf("chunk body out of bounds")
+	}
+	rem -= namesLen + pad
+	if slabBytes > rem || uint64(dim+1+Factors) > rem/slabBytes {
+		return ch, fmt.Errorf("chunk body out of bounds")
+	}
+
+	names := data[off+chunkFixed : off+chunkFixed+namesLen]
+	p := off + chunkFixed + namesLen + pad
+	ch.Start = start
+	ch.Rows = int(rows)
+	ch.Feats = make([][]float64, dim)
+	for j := 0; j < dim; j++ {
+		ch.Feats[j] = float64View(data[p : p+slabBytes])
+		p += slabBytes
+	}
+	labelCol := int64View(data[p : p+slabBytes])
+	p += slabBytes
+	var cycleCols [Factors][]int64
+	for u := 0; u < Factors; u++ {
+		cycleCols[u] = int64View(data[p : p+slabBytes])
+		p += slabBytes
+	}
+
+	for i := 0; i < int(rows); i++ {
+		bench, rest, err := readString(names)
+		if err != nil {
+			return ch, fmt.Errorf("row %d benchmark: %w", i, err)
+		}
+		name, rest, err := readString(rest)
+		if err != nil {
+			return ch, fmt.Errorf("row %d name: %w", i, err)
+		}
+		names = rest
+		e := ml.Example{Name: name, Benchmark: bench, Label: int(labelCol[i])}
+		if e.Label < 1 || e.Label > ml.NumClasses {
+			return ch, fmt.Errorf("row %d has label %d", i, e.Label)
+		}
+		for u := 1; u <= Factors; u++ {
+			e.Cycles[u] = cycleCols[u-1][i]
+		}
+		r.examples = append(r.examples, e)
+	}
+	if len(names) != 0 {
+		return ch, fmt.Errorf("%d trailing bytes in names blob", len(names))
+	}
+	return ch, nil
+}
+
+// readString decodes one uvarint-framed string and returns the remainder.
+func readString(b []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 || l > uint64(len(b)-n) {
+		return "", nil, fmt.Errorf("bad string frame")
+	}
+	return string(b[n : n+int(l)]), b[n+int(l):], nil
+}
+
+// float64View reinterprets 8-aligned little-endian bytes as a float64 slice
+// without copying. Only correct on little-endian hosts — every platform this
+// repo targets — and for b produced at 8-byte file offsets over an aligned
+// base, which parse guarantees.
+func float64View(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func int64View(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// Meta returns the file's self-description.
+func (r *Reader) Meta() Meta { return r.meta }
+
+// Rows returns the total example count.
+func (r *Reader) Rows() int { return r.rows }
+
+// Dataset returns the out-of-core view: examples carry name, benchmark,
+// label, and cycles, but no feature rows — the attached column backing,
+// aliasing the opened file, is the sole feature storage. The dataset is
+// valid only until Close; training paths that need materialized rows must
+// use Materialize instead.
+func (r *Reader) Dataset() *ml.Dataset {
+	return &ml.Dataset{
+		Examples:     r.examples,
+		FeatureNames: append([]string(nil), r.meta.FeatureNames...),
+		Cols:         r.cols,
+	}
+}
+
+// Materialize returns a fully heap-resident dataset: feature rows copied out
+// of the file plus a heap column backing, so it outlives Close. This is the
+// load path for ordinary-sized corpora — one sequential pass over the file.
+func (r *Reader) Materialize() *ml.Dataset {
+	d := &ml.Dataset{
+		Examples:     make([]ml.Example, r.rows),
+		FeatureNames: append([]string(nil), r.meta.FeatureNames...),
+	}
+	copy(d.Examples, r.examples)
+	dim := r.cols.Dim
+	slab := make([]float64, r.rows*dim)
+	for i := range d.Examples {
+		d.Examples[i].Features = slab[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	for c := 0; c < r.cols.NumChunks(); c++ {
+		ch := r.cols.Chunk(c)
+		for j, col := range ch.Feats {
+			for k, v := range col {
+				d.Examples[ch.Start+k].Features[j] = v
+			}
+		}
+	}
+	d.BuildColumns()
+	return d
+}
+
+// Close releases the mapping. Column views handed out by Dataset become
+// invalid; datasets from Materialize are unaffected.
+func (r *Reader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.mapped {
+		return munmap(r.data)
+	}
+	return nil
+}
+
+// Load opens path, materializes the dataset onto the heap, and closes the
+// mapping — the drop-in replacement for JSON LoadDataset.
+func Load(path string) (*ml.Dataset, error) {
+	r, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return r.Materialize(), nil
+}

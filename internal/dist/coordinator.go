@@ -21,7 +21,6 @@ import (
 	"metaopt/internal/faults"
 	"metaopt/internal/loopgen"
 	"metaopt/internal/obs"
-	"metaopt/unroll"
 )
 
 // Shard lifecycle. pending shards are grantable; leased shards have a live
@@ -38,7 +37,7 @@ type CoordinatorConfig struct {
 	Shards int       // shard count target (clamped to the benchmark count; default 16)
 	Dir    string    // state directory: shard files, MANIFEST.jsonl, merged checkpoint
 	Out    string    // final dataset path
-	Format string    // "json" or "csv" (default json)
+	Format string    // "json", "csv" or "colstore" (default json)
 
 	LeaseTTL          time.Duration // heartbeat-extended lease deadline (default 10s)
 	MaxWorkerFailures int           // expiries+reported failures before quarantine (default 3)
@@ -64,7 +63,7 @@ func (cfg *CoordinatorConfig) fill() error {
 	switch cfg.Format {
 	case "":
 		cfg.Format = "json"
-	case "json", "csv":
+	case "json", "csv", "colstore":
 	default:
 		return fmt.Errorf("dist: unknown dataset format %q", cfg.Format)
 	}
@@ -127,7 +126,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	corpus, err := unroll.GenerateCorpus(cfg.Run.Seed, cfg.Run.Scale)
+	corpus, err := corpusFor(cfg.Run)
 	if err != nil {
 		return nil, err
 	}
@@ -610,7 +609,7 @@ func (c *Coordinator) shardLocked(id int) *shardState {
 // must be config-compatible with the run and cover exactly the shard's
 // benchmarks.
 func (c *Coordinator) validateShardCheckpointLocked(sh *shardState, ck *core.Checkpoint) error {
-	want := RunConfig{Seed: c.cfg.Run.Seed, Scale: c.cfg.Run.Scale, Runs: c.cfg.Run.Runs, SWP: c.cfg.Run.SWP}
+	want := RunConfig{Seed: c.cfg.Run.Seed, Scale: c.cfg.Run.Scale, Runs: c.cfg.Run.Runs, SWP: c.cfg.Run.SWP, Replicate: c.cfg.Run.Replicate}
 	expect := core.NewCheckpoint(timerFor(want), want.Seed)
 	if err := expect.CompatibleWith(ck); err != nil {
 		return err

@@ -33,6 +33,7 @@
 package dist
 
 import (
+	"fmt"
 	"time"
 
 	"metaopt/internal/obs"
@@ -92,6 +93,24 @@ type RunConfig struct {
 	Scale float64 `json:"scale"`
 	Runs  int     `json:"runs"`
 	SWP   bool    `json:"swp"`
+
+	// Replicate deterministically replicates the corpus (loopgen replica
+	// seeds + "@rN" benchmark names); 0 or 1 is a single copy. Part of the
+	// wire config so workers label the same 10×/100× corpus the
+	// coordinator sharded.
+	Replicate int `json:"replicate,omitempty"`
+}
+
+// Fingerprint renders the config as its canonical provenance string — the
+// value recorded (and hashed) in columnar dataset headers.
+func (rc RunConfig) Fingerprint() string {
+	return fmt.Sprintf("seed=%d scale=%g runs=%d swp=%t replicate=%d",
+		rc.Seed, rc.Scale, rc.Runs, rc.SWP, rc.Replicate)
+}
+
+// corpusFor generates the corpus a run configuration describes.
+func corpusFor(rc RunConfig) (*unroll.Corpus, error) {
+	return unroll.GenerateCorpusReplicated(rc.Seed, rc.Scale, rc.Replicate)
 }
 
 // timerFor builds the measurement timer for a run configuration, exactly

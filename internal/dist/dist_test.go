@@ -242,3 +242,50 @@ func TestDistUploadSealRetry(t *testing.T) {
 		t.Error("worker never retried the failed upload")
 	}
 }
+
+// TestDistClusterColstoreReplicated drives the two new wire-config paths
+// end to end: the coordinator shards a replicated (2x) corpus and merges
+// into the binary columnar format, and the result must decode to the same
+// dataset a serial replicated run produces.
+func TestDistClusterColstoreReplicated(t *testing.T) {
+	run := testRun
+	run.Replicate = 2
+	corpus, err := corpusFor(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := unroll.CollectDataset(corpus, collectOptions(run))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := buf.Bytes()
+
+	dir := t.TempDir()
+	c := testCoordinator(t, dir, func(cfg *CoordinatorConfig) {
+		cfg.Run = run
+		cfg.Format = "colstore"
+		cfg.Out = filepath.Join(dir, "dataset.cols")
+	})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	runWorkers(t, srv.URL, 2)
+	if err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := unroll.LoadDatasetFile(c.cfg.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := merged.Save(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("columnar cluster dataset differs from serial replicated run (%d vs %d bytes)", got.Len(), len(want))
+	}
+}

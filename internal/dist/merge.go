@@ -2,7 +2,6 @@ package dist
 
 import (
 	"fmt"
-	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -77,14 +76,20 @@ func (c *Coordinator) Finish() error {
 	if err != nil {
 		return fmt.Errorf("dist: reconstitute merged dataset: %w", err)
 	}
-	var write func(io.Writer) error
-	if c.cfg.Format == "csv" {
-		write = ds.SaveCSV
-	} else {
-		write = ds.Save
-	}
-	if err := atomicio.WriteFile(c.cfg.Out, write); err != nil {
-		return err
+	switch c.cfg.Format {
+	case "colstore":
+		// SaveColumnar streams through atomicio itself.
+		if err := ds.SaveColumnar(c.cfg.Out, c.cfg.Run.Fingerprint()); err != nil {
+			return err
+		}
+	case "csv":
+		if err := atomicio.WriteFile(c.cfg.Out, ds.SaveCSV); err != nil {
+			return err
+		}
+	default:
+		if err := atomicio.WriteFile(c.cfg.Out, ds.Save); err != nil {
+			return err
+		}
 	}
 	c.mu.Lock()
 	c.mergedFlag = true

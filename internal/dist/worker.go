@@ -18,7 +18,6 @@ import (
 	"metaopt/internal/core"
 	"metaopt/internal/loopgen"
 	"metaopt/internal/sim"
-	"metaopt/unroll"
 	"metaopt/unroll/client"
 )
 
@@ -177,7 +176,7 @@ func (w *Worker) runShard(ctx context.Context, lease *LeaseResponse) error {
 // across leases) and carves out the leased benchmarks.
 func (w *Worker) subCorpus(lease *LeaseResponse) (*loopgen.Corpus, error) {
 	if w.corpus == nil || w.ckey != lease.Config {
-		c, err := unroll.GenerateCorpus(lease.Config.Seed, lease.Config.Scale)
+		c, err := corpusFor(lease.Config)
 		if err != nil {
 			return nil, err
 		}

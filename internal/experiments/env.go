@@ -129,6 +129,9 @@ func (e *Env) Dataset(swpOn bool) (*ml.Dataset, error) {
 			sp.End()
 			return nil, fmt.Errorf("experiments: dataset: %w", err)
 		}
+		// Attach the column-major view so every LOOCV and greedy-selection
+		// pass in the experiment suite runs the columnar fast path.
+		d.BuildColumns()
 		sp.End()
 		*cached = d
 	}

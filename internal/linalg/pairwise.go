@@ -41,6 +41,26 @@ func PairwiseSqDistInto(rows [][]float64, out []float64) []float64 {
 	return out
 }
 
+// PairwiseSqDistColsInto fills out with the n×n squared-distance matrix of
+// the dataset whose features are the given columns (cols[j][i] = feature j of
+// example i), and returns it (out is grown when too small). The matrix is
+// zeroed and then built one AddSqColumn per feature, in column order — the
+// identical left-to-right float addition sequence SqDist performs over a
+// concatenated row, so the result is bit-identical to PairwiseSqDistInto on
+// the equivalent rows while reading memory as dim sequential column scans.
+func PairwiseSqDistColsInto(cols [][]float64, n int, out []float64) []float64 {
+	if cap(out) < n*n {
+		out = make([]float64, n*n)
+	} else {
+		out = out[:n*n]
+	}
+	clear(out)
+	for _, col := range cols {
+		AddSqColumn(out, col)
+	}
+	return out
+}
+
 // AddSqColumn adds the single-feature squared-distance contribution of col
 // into the n×n matrix dst: dst[i,j] += (col[i]−col[j])². With squared
 // Euclidean distance additive across features, repeated calls build the

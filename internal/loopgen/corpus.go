@@ -55,6 +55,14 @@ type Options struct {
 	// LoopsScale scales the number of loops per benchmark (1.0 gives the
 	// full ~3500-loop corpus; tests use smaller values).
 	LoopsScale float64
+
+	// Replicate deterministically replicates the whole corpus: replica
+	// r ≥ 2 is regenerated from a seed perturbed by the replica index and
+	// its benchmarks renamed "name@rN", so every replica contributes
+	// distinct loops and an independent measurement-noise stream (noise is
+	// seeded per benchmark name). 0 or 1 means a single copy; 10 or 100
+	// builds the reproducible stress corpora for out-of-core training.
+	Replicate int
 }
 
 // profile drives generation for one benchmark.
@@ -156,14 +164,40 @@ var perfectNames = []string{"adm", "arc2d", "bdna", "dyfesm", "flo52", "mdg", "o
 
 var kernelNames = []string{"livermore", "linpack", "fft", "matmul", "stencil3", "sor", "idct", "fir", "viterbi", "cholesky"}
 
-// Generate builds the corpus deterministically from the seed.
+// Generate builds the corpus deterministically from the seed. With
+// Options.Replicate > 1 the full benchmark list is generated once per
+// replica, each from its own perturbed seed.
 func Generate(opt Options) (*Corpus, error) {
-	scale := opt.LoopsScale
+	c := &Corpus{}
+	reps := opt.Replicate
+	if reps < 1 {
+		reps = 1
+	}
+	for r := 0; r < reps; r++ {
+		seed := opt.Seed
+		suffix := ""
+		if r > 0 {
+			// Odd multiplier (the signed bits of the 64-bit golden ratio)
+			// spreads replica seeds across the space; replica numbering
+			// in names is 1-based to match the CLI flag.
+			seed = opt.Seed + int64(r)*-0x61c8864680b583eb
+			suffix = fmt.Sprintf("@r%d", r+1)
+		}
+		if err := generateReplica(c, seed, opt.LoopsScale, suffix); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// generateReplica appends one full benchmark list to c, every benchmark name
+// carrying the replica suffix.
+func generateReplica(c *Corpus, seed int64, loopsScale float64, suffix string) error {
+	scale := loopsScale
 	if scale <= 0 {
 		scale = 1
 	}
-	rng := rand.New(rand.NewSource(opt.Seed ^ 0x6d657461))
-	c := &Corpus{}
+	rng := rand.New(rand.NewSource(seed ^ 0x6d657461))
 
 	scaled := func(n int) int {
 		v := int(float64(n) * scale)
@@ -174,7 +208,7 @@ func Generate(opt Options) (*Corpus, error) {
 	}
 
 	add := func(name string, suite Suite, p profile) error {
-		b, err := genBenchmark(name, suite, p, rng)
+		b, err := genBenchmark(name+suffix, suite, p, rng)
 		if err != nil {
 			return err
 		}
@@ -196,7 +230,7 @@ func Generate(opt Options) (*Corpus, error) {
 			p.noiseScale = ns
 		}
 		if err := add(s.name, SuiteSpec2000, p); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for _, n := range spec95Names {
@@ -207,7 +241,7 @@ func Generate(opt Options) (*Corpus, error) {
 			p = intProfile(scaled(40))
 		}
 		if err := add(n, SuiteSpec95, p); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for _, n := range spec92Names {
@@ -218,27 +252,27 @@ func Generate(opt Options) (*Corpus, error) {
 			p = intProfile(scaled(36))
 		}
 		if err := add(n, SuiteSpec92, p); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for _, n := range mediabenchNames {
 		if err := add(n, SuiteMediabench, mediaProfile(scaled(42))); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for _, n := range perfectNames {
 		if err := add(n, SuitePerfect, fpProfile("fortran", scaled(46))); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for _, n := range kernelNames {
 		p := fpProfile("c", scaled(36))
 		p.noaliasProb = 0.9
 		if err := add(n, SuiteKernels, p); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return c, nil
+	return nil
 }
 
 func genBenchmark(name string, suite Suite, p profile, rng *rand.Rand) (*Benchmark, error) {

@@ -283,3 +283,65 @@ func TestComputeStats(t *testing.T) {
 		}
 	}
 }
+
+// TestGenerateReplicated pins the deterministic corpus replication used
+// for 10x/100x stress datasets: replica r is regenerated from a perturbed
+// seed with "@rN" benchmark names, so replicas are distinct corpora yet
+// the whole thing is reproducible call over call.
+func TestGenerateReplicated(t *testing.T) {
+	base := smallCorpus(t)
+	c, err := Generate(Options{Seed: 1, LoopsScale: 0.1, Replicate: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Benchmarks) != 3*len(base.Benchmarks) {
+		t.Fatalf("benchmarks = %d, want %d", len(c.Benchmarks), 3*len(base.Benchmarks))
+	}
+	// Replica 1 is the unreplicated corpus, byte for byte.
+	for i, b := range base.Benchmarks {
+		got := c.Benchmarks[i]
+		if got.Name != b.Name {
+			t.Fatalf("replica 1 benchmark %d: name %q, want %q", i, got.Name, b.Name)
+		}
+		for j := range b.Sources {
+			if got.Sources[j] != b.Sources[j] {
+				t.Fatalf("replica 1 %s loop %d: source changed under replication", b.Name, j)
+			}
+		}
+	}
+	// Later replicas carry the suffix and differ in content.
+	n := len(base.Benchmarks)
+	differs := false
+	for r := 1; r < 3; r++ {
+		suffix := "@r" + string(rune('0'+r+1))
+		for i, b := range base.Benchmarks {
+			got := c.Benchmarks[r*n+i]
+			if got.Name != b.Name+suffix {
+				t.Fatalf("replica %d benchmark %d: name %q, want %q", r+1, i, got.Name, b.Name+suffix)
+			}
+			for j := range b.Sources {
+				if j < len(got.Sources) && got.Sources[j] != b.Sources[j] {
+					differs = true
+				}
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("replicas are copies of the base corpus; perturbed seeds had no effect")
+	}
+	// And the whole replicated corpus is deterministic.
+	c2, err := Generate(Options{Seed: 1, LoopsScale: 0.1, Replicate: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range c.Benchmarks {
+		if c2.Benchmarks[i].Name != b.Name {
+			t.Fatalf("benchmark %d: nondeterministic name", i)
+		}
+		for j := range b.Sources {
+			if c2.Benchmarks[i].Sources[j] != b.Sources[j] {
+				t.Fatalf("%s loop %d: nondeterministic source", b.Name, j)
+			}
+		}
+	}
+}

@@ -36,6 +36,15 @@ type Dataset struct {
 	Examples     []Example
 	FeatureNames []string
 
+	// Cols is an optional column-major backing (possibly aliasing a
+	// memory-mapped columnar store). When present and consistent with the
+	// examples, normalization fitting, pairwise-distance construction, and
+	// the NN/LS-SVM LOOCV paths read features as sequential column scans
+	// instead of per-row slice loads — with bit-identical results. In
+	// out-of-core datasets the examples carry only metadata (name, label,
+	// cycles) and Cols is the sole feature storage.
+	Cols *Columns
+
 	// slab is the flat backing array behind projected feature rows
 	// (SelectInto); keeping it lets a reused buffer dataset recycle one
 	// allocation instead of one per example.
@@ -45,10 +54,29 @@ type Dataset struct {
 // Len returns the number of examples.
 func (d *Dataset) Len() int { return len(d.Examples) }
 
-// Validate checks labels and dimensions.
+// Validate checks labels and dimensions. Column-only datasets (feature rows
+// not materialized, Cols carrying the values) validate labels against the
+// backing's shape instead of per-row widths.
 func (d *Dataset) Validate() error {
 	if d.Len() == 0 {
 		return fmt.Errorf("ml: empty dataset")
+	}
+	if !d.HasRows() {
+		if d.Cols == nil {
+			return fmt.Errorf("ml: dataset has neither feature rows nor a column backing")
+		}
+		if d.Cols.N != d.Len() {
+			return fmt.Errorf("ml: column backing has %d rows for %d examples", d.Cols.N, d.Len())
+		}
+		if len(d.FeatureNames) != 0 && len(d.FeatureNames) != d.Cols.Dim {
+			return fmt.Errorf("ml: %d feature names for %d feature columns", len(d.FeatureNames), d.Cols.Dim)
+		}
+		for i, e := range d.Examples {
+			if e.Label < 1 || e.Label > NumClasses {
+				return fmt.Errorf("ml: example %d (%s) has label %d", i, e.Name, e.Label)
+			}
+		}
+		return nil
 	}
 	dim := len(d.Examples[0].Features)
 	if len(d.FeatureNames) != 0 && len(d.FeatureNames) != dim {
@@ -99,6 +127,32 @@ func (d *Dataset) SelectInto(idx []int, buf *Dataset) *Dataset {
 	} else {
 		buf.slab = buf.slab[:n*k]
 	}
+	if cols := d.UsableCols(); cols != nil {
+		// Column-backed source: fill the projected slab one source column
+		// at a time — every read is a sequential scan of a contiguous
+		// (possibly memory-mapped) slab, and out-of-core datasets project
+		// without ever materializing full-width rows. Values land in the
+		// same slots the row loop writes, so the result is bit-identical.
+		for c, j := range idx {
+			for ci := 0; ci < cols.NumChunks(); ci++ {
+				ch := cols.Chunk(ci)
+				base := ch.Start
+				for r, v := range ch.Feats[j] {
+					buf.slab[(base+r)*k+c] = v
+				}
+			}
+		}
+		for i := range d.Examples {
+			e := d.Examples[i]
+			e.Features = buf.slab[i*k : (i+1)*k : (i+1)*k]
+			buf.Examples[i] = e
+		}
+		// The projection shares the parent's column slabs, so downstream
+		// columnar kernels keep their sequential access on the subset.
+		buf.Cols = cols.Project(idx)
+		return buf
+	}
+	buf.Cols = nil
 	for i, e := range d.Examples {
 		row := buf.slab[i*k : (i+1)*k : (i+1)*k]
 		for c, j := range idx {
@@ -136,6 +190,7 @@ func (d *Dataset) Without(i int) *Dataset {
 // per-worker buffer replaces n fold-sized allocations with one.
 func (d *Dataset) WithoutInto(i int, buf *Dataset) *Dataset {
 	buf.FeatureNames = d.FeatureNames
+	buf.Cols = nil // fold subsets do not align with the column backing
 	buf.Examples = buf.Examples[:0]
 	buf.Examples = append(buf.Examples, d.Examples[:i]...)
 	buf.Examples = append(buf.Examples, d.Examples[i+1:]...)
@@ -159,10 +214,16 @@ func squash(v float64) float64 {
 	return math.Log1p(v)
 }
 
-// FitNorm computes normalization statistics over a dataset.
+// FitNorm computes normalization statistics over a dataset. With a column
+// backing attached the per-feature sweeps read contiguous slabs; the scan
+// visits examples in the same order as the row loop and applies the same
+// squash/min/max operations, so the statistics are bit-identical.
 func FitNorm(d *Dataset) *Norm {
 	if d.Len() == 0 {
 		return &Norm{}
+	}
+	if cols := d.UsableCols(); cols != nil {
+		return fitNormColumns(cols)
 	}
 	dim := len(d.Examples[0].Features)
 	n := &Norm{Min: make([]float64, dim), Scale: make([]float64, dim)}
@@ -183,6 +244,55 @@ func FitNorm(d *Dataset) *Norm {
 		}
 	}
 	return n
+}
+
+// fitNormColumns is FitNorm over a column backing: one contiguous sweep per
+// feature, chunks in row order.
+func fitNormColumns(cols *Columns) *Norm {
+	n := &Norm{Min: make([]float64, cols.Dim), Scale: make([]float64, cols.Dim)}
+	for j := 0; j < cols.Dim; j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for ci := 0; ci < cols.NumChunks(); ci++ {
+			for _, raw := range cols.Chunk(ci).Feats[j] {
+				v := squash(raw)
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+		n.Min[j] = lo
+		if hi > lo {
+			n.Scale[j] = 1 / (hi - lo)
+		}
+	}
+	return n
+}
+
+// ApplyColumns normalizes a column backing into dim full-length columns
+// sharing one flat slab. Each output element is computed by exactly the
+// expression ApplyInto uses, so a row assembled from the returned columns
+// carries the same bits as a normalized row vector.
+func (n *Norm) ApplyColumns(cols *Columns) [][]float64 {
+	slab := make([]float64, cols.Dim*cols.N)
+	out := make([][]float64, cols.Dim)
+	for j := 0; j < cols.Dim; j++ {
+		col := slab[j*cols.N : (j+1)*cols.N]
+		out[j] = col
+		if j >= len(n.Min) {
+			continue // ApplyInto zero-fills features past the fitted width
+		}
+		min, scale := n.Min[j], n.Scale[j]
+		for ci := 0; ci < cols.NumChunks(); ci++ {
+			ch := cols.Chunk(ci)
+			for r, raw := range ch.Feats[j] {
+				col[ch.Start+r] = (squash(raw) - min) * scale
+			}
+		}
+	}
+	return out
 }
 
 // Apply maps a raw feature vector into normalized space.

@@ -61,6 +61,9 @@ func (t *Trainer) Train(d *ml.Dataset) (ml.Classifier, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
+	if !d.HasRows() {
+		return nil, fmt.Errorf("nn: training a serving classifier needs materialized feature rows; column-only datasets support LOOCV and selection")
+	}
 	norm := ml.FitNorm(d)
 	c := &Classifier{
 		norm:   norm,
@@ -247,6 +250,9 @@ func (t *Trainer) LOOCV(d *ml.Dataset) ([]int, error) {
 	if d.Len() < 2 {
 		return nil, fmt.Errorf("nn: LOOCV needs at least 2 examples")
 	}
+	if cols := d.UsableCols(); cols != nil {
+		return t.loocvColumnar(d, cols)
+	}
 	ci, err := t.Train(d)
 	if err != nil {
 		return nil, err
@@ -254,7 +260,7 @@ func (t *Trainer) LOOCV(d *ml.Dataset) ([]int, error) {
 	c := ci.(*Classifier)
 	n := d.Len()
 	preds := make([]int, n)
-	if n <= maxDenseRows {
+	if n <= denseRowsCap {
 		dist := linalg.PairwiseSqDistInto(c.rows, nil)
 		for i := range preds {
 			preds[i] = c.predictRow(dist[i*n:(i+1)*n], i)

@@ -39,6 +39,32 @@ func (t *Trainer) BeginSelect(d *ml.Dataset, workers int) (ml.SelectSession, err
 	if n < 2 {
 		return nil, fmt.Errorf("nn: selection needs at least 2 examples")
 	}
+	if cols := d.UsableCols(); cols != nil {
+		// Columnar fast path: normalized columns come straight from the
+		// backing (same values ApplyInto would produce row by row). Past
+		// the dense cap, score with the blocked kernel instead of the
+		// n×n committed matrix.
+		norm := ml.FitNorm(d)
+		if n <= denseRowsCap {
+			return &selectSession{
+				n:      n,
+				cols:   norm.ApplyColumns(cols),
+				labels: cols.Labels,
+				dist:   make([]float64, n*n),
+				radius: t.radius(),
+				oneNN:  t.OneNN,
+			}, nil
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		s := &selectSessionLowMem{cols: cols, norm: norm, radius: t.radius(), oneNN: t.OneNN}
+		for w := 0; w < workers; w++ {
+			s.scratch = append(s.scratch, newBlockScratch(cols.Dim+1))
+			s.preds = append(s.preds, make([]int, n))
+		}
+		return s, nil
+	}
 	dim := len(d.Examples[0].Features)
 	norm := ml.FitNorm(d)
 	slab := make([]float64, dim*n)

@@ -76,12 +76,50 @@ func kernelAndDist(kernel Kernel, rows [][]float64) (Kernel, []float64) {
 	return kernel, dist
 }
 
+// configCols resolves the configuration from a column backing: the pairwise
+// squared-distance matrix is accumulated per feature from normalized columns
+// — the identical float addition sequence as the row build, see
+// linalg.PairwiseSqDistColsInto — so the RBF solver never needs materialized
+// rows. Reports false for custom non-RBF kernels, whose Eval signature
+// requires row vectors.
+func (t *LSSVM) configCols(norm *ml.Norm, cols *ml.Columns) (float64, Kernel, Codes, []float64, bool) {
+	if t.Kernel != nil {
+		if _, isRBF := t.Kernel.(RBF); !isRBF {
+			return 0, nil, Codes{}, nil, false
+		}
+	}
+	gamma := t.Gamma
+	if gamma <= 0 {
+		gamma = DefaultGamma
+	}
+	dist := linalg.PairwiseSqDistColsInto(norm.ApplyColumns(cols), cols.N, nil)
+	kernel := t.Kernel
+	if kernel == nil {
+		kernel = RBF{Sigma: medianSigmaDist(dist, cols.N)}
+	}
+	codes := t.Codes
+	if codes.NumClasses() == 0 {
+		codes = OneVsRest(ml.NumClasses)
+	}
+	return gamma, kernel, codes, dist, true
+}
+
+// columnarConfig is configCols gated on the dataset carrying a usable
+// column backing.
+func (t *LSSVM) columnarConfig(d *ml.Dataset, norm *ml.Norm) (float64, Kernel, Codes, []float64, bool) {
+	cols := d.UsableCols()
+	if cols == nil {
+		return 0, nil, Codes{}, nil, false
+	}
+	return t.configCols(norm, cols)
+}
+
 // system builds and factors the shared matrix A = K + I/γ. For RBF kernels
 // dist carries the cached pairwise squared distances, so the Gram matrix is
 // an element-wise exp over the cache — the values match per-pair Eval calls
-// exactly (same SqDist accumulation, same divisor expression).
-func system(rows [][]float64, kernel Kernel, gamma float64, dist []float64) (*linalg.Cholesky, error) {
-	n := len(rows)
+// exactly (same SqDist accumulation, same divisor expression) and rows may
+// be nil (the column-backed LOOCV path never materializes them).
+func system(n int, rows [][]float64, kernel Kernel, gamma float64, dist []float64) (*linalg.Cholesky, error) {
 	a := linalg.NewMatrix(n, n)
 	if rbf, ok := kernel.(RBF); ok && dist != nil {
 		denom := 2 * rbf.Sigma * rbf.Sigma
@@ -131,10 +169,16 @@ func (t *LSSVM) Train(d *ml.Dataset) (ml.Classifier, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
+	if !d.HasRows() {
+		return nil, fmt.Errorf("svm: training a serving model needs materialized feature rows; column-only datasets support LOOCV")
+	}
 	norm := ml.FitNorm(d)
 	rows := norm.ApplyAll(d)
-	gamma, kernel, codes, dist := t.config(rows)
-	ch, err := system(rows, kernel, gamma, dist)
+	gamma, kernel, codes, dist, ok := t.columnarConfig(d, norm)
+	if !ok {
+		gamma, kernel, codes, dist = t.config(rows)
+	}
+	ch, err := system(len(rows), rows, kernel, gamma, dist)
 	if err != nil {
 		return nil, err
 	}
@@ -206,13 +250,20 @@ func (t *LSSVM) LOOCV(d *ml.Dataset) ([]int, error) {
 		return nil, fmt.Errorf("svm: LOOCV needs at least 3 examples")
 	}
 	norm := ml.FitNorm(d)
-	rows := norm.ApplyAll(d)
-	gamma, kernel, codes, dist := t.config(rows)
-	ch, err := system(rows, kernel, gamma, dist)
+	n := d.Len()
+	var rows [][]float64
+	gamma, kernel, codes, dist, ok := t.columnarConfig(d, norm)
+	if !ok {
+		if !d.HasRows() {
+			return nil, fmt.Errorf("svm: LOOCV with a custom non-RBF kernel needs materialized feature rows")
+		}
+		rows = norm.ApplyAll(d)
+		gamma, kernel, codes, dist = t.config(rows)
+	}
+	ch, err := system(n, rows, kernel, gamma, dist)
 	if err != nil {
 		return nil, err
 	}
-	n := len(rows)
 	ones := make([]float64, n)
 	for i := range ones {
 		ones[i] = 1

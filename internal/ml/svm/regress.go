@@ -51,7 +51,7 @@ func (t *Regression) Train(d *ml.Dataset) (ml.Classifier, error) {
 	norm := ml.FitNorm(d)
 	rows := norm.ApplyAll(d)
 	gamma, kernel, dist := t.config(rows)
-	ch, err := system(rows, kernel, gamma, dist)
+	ch, err := system(len(rows), rows, kernel, gamma, dist)
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +109,7 @@ func (t *Regression) LOOCV(d *ml.Dataset) ([]int, error) {
 	norm := ml.FitNorm(d)
 	rows := norm.ApplyAll(d)
 	gamma, kernel, dist := t.config(rows)
-	ch, err := system(rows, kernel, gamma, dist)
+	ch, err := system(len(rows), rows, kernel, gamma, dist)
 	if err != nil {
 		return nil, err
 	}

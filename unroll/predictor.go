@@ -1,6 +1,7 @@
 package unroll
 
 import (
+	"bufio"
 	"context"
 	"encoding/csv"
 	"encoding/json"
@@ -8,9 +9,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"strconv"
 	"strings"
 
+	"metaopt/internal/colstore"
 	"metaopt/internal/core"
 	"metaopt/internal/ml"
 	"metaopt/internal/ml/nn"
@@ -358,21 +361,44 @@ type jsonDataset struct {
 	Examples     []jsonExample `json:"examples"`
 }
 
-// Save writes the dataset as JSON.
+// Save writes the dataset as JSON, streaming one example at a time through
+// a buffered writer: peak memory is one encoded example, not the whole
+// corpus, so saving a 100× dataset costs the same RSS as a 1× one. The
+// layout is deterministic and LoadDataset-compatible.
 func (d *Dataset) Save(w io.Writer) error {
-	out := jsonDataset{FeatureNames: d.d.FeatureNames}
-	for _, e := range d.d.Examples {
-		out.Examples = append(out.Examples, jsonExample{
+	if d.d.Len() > 0 && !d.d.HasRows() {
+		return fmt.Errorf("unroll: JSON save needs materialized feature rows; column-only datasets persist via SaveColumnar")
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	names, err := json.Marshal(d.d.FeatureNames)
+	if err != nil {
+		return err
+	}
+	// bufio retains the first underlying write error and reports it from
+	// Flush, so only the per-example encodes need individual checks.
+	bw.WriteString("{\n \"feature_names\": ")
+	bw.Write(names)
+	bw.WriteString(",\n \"examples\": [")
+	for i := range d.d.Examples {
+		e := &d.d.Examples[i]
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString("\n  ")
+		b, err := json.Marshal(jsonExample{
 			Name:      e.Name,
 			Benchmark: e.Benchmark,
 			Features:  e.Features,
 			Label:     e.Label,
-			Cycles:    append([]int64(nil), e.Cycles[1:]...),
+			Cycles:    e.Cycles[1:],
 		})
+		if err != nil {
+			return err
+		}
+		bw.Write(b)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(out)
+	bw.WriteString("\n ]\n}\n")
+	return bw.Flush()
 }
 
 // LoadDataset reads a dataset saved by Save.
@@ -397,6 +423,63 @@ func LoadDataset(r io.Reader) (*Dataset, error) {
 		return nil, fmt.Errorf("unroll: load dataset: %w", err)
 	}
 	return out, nil
+}
+
+// SaveColumnar writes the dataset to path in the binary columnar format
+// (internal/colstore): per-feature column slabs behind a CRC-protected
+// footer, written atomically chunk by chunk. Loading it back is a mmap plus
+// a metadata scan — the fast path for 10×–100× corpora. config is free-form
+// provenance recorded (and SHA-256 fingerprinted) in the file header.
+func (d *Dataset) SaveColumnar(path, config string) error {
+	return colstore.WriteDataset(path, d.d, config)
+}
+
+// LoadDatasetFile loads a dataset from path in whichever format it was
+// saved: the binary columnar format is recognized by its magic bytes, and
+// anything else is parsed as the JSON release format. Columnar loads are
+// fully materialized (rows plus a column backing), so the dataset outlives
+// the underlying file.
+func LoadDatasetFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("unroll: load dataset: %w", err)
+	}
+	defer f.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err == nil && string(magic[:]) == "MOCS" {
+		md, err := colstore.Load(path)
+		if err != nil {
+			return nil, fmt.Errorf("unroll: load dataset: %w", err)
+		}
+		if err := md.Validate(); err != nil {
+			return nil, fmt.Errorf("unroll: load dataset: %w", err)
+		}
+		return &Dataset{d: md}, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("unroll: load dataset: %w", err)
+	}
+	return LoadDataset(f)
+}
+
+// OpenDatasetColumnar opens a columnar dataset out of core: feature values
+// are served zero-copy from the mapped file and examples carry metadata
+// only, so cross-validating a 100× corpus needs RSS proportional to the
+// working set, not the corpus. The returned close function releases the
+// mapping; the dataset (and any column views derived from it) must not be
+// used afterwards. Training a serving predictor needs LoadDatasetFile
+// instead.
+func OpenDatasetColumnar(path string) (*Dataset, func() error, error) {
+	r, err := colstore.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("unroll: open dataset: %w", err)
+	}
+	md := r.Dataset()
+	if err := md.Validate(); err != nil {
+		r.Close()
+		return nil, nil, fmt.Errorf("unroll: open dataset: %w", err)
+	}
+	return &Dataset{d: md}, r.Close, nil
 }
 
 // SaveCSV writes the dataset as CSV: one row per loop with its benchmark,

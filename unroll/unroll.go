@@ -175,5 +175,13 @@ func (tm *Timer) Best(l *Loop) (factor int, timings [MaxFactor + 1]Timing, err e
 // Scale 1.0 yields the full ~3500-loop corpus; smaller values shrink it
 // proportionally.
 func GenerateCorpus(seed int64, scale float64) (*Corpus, error) {
-	return loopgen.Generate(loopgen.Options{Seed: seed, LoopsScale: scale})
+	return GenerateCorpusReplicated(seed, scale, 1)
+}
+
+// GenerateCorpusReplicated additionally replicates the corpus the given
+// number of times: each replica is regenerated from a deterministically
+// perturbed seed with benchmark names suffixed "@rN", so reproducible
+// 10×/100× stress corpora come straight from the CLI.
+func GenerateCorpusReplicated(seed int64, scale float64, replicate int) (*Corpus, error) {
+	return loopgen.Generate(loopgen.Options{Seed: seed, LoopsScale: scale, Replicate: replicate})
 }
